@@ -1,0 +1,85 @@
+// Extension bench: the approximate distance oracle (the Appendix A
+// "revised PCPD for approximate distance queries" variation) against the
+// exact PCPD and SILC, sweeping epsilon.
+//
+// Expected shape: pair count and space fall steeply as epsilon grows;
+// queries run in a single O(log n) descent (no path walk), so the oracle
+// answers far queries faster than the exact spatial-coherence methods
+// while staying within its error bound — the trade the revision exists
+// to make.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "dijkstra/dijkstra.h"
+#include "pcpd/approx_oracle.h"
+#include "pcpd/pcpd_index.h"
+#include "silc/silc_index.h"
+#include "util/bytes.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace roadnet;
+
+  std::printf("Extension: approximate distance oracle (epsilon sweep)\n");
+  for (const auto& spec : SmallDatasets()) {
+    if (bench::FastMode() && spec.target_vertices > 2000) continue;
+    Graph g = BuildDataset(spec);
+    const auto sets =
+        GenerateLInfQuerySets(g, bench::QueriesPerSet(), 3100 + spec.seed);
+    QuerySet mixed;
+    mixed.name = "Q4+Q9";
+    for (int idx : {3, 8}) {
+      mixed.pairs.insert(mixed.pairs.end(), sets[idx].pairs.begin(),
+                         sets[idx].pairs.end());
+    }
+
+    SilcIndex silc(g);
+    PcpdIndex pcpd(g);
+    std::printf("\n(%s)  n=%u, %zu mixed queries\n", spec.name.c_str(),
+                g.NumVertices(), mixed.pairs.size());
+    std::printf("%-14s %10s %10s %10s %12s %12s\n", "Method", "pairs",
+                "MiB", "prep (s)", "query (us)", "max err");
+    bench::PrintRule(74);
+    std::printf("%-14s %10s %10.2f %10s %12.2f %12s\n", "SILC (exact)",
+                "-", BytesToMiB(silc.IndexBytes()), "-",
+                Experiment::MeasureDistanceQueries(&silc, mixed), "0");
+    std::printf("%-14s %10zu %10.2f %10s %12.2f %12s\n", "PCPD (exact)",
+                pcpd.NumPairs(), BytesToMiB(pcpd.IndexBytes()), "-",
+                Experiment::MeasureDistanceQueries(&pcpd, mixed), "0");
+
+    Dijkstra truth(g);
+    for (double epsilon : {0.01, 0.05, 0.20}) {
+      Timer timer;
+      ApproxDistanceOracle oracle(g, epsilon);
+      const double prep = timer.ElapsedSeconds();
+      // Observed max relative error (must stay below epsilon).
+      double max_err = 0;
+      for (auto [s, t] : mixed.pairs) {
+        const Distance d = truth.Run(s, t);
+        const Distance a = oracle.Query(s, t);
+        if (d == kInfDistance || d == 0) continue;
+        max_err = std::max(
+            max_err, std::abs(static_cast<double>(a) -
+                              static_cast<double>(d)) /
+                         static_cast<double>(d));
+      }
+      timer.Reset();
+      uint64_t sink = 0;
+      for (auto [s, t] : mixed.pairs) sink += oracle.Query(s, t);
+      const double query_us =
+          timer.ElapsedMicros() / std::max<size_t>(1, mixed.pairs.size());
+      (void)sink;
+      char label[32];
+      std::snprintf(label, sizeof(label), "eps=%.2f", epsilon);
+      std::printf("%-14s %10zu %10.2f %10.2f %12.2f %11.2f%%\n", label,
+                  oracle.NumPairs(), BytesToMiB(oracle.IndexBytes()), prep,
+                  query_us, 100 * max_err);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 13 (Appendix E.1): TNR space and preprocessing under different
+// grid configurations — coarse (the production default), fine (2x
+// resolution with a full table), and hybrid (coarse full table + fine
+// sparse table).
+//
+// Expected shape: space coarse < hybrid < fine (the fine full table
+// dominates); preprocessing coarse < fine < hybrid (hybrid processes the
+// access nodes of both levels).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "ch/ch_index.h"
+#include "core/experiment.h"
+#include "tnr/tnr_index.h"
+#include "util/bytes.h"
+
+int main() {
+  using namespace roadnet;
+
+  std::printf(
+      "Figure 13: TNR space (MiB) and preprocessing (s) per grid "
+      "configuration\n");
+  std::printf("%-8s %8s | %10s %10s %10s | %10s %10s %10s\n", "Dataset", "n",
+              "DxD MiB", "2Dx2D MiB", "hyb MiB", "DxD s", "2Dx2D s",
+              "hyb s");
+  bench::PrintRule(92);
+
+  for (const auto& spec : bench::BenchDatasets()) {
+    Graph g = BuildDataset(spec);
+    if (g.NumVertices() > bench::MaxVerticesForTnr() / 3) continue;
+    ChIndex ch(g);
+    const uint32_t res = bench::PaperGridResolution();
+
+    double mib[3] = {0, 0, 0}, secs[3] = {0, 0, 0};
+    const TnrConfig configs[3] = {
+        {.grid_resolution = res},
+        {.grid_resolution = res * 2},
+        {.grid_resolution = res, .hybrid = true},
+    };
+    for (int i = 0; i < 3; ++i) {
+      BuildResult b = Experiment::MeasureBuild("TNR", [&] {
+        return std::make_unique<TnrIndex>(g, &ch, configs[i]);
+      });
+      mib[i] = BytesToMiB(b.index_bytes);
+      secs[i] = b.preprocess_seconds;
+    }
+    std::printf("%-8s %8u |", spec.name.c_str(), g.NumVertices());
+    for (double v : mib) std::printf(" %10.2f", v);
+    std::printf(" |");
+    for (double v : secs) std::printf(" %10.2f", v);
+    std::printf("   (D=%u)\n", res);
+  }
+  std::printf(
+      "\nPaper shape: 128x128 < hybrid < 256x256 in space; the hybrid grid "
+      "costs the\nmost preprocessing (it processes both levels' access "
+      "nodes).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figures 14 and 15 (Appendix E.1): TNR query efficiency under the four
+// implementation variants — {coarse grid, hybrid grid} x {bidirectional
+// Dijkstra fallback, CH fallback} — for distance queries (Fig. 14) and
+// shortest path queries (Fig. 15) over Q1..Q10.
+//
+// Expected shape: the CH fallback beats the Dijkstra fallback wherever the
+// locality filter rejects (near sets); the hybrid grid only helps around
+// Q5/Q6 (pairs its fine level can answer but the coarse level cannot); all
+// variants converge on far sets, which the coarse table answers anyway.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "ch/ch_index.h"
+#include "core/experiment.h"
+#include "tnr/tnr_index.h"
+
+int main() {
+  using namespace roadnet;
+
+  const char* kVariantNames[4] = {"DxD(Dij)", "Hyb(Dij)", "DxD(CH)",
+                                  "Hyb(CH)"};
+
+  std::printf("Figures 14-15: TNR variants, query time (microsec)\n");
+  for (const auto& spec : bench::BenchDatasets()) {
+    Graph g = BuildDataset(spec);
+    // Panel datasets: small, medium, large within TNR's bench budget.
+    if (spec.name != "DE'" && spec.name != "CO'" && spec.name != "FL'" &&
+        spec.name != "CA'") {
+      continue;
+    }
+    if (bench::FastMode() && g.NumVertices() > 5000) continue;
+
+    ChIndex ch(g);
+    const uint32_t res = bench::PaperGridResolution();
+    std::unique_ptr<TnrIndex> variants[4];
+    const TnrConfig configs[4] = {
+        {.grid_resolution = res, .fallback = TnrFallback::kBidirectionalDijkstra},
+        {.grid_resolution = res, .hybrid = true,
+         .fallback = TnrFallback::kBidirectionalDijkstra},
+        {.grid_resolution = res, .fallback = TnrFallback::kCh},
+        {.grid_resolution = res, .hybrid = true,
+         .fallback = TnrFallback::kCh},
+    };
+    for (int i = 0; i < 4; ++i) {
+      variants[i] = std::make_unique<TnrIndex>(g, &ch, configs[i]);
+    }
+
+    const auto sets =
+        GenerateLInfQuerySets(g, bench::QueriesPerSet(), 1400 + spec.seed);
+    for (int figure = 0; figure < 2; ++figure) {
+      std::printf("\n(%s)  n=%u, D=%u — %s queries\n", spec.name.c_str(),
+                  g.NumVertices(), res,
+                  figure == 0 ? "DISTANCE (Fig. 14)" : "PATH (Fig. 15)");
+      std::printf("%-6s %8s", "Set", "queries");
+      for (const char* v : kVariantNames) std::printf(" %10s", v);
+      std::printf("\n");
+      bench::PrintRule(60);
+      for (const auto& set : sets) {
+        if (set.pairs.empty()) continue;
+        std::printf("%-6s %8zu", set.name.c_str(), set.pairs.size());
+        for (int i = 0; i < 4; ++i) {
+          const double us =
+              figure == 0
+                  ? Experiment::MeasureDistanceQueries(variants[i].get(), set)
+                  : Experiment::MeasurePathQueries(variants[i].get(), set);
+          bench::PrintMicrosCell(us);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figures 16 and 17 (Appendix E.2): query time vs n on the alternative
+// query sets R1, R4, R7, R10, which bucket pairs by network distance
+// instead of L-infinity distance. Figure 16 reports distance queries,
+// Figure 17 shortest path queries.
+//
+// Expected shape: qualitatively identical to Figures 8 and 10 — the
+// relative ordering of the techniques is insensitive to whether workloads
+// are binned geometrically or by network distance.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "ch/ch_index.h"
+#include "core/experiment.h"
+#include "dijkstra/bidirectional.h"
+#include "silc/silc_index.h"
+#include "tnr/tnr_index.h"
+
+int main() {
+  using namespace roadnet;
+  const int kSetIndices[4] = {0, 3, 6, 9};  // R1, R4, R7, R10
+  const char* kMethods[4] = {"Dijkstra", "CH", "TNR", "SILC"};
+
+  struct Row {
+    std::string dataset;
+    uint32_t n = 0;
+    double dist_us[4][4];
+    double path_us[4][4];
+  };
+  std::vector<Row> rows;
+
+  for (const auto& spec : bench::BenchDatasets()) {
+    Graph g = BuildDataset(spec);
+    Row row;
+    row.dataset = spec.name;
+    row.n = g.NumVertices();
+    for (auto& a : row.dist_us) {
+      for (auto& v : a) v = -1;
+    }
+    for (auto& a : row.path_us) {
+      for (auto& v : a) v = -1;
+    }
+
+    BidirectionalDijkstra bidi(g);
+    ChIndex ch(g);
+    std::unique_ptr<TnrIndex> tnr;
+    if (g.NumVertices() <= bench::MaxVerticesForTnr()) {
+      TnrConfig config;
+      config.grid_resolution = bench::PaperGridResolution();
+      tnr = std::make_unique<TnrIndex>(g, &ch, config);
+    }
+    std::unique_ptr<SilcIndex> silc;
+    if (g.NumVertices() <= bench::MaxVerticesForAllPairs()) {
+      silc = std::make_unique<SilcIndex>(g);
+    }
+
+    const auto sets = GenerateNetworkDistanceQuerySets(
+        g, bench::QueriesPerSet(), 1600 + spec.seed);
+    for (int si = 0; si < 4; ++si) {
+      const QuerySet& set = sets[kSetIndices[si]];
+      if (set.pairs.empty()) continue;
+      const QuerySet slow = bench::Subset(set, bench::SlowMethodQueryCap());
+      row.dist_us[si][0] = Experiment::MeasureDistanceQueries(&bidi, slow);
+      row.path_us[si][0] = Experiment::MeasurePathQueries(&bidi, slow);
+      row.dist_us[si][1] = Experiment::MeasureDistanceQueries(&ch, set);
+      row.path_us[si][1] = Experiment::MeasurePathQueries(&ch, set);
+      if (tnr) {
+        row.dist_us[si][2] =
+            Experiment::MeasureDistanceQueries(tnr.get(), set);
+        row.path_us[si][2] = Experiment::MeasurePathQueries(tnr.get(), set);
+      }
+      if (silc) {
+        row.dist_us[si][3] =
+            Experiment::MeasureDistanceQueries(silc.get(), set);
+        row.path_us[si][3] = Experiment::MeasurePathQueries(silc.get(), set);
+      }
+    }
+    rows.push_back(row);
+    std::fprintf(stderr, "measured %s\n", spec.name.c_str());
+  }
+
+  auto print_figure = [&](const char* title, bool distance) {
+    std::printf("\n%s\n", title);
+    for (int si = 0; si < 4; ++si) {
+      std::printf("\n(R%d)  running time (microsec) vs n\n",
+                  kSetIndices[si] + 1);
+      std::printf("%-8s %10s", "Dataset", "n");
+      for (const char* m : kMethods) std::printf(" %10s", m);
+      std::printf("\n");
+      bench::PrintRule(64);
+      for (const auto& row : rows) {
+        std::printf("%-8s %10u", row.dataset.c_str(), row.n);
+        for (int m = 0; m < 4; ++m) {
+          bench::PrintMicrosCell(distance ? row.dist_us[si][m]
+                                          : row.path_us[si][m]);
+        }
+        std::printf("\n");
+      }
+    }
+  };
+  std::printf("Figures 16 and 17: R query sets (network-distance buckets)\n");
+  print_figure("Figure 16: DISTANCE queries", true);
+  print_figure("Figure 17: SHORTEST PATH queries", false);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 6: space consumption (a) and preprocessing time (b) of CH, TNR,
+// SILC, and PCPD as functions of the number of vertices n.
+//
+// Expected shape (paper Section 4.3): CH smallest and ~linear in n; TNR
+// noticeably above CH with the gap narrowing as n grows (I1 ~constant, I2
+// ~linear); SILC and PCPD orders of magnitude above both and only feasible
+// on the four smallest datasets; preprocessing ordering CH < TNR <<
+// SILC < PCPD.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "ch/ch_index.h"
+#include <fstream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "pcpd/pcpd_index.h"
+#include "silc/silc_index.h"
+#include "tnr/tnr_index.h"
+#include "util/bytes.h"
+
+int main() {
+  using namespace roadnet;
+
+  struct Row {
+    std::string dataset;
+    uint32_t n;
+    double mb[4] = {-1, -1, -1, -1};    // CH, TNR, SILC, PCPD
+    double secs[4] = {-1, -1, -1, -1};
+  };
+  std::vector<Row> rows;
+
+  for (const auto& spec : bench::BenchDatasets()) {
+    Graph g = BuildDataset(spec);
+    Row row;
+    row.dataset = spec.name;
+    row.n = g.NumVertices();
+
+    // CH: always applicable.
+    BuildResult ch_build = Experiment::MeasureBuild(
+        "CH", [&] { return std::make_unique<ChIndex>(g); });
+    auto* ch = static_cast<ChIndex*>(ch_build.index.get());
+    row.mb[0] = BytesToMiB(ch_build.index_bytes);
+    row.secs[0] = ch_build.preprocess_seconds;
+
+    // TNR (128x128-analogue grid, CH fallback), up to the wall-clock cap.
+    if (g.NumVertices() <= bench::MaxVerticesForTnr()) {
+      BuildResult tnr_build = Experiment::MeasureBuild("TNR", [&] {
+        TnrConfig config;
+        config.grid_resolution = bench::PaperGridResolution();
+        return std::make_unique<TnrIndex>(g, ch, config);
+      });
+      // The paper's TNR figures include everything the deployment needs;
+      // with the CH fallback that is TNR's tables plus the CH index.
+      row.mb[1] = BytesToMiB(tnr_build.index_bytes + ch_build.index_bytes);
+      row.secs[1] = tnr_build.preprocess_seconds + ch_build.preprocess_seconds;
+    }
+
+    // SILC and PCPD: the four smallest datasets only (all-pairs cost),
+    // mirroring the paper's 24 GB cutoff.
+    if (g.NumVertices() <= bench::MaxVerticesForAllPairs()) {
+      BuildResult silc_build = Experiment::MeasureBuild(
+          "SILC", [&] { return std::make_unique<SilcIndex>(g); });
+      row.mb[2] = BytesToMiB(silc_build.index_bytes);
+      row.secs[2] = silc_build.preprocess_seconds;
+
+      BuildResult pcpd_build = Experiment::MeasureBuild(
+          "PCPD", [&] { return std::make_unique<PcpdIndex>(g); });
+      row.mb[3] = BytesToMiB(pcpd_build.index_bytes);
+      row.secs[3] = pcpd_build.preprocess_seconds;
+    }
+    rows.push_back(row);
+    std::fprintf(stderr, "built %s\n", spec.name.c_str());
+  }
+
+  auto print_table = [&](const char* title, bool space) {
+    std::printf("\n%s\n", title);
+    std::printf("%-8s %10s %12s %12s %12s %12s\n", "Dataset", "n", "CH",
+                "TNR", "SILC", "PCPD");
+    bench::PrintRule(72);
+    for (const Row& row : rows) {
+      std::printf("%-8s %10u", row.dataset.c_str(), row.n);
+      for (int m = 0; m < 4; ++m) {
+        const double v = space ? row.mb[m] : row.secs[m];
+        if (v < 0) {
+          std::printf(" %12s", "n/a");
+        } else {
+          std::printf(" %12.3f", v);
+        }
+      }
+      std::printf("\n");
+    }
+  };
+  std::printf("Figure 6: space overhead and preprocessing time vs n\n");
+  print_table("Figure 6(a): space consumption (MiB)", true);
+  print_table("Figure 6(b): preprocessing time (seconds)", false);
+  std::printf(
+      "\nn/a = method not applicable at that scale (SILC/PCPD: all-pairs "
+      "cost,\nas in the paper; TNR: bench wall-clock cap, see "
+      "EXPERIMENTS.md).\n");
+
+  // Optional machine-readable output for plotting.
+  if (const char* dir = std::getenv("ROADNET_BENCH_CSV_DIR")) {
+    const char* names[4] = {"CH", "TNR", "SILC", "PCPD"};
+    std::vector<BuildRow> csv;
+    for (const Row& row : rows) {
+      for (int m = 0; m < 4; ++m) {
+        if (row.secs[m] < 0) continue;
+        csv.push_back(BuildRow{row.dataset, row.n, names[m], row.secs[m],
+                               static_cast<size_t>(row.mb[m] * 1024 * 1024)});
+      }
+    }
+    std::ofstream out(std::string(dir) + "/fig6.csv");
+    WriteBuildCsv(csv, out);
+    std::printf("wrote %s/fig6.csv\n", dir);
+  }
+  return 0;
+}

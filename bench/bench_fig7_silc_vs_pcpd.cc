@@ -1,0 +1,54 @@
+// Figure 7: SILC vs PCPD on shortest path queries, query sets Q1..Q10,
+// on the four smallest datasets (the only ones either can index).
+//
+// Expected shape (paper Section 4.4): SILC consistently outperforms PCPD
+// on every set and dataset — both walk the path with one lookup per hop,
+// but SILC's lookup (binary search over Z-intervals) is cheaper than
+// PCPD's (synchronized quadtree descent per decomposition step).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "pcpd/pcpd_index.h"
+#include "silc/silc_index.h"
+
+int main() {
+  using namespace roadnet;
+
+  std::printf("Figure 7: SILC vs PCPD, shortest path queries (microsec)\n");
+  for (const auto& spec : SmallDatasets()) {
+    Graph g = BuildDataset(spec);
+    SilcIndex silc(g);
+    PcpdIndex pcpd(g);
+    const auto sets =
+        GenerateLInfQuerySets(g, bench::QueriesPerSet(), 7000 + spec.seed);
+
+    std::printf("\n(%s)  n=%u\n", spec.name.c_str(), g.NumVertices());
+    std::printf("%-6s %8s %10s %10s %10s\n", "Set", "queries", "SILC",
+                "PCPD", "PCPD/SILC");
+    bench::PrintRule(48);
+    size_t silc_wins = 0, populated = 0;
+    for (const auto& set : sets) {
+      if (set.pairs.empty()) {
+        std::printf("%-6s %8d %10s %10s\n", set.name.c_str(), 0, "n/a",
+                    "n/a");
+        continue;
+      }
+      // Guard the measurement with agreement between the two methods.
+      const size_t mismatches =
+          Experiment::CountDistanceMismatches(&silc, &pcpd, set);
+      const double silc_us = Experiment::MeasurePathQueries(&silc, set);
+      const double pcpd_us = Experiment::MeasurePathQueries(&pcpd, set);
+      std::printf("%-6s %8zu %10.2f %10.2f %9.2fx", set.name.c_str(),
+                  set.pairs.size(), silc_us, pcpd_us, pcpd_us / silc_us);
+      if (mismatches > 0) std::printf("  [%zu MISMATCHES]", mismatches);
+      std::printf("\n");
+      ++populated;
+      if (silc_us <= pcpd_us) ++silc_wins;
+    }
+    std::printf("SILC faster on %zu/%zu populated sets\n", silc_wins,
+                populated);
+  }
+  return 0;
+}

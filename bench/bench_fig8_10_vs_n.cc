@@ -1,0 +1,144 @@
+// Figures 8 and 10: query time vs n for Dijkstra (bidirectional baseline),
+// CH, TNR, and SILC, on the representative query sets Q1, Q4, Q7, Q10.
+// Figure 8 reports distance queries, Figure 10 shortest path queries; one
+// binary regenerates both since they share every built index.
+//
+// Expected shape (paper Sections 4.5-4.6): Dijkstra orders of magnitude
+// slower everywhere and growing with n; on distance queries TNR matches CH
+// for near sets (fallback) and wins by ~an order of magnitude on Q7/Q10;
+// SILC is competitive on near sets but degrades with distance; on shortest
+// path queries SILC is best where it fits, CH pays an unpacking overhead
+// relative to its distance queries, and TNR is never better than CH.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "ch/ch_index.h"
+#include <cstdlib>
+#include <fstream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "dijkstra/bidirectional.h"
+#include "silc/silc_index.h"
+#include "tnr/tnr_index.h"
+
+int main() {
+  using namespace roadnet;
+  const int kSetIndices[4] = {0, 3, 6, 9};  // Q1, Q4, Q7, Q10
+  const char* kMethods[4] = {"Dijkstra", "CH", "TNR", "SILC"};
+
+  struct Row {
+    std::string dataset;
+    uint32_t n = 0;
+    // [set][method] microseconds, -1 = n/a.
+    double dist_us[4][4];
+    double path_us[4][4];
+    size_t mismatches = 0;
+  };
+  std::vector<Row> rows;
+
+  for (const auto& spec : bench::BenchDatasets()) {
+    Graph g = BuildDataset(spec);
+    Row row;
+    row.dataset = spec.name;
+    row.n = g.NumVertices();
+    for (auto& a : row.dist_us) {
+      for (auto& v : a) v = -1;
+    }
+    for (auto& a : row.path_us) {
+      for (auto& v : a) v = -1;
+    }
+
+    BidirectionalDijkstra bidi(g);
+    ChIndex ch(g);
+    std::unique_ptr<TnrIndex> tnr;
+    if (g.NumVertices() <= bench::MaxVerticesForTnr()) {
+      TnrConfig config;
+      config.grid_resolution = bench::PaperGridResolution();
+      tnr = std::make_unique<TnrIndex>(g, &ch, config);
+    }
+    std::unique_ptr<SilcIndex> silc;
+    if (g.NumVertices() <= bench::MaxVerticesForAllPairs()) {
+      silc = std::make_unique<SilcIndex>(g);
+    }
+
+    const auto sets =
+        GenerateLInfQuerySets(g, bench::QueriesPerSet(), 8000 + spec.seed);
+    for (int si = 0; si < 4; ++si) {
+      const QuerySet& set = sets[kSetIndices[si]];
+      if (set.pairs.empty()) continue;
+      const QuerySet slow = bench::Subset(set, bench::SlowMethodQueryCap());
+
+      // Correctness guard: every method must agree with CH on this set.
+      row.mismatches += Experiment::CountDistanceMismatches(&ch, &bidi, slow);
+      if (tnr) row.mismatches += Experiment::CountDistanceMismatches(&ch, tnr.get(), set);
+      if (silc) row.mismatches += Experiment::CountDistanceMismatches(&ch, silc.get(), set);
+
+      row.dist_us[si][0] = Experiment::MeasureDistanceQueries(&bidi, slow);
+      row.path_us[si][0] = Experiment::MeasurePathQueries(&bidi, slow);
+      row.dist_us[si][1] = Experiment::MeasureDistanceQueries(&ch, set);
+      row.path_us[si][1] = Experiment::MeasurePathQueries(&ch, set);
+      if (tnr) {
+        row.dist_us[si][2] = Experiment::MeasureDistanceQueries(tnr.get(), set);
+        row.path_us[si][2] = Experiment::MeasurePathQueries(tnr.get(), set);
+      }
+      if (silc) {
+        row.dist_us[si][3] = Experiment::MeasureDistanceQueries(silc.get(), set);
+        row.path_us[si][3] = Experiment::MeasurePathQueries(silc.get(), set);
+      }
+    }
+    rows.push_back(row);
+    std::fprintf(stderr, "measured %s\n", spec.name.c_str());
+  }
+
+  auto print_figure = [&](const char* title, bool distance) {
+    std::printf("\n%s\n", title);
+    for (int si = 0; si < 4; ++si) {
+      std::printf("\n(Q%d)  running time (microsec) vs n\n",
+                  kSetIndices[si] + 1);
+      std::printf("%-8s %10s", "Dataset", "n");
+      for (const char* m : kMethods) std::printf(" %10s", m);
+      std::printf("\n");
+      bench::PrintRule(64);
+      for (const auto& row : rows) {
+        std::printf("%-8s %10u", row.dataset.c_str(), row.n);
+        for (int m = 0; m < 4; ++m) {
+          bench::PrintMicrosCell(distance ? row.dist_us[si][m]
+                                          : row.path_us[si][m]);
+        }
+        std::printf("\n");
+      }
+    }
+  };
+
+  std::printf("Figures 8 and 10: query efficiency vs n\n");
+  print_figure("Figure 8: DISTANCE queries", true);
+  print_figure("Figure 10: SHORTEST PATH queries", false);
+
+  if (const char* dir = std::getenv("ROADNET_BENCH_CSV_DIR")) {
+    std::vector<QueryRow> csv;
+    for (const auto& row : rows) {
+      for (int si = 0; si < 4; ++si) {
+        for (int m = 0; m < 4; ++m) {
+          if (row.dist_us[si][m] < 0) continue;
+          csv.push_back(QueryRow{
+              row.dataset, row.n, kMethods[m],
+              "Q" + std::to_string(kSetIndices[si] + 1), 0,
+              row.dist_us[si][m], row.path_us[si][m]});
+        }
+      }
+    }
+    std::ofstream out(std::string(dir) + "/fig8_10.csv");
+    WriteQueryCsv(csv, out);
+    std::printf("wrote %s/fig8_10.csv\n", dir);
+  }
+
+  size_t total_mismatches = 0;
+  for (const auto& row : rows) total_mismatches += row.mismatches;
+  std::printf("\nCorrectness guard: %zu distance mismatches across all "
+              "methods/sets (must be 0)\n",
+              total_mismatches);
+  return total_mismatches == 0 ? 0 : 1;
+}

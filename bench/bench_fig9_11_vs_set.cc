@@ -1,0 +1,84 @@
+// Figures 9 and 11: query time as the query set varies (Q1..Q10) for CH,
+// TNR, and SILC, on four datasets spanning the size ladder. Figure 9
+// reports distance queries, Figure 11 shortest path queries.
+//
+// The paper uses DE, CO, E-US, US; at bench wall-clock budget TNR tops out
+// at E-US' scale, so the two large panels use CA' and E-US' (the largest
+// TNR-feasible analogues) — the shape statements are unchanged.
+//
+// Expected shape (Sections 4.5-4.6): SILC's time grows steadily with the
+// set index (O(k log n) walk); CH stays nearly flat; on distance queries
+// TNR tracks CH through Q5 (fallback), dips at Q6, and beats CH by ~10x on
+// Q7..Q10; on path queries TNR is never faster than CH and the gap widens
+// toward Q10 (O(k) table probes per path).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "ch/ch_index.h"
+#include "core/experiment.h"
+#include "silc/silc_index.h"
+#include "tnr/tnr_index.h"
+
+int main() {
+  using namespace roadnet;
+
+  std::vector<DatasetSpec> panels;
+  for (const auto& spec : PaperDatasets()) {
+    if (spec.name == "DE'" || spec.name == "CO'" || spec.name == "CA'" ||
+        spec.name == "E-US'") {
+      panels.push_back(spec);
+    }
+  }
+  if (bench::FastMode()) panels.resize(2);
+
+  std::printf("Figures 9 and 11: query efficiency vs query set\n");
+  for (const auto& spec : panels) {
+    Graph g = BuildDataset(spec);
+    ChIndex ch(g);
+    TnrConfig config;
+    config.grid_resolution = bench::PaperGridResolution();
+    TnrIndex tnr(g, &ch, config);
+    std::unique_ptr<SilcIndex> silc;
+    if (g.NumVertices() <= bench::MaxVerticesForAllPairs()) {
+      silc = std::make_unique<SilcIndex>(g);
+    }
+    const auto sets =
+        GenerateLInfQuerySets(g, bench::QueriesPerSet(), 9000 + spec.seed);
+
+    std::printf("\n(%s)  n=%u, grid %ux%u, %zu access nodes\n",
+                spec.name.c_str(), g.NumVertices(), config.grid_resolution,
+                config.grid_resolution, tnr.NumAccessNodes());
+    std::printf("%-6s %8s | %10s %10s %10s | %10s %10s %10s\n", "Set",
+                "queries", "CH dist", "TNR dist", "SILC dist", "CH path",
+                "TNR path", "SILC path");
+    bench::PrintRule(90);
+    size_t mismatches = 0;
+    for (const auto& set : sets) {
+      if (set.pairs.empty()) {
+        std::printf("%-6s %8d | (unpopulated at this scale)\n",
+                    set.name.c_str(), 0);
+        continue;
+      }
+      mismatches += Experiment::CountDistanceMismatches(&ch, &tnr, set);
+      if (silc) {
+        mismatches +=
+            Experiment::CountDistanceMismatches(&ch, silc.get(), set);
+      }
+      std::printf("%-6s %8zu |", set.name.c_str(), set.pairs.size());
+      bench::PrintMicrosCell(Experiment::MeasureDistanceQueries(&ch, set));
+      bench::PrintMicrosCell(Experiment::MeasureDistanceQueries(&tnr, set));
+      bench::PrintMicrosCell(
+          silc ? Experiment::MeasureDistanceQueries(silc.get(), set) : -1);
+      std::printf(" |");
+      bench::PrintMicrosCell(Experiment::MeasurePathQueries(&ch, set));
+      bench::PrintMicrosCell(Experiment::MeasurePathQueries(&tnr, set));
+      bench::PrintMicrosCell(
+          silc ? Experiment::MeasurePathQueries(silc.get(), set) : -1);
+      std::printf("\n");
+    }
+    std::printf("distance mismatches vs CH: %zu (must be 0)\n", mismatches);
+  }
+  return 0;
+}

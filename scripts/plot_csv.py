@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""ASCII log-log plots from the bench CSV output.
+
+The figure benches emit machine-readable series when
+ROADNET_BENCH_CSV_DIR is set (e.g. fig6.csv, fig8_10.csv). This script
+renders them as terminal charts so the paper's log-log figures can be
+eyeballed without a plotting stack.
+
+  python3 scripts/plot_csv.py out/fig6.csv --y index_bytes
+  python3 scripts/plot_csv.py out/fig8_10.csv --y distance_us --set Q10
+"""
+
+import argparse
+import csv
+import math
+import sys
+
+WIDTH = 70
+HEIGHT = 20
+MARKS = "ox+*#@%&"
+
+
+def log_scale(value, lo, hi, steps):
+    if value <= 0:
+        return 0
+    span = math.log10(hi) - math.log10(lo)
+    if span <= 0:
+        return 0
+    frac = (math.log10(value) - math.log10(lo)) / span
+    return max(0, min(steps - 1, int(round(frac * (steps - 1)))))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path")
+    parser.add_argument("--y", default="index_bytes",
+                        help="column to plot on the y axis")
+    parser.add_argument("--set", dest="query_set", default=None,
+                        help="filter by query_set column (fig8_10 etc.)")
+    args = parser.parse_args()
+
+    series = {}  # method -> [(n, y)]
+    with open(args.csv_path, newline="") as f:
+        for row in csv.DictReader(f):
+            if args.query_set and row.get("query_set") != args.query_set:
+                continue
+            try:
+                n = float(row["n"])
+                y = float(row[args.y])
+            except (KeyError, ValueError):
+                continue
+            if n <= 0 or y <= 0:
+                continue
+            series.setdefault(row["method"], []).append((n, y))
+
+    if not series:
+        sys.exit("no plottable rows (check --y / --set)")
+
+    xs = [n for pts in series.values() for n, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    legend = []
+    for i, (method, pts) in enumerate(sorted(series.items())):
+        mark = MARKS[i % len(MARKS)]
+        legend.append(f"{mark} = {method}")
+        for n, y in pts:
+            col = log_scale(n, x_lo, x_hi, WIDTH)
+            row = HEIGHT - 1 - log_scale(y, y_lo, y_hi, HEIGHT)
+            grid[row][col] = mark
+
+    title = args.y + (f" ({args.query_set})" if args.query_set else "")
+    print(f"{title}  [log-log]   y: {y_lo:g} .. {y_hi:g}")
+    for line in grid:
+        print("|" + "".join(line))
+    print("+" + "-" * WIDTH)
+    print(f" n: {x_lo:g} .. {x_hi:g}        " + "   ".join(legend))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#include "alt/alt_index.h"
+
+#include <algorithm>
+
+#include "dijkstra/dijkstra.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace roadnet {
+
+AltIndex::AltIndex(const Graph& g, const AltConfig& config)
+    : graph_(g),
+      heap_(g.NumVertices()),
+      dist_(g.NumVertices(), 0),
+      parent_(g.NumVertices(), kInvalidVertex),
+      reached_(g.NumVertices(), 0),
+      settled_(g.NumVertices(), 0) {
+  const uint32_t n = g.NumVertices();
+  const uint32_t k = std::max(1u, std::min(config.num_landmarks, n));
+  landmark_dist_.reserve(static_cast<size_t>(k) * n);
+
+  // Farthest-point landmark selection: each new landmark maximizes its
+  // distance to the closest already-chosen one, spreading landmarks along
+  // the network periphery where their bounds are tight.
+  Dijkstra dijkstra(g);
+  Rng rng(config.seed);
+  std::vector<Distance> min_dist(n, kInfDistance);
+  VertexId next = static_cast<VertexId>(rng.NextBelow(n));
+  for (uint32_t i = 0; i < k; ++i) {
+    landmarks_.push_back(next);
+    dijkstra.RunAll(next);
+    VertexId farthest = next;
+    Distance farthest_dist = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      const Distance d = dijkstra.DistanceTo(v);
+      landmark_dist_.push_back(d);
+      if (d != kInfDistance) {
+        min_dist[v] = std::min(min_dist[v], d);
+        if (min_dist[v] > farthest_dist) {
+          farthest_dist = min_dist[v];
+          farthest = v;
+        }
+      }
+    }
+    next = farthest;
+  }
+}
+
+Distance AltIndex::LowerBound(VertexId v, VertexId t) const {
+  // Triangle inequality, both directions (the graph is undirected):
+  // dist(v, t) >= |dist(L, t) - dist(L, v)| for every landmark L.
+  Distance bound = 0;
+  for (uint32_t i = 0; i < landmarks_.size(); ++i) {
+    const Distance dv = LandmarkDistance(i, v);
+    const Distance dt = LandmarkDistance(i, t);
+    if (dv == kInfDistance || dt == kInfDistance) continue;
+    const Distance diff = dv > dt ? dv - dt : dt - dv;
+    bound = std::max(bound, diff);
+  }
+  return bound;
+}
+
+Distance AltIndex::Search(VertexId s, VertexId t) {
+  ++generation_;
+  heap_.Clear();
+  settled_count_ = 0;
+  dist_[s] = 0;
+  parent_[s] = kInvalidVertex;
+  reached_[s] = generation_;
+  heap_.Push(s, LowerBound(s, t));
+
+  while (!heap_.Empty()) {
+    const VertexId u = heap_.PopMin();
+    settled_[u] = generation_;
+    ++settled_count_;
+    if (u == t) return dist_[t];
+    const Distance du = dist_[u];
+    for (const Arc& a : graph_.Neighbors(u)) {
+      if (settled_[a.to] == generation_) continue;
+      const Distance cand = du + a.weight;
+      if (reached_[a.to] != generation_) {
+        reached_[a.to] = generation_;
+        dist_[a.to] = cand;
+        parent_[a.to] = u;
+        heap_.Push(a.to, cand + LowerBound(a.to, t));
+      } else if (cand < dist_[a.to]) {
+        // The potential is consistent, so keys only ever decrease with
+        // the tentative distance.
+        const Distance key = cand + LowerBound(a.to, t);
+        dist_[a.to] = cand;
+        parent_[a.to] = u;
+        heap_.DecreaseKey(a.to, key);
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+Distance AltIndex::DistanceQuery(VertexId s, VertexId t) {
+  if (s == t) return 0;
+  return Search(s, t);
+}
+
+Path AltIndex::PathQuery(VertexId s, VertexId t) {
+  if (s == t) return {s};
+  if (Search(s, t) == kInfDistance) return {};
+  Path path;
+  for (VertexId cur = t; cur != kInvalidVertex; cur = parent_[cur]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+size_t AltIndex::IndexBytes() const {
+  return VectorBytes(landmarks_) + VectorBytes(landmark_dist_);
+}
+
+}  // namespace roadnet

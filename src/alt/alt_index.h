@@ -1,0 +1,81 @@
+#ifndef ROADNET_ALT_ALT_INDEX_H_
+#define ROADNET_ALT_ALT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pq/indexed_heap.h"
+#include "routing/path_index.h"
+
+namespace roadnet {
+
+// Tuning knobs of ALT.
+struct AltConfig {
+  // Landmarks to select (the classic studies use 8-16 on road networks).
+  uint32_t num_landmarks = 12;
+
+  // Seed for the initial farthest-point selection pick.
+  uint64_t seed = 1;
+};
+
+// ALT (Goldberg & Harrelson 2005) — the representative of the paper's
+// Appendix A "additional related work": A* search with lower bounds from
+// landmark distances and the triangle inequality.
+//
+// Preprocessing selects k landmarks by farthest-point traversal and
+// stores dist(L, v) for every landmark L and vertex v (O(k*n) space,
+// k full Dijkstras). A query runs A* with the admissible, consistent
+// potential
+//   pi_t(v) = max over L of |dist(L, t) - dist(L, v)|,
+// which steers the search toward t. The paper excludes ALT from its main
+// comparison because prior work showed it inferior to CH in both space
+// and query time; bench_appa_alt reproduces that dominance on the
+// synthetic datasets.
+class AltIndex : public PathIndex {
+ public:
+  AltIndex(const Graph& g, const AltConfig& config);
+  explicit AltIndex(const Graph& g) : AltIndex(g, AltConfig{}) {}
+
+  std::string Name() const override { return "ALT"; }
+  Distance DistanceQuery(VertexId s, VertexId t) override;
+  Path PathQuery(VertexId s, VertexId t) override;
+  size_t IndexBytes() const override;
+
+  const std::vector<VertexId>& Landmarks() const { return landmarks_; }
+
+  // The A* potential: a lower bound on dist(v, t). Exposed for the
+  // admissibility property tests.
+  Distance LowerBound(VertexId v, VertexId t) const;
+
+  // Vertices settled by the most recent query (goal-direction metric; A*
+  // should settle far fewer than plain Dijkstra on directed queries).
+  size_t SettledCount() const { return settled_count_; }
+
+ private:
+  // dist(landmarks_[i], v) at landmark_dist_[i * n + v].
+  Distance LandmarkDistance(uint32_t i, VertexId v) const {
+    return landmark_dist_[static_cast<size_t>(i) * graph_.NumVertices() + v];
+  }
+
+  // Runs the A* search; returns dist (kInfDistance if unreachable) and
+  // leaves the parent tree in place for path extraction.
+  Distance Search(VertexId s, VertexId t);
+
+  const Graph& graph_;
+  std::vector<VertexId> landmarks_;
+  std::vector<Distance> landmark_dist_;  // k x n row-major
+
+  // Query scratch (generation-stamped).
+  IndexedHeap<Distance> heap_;
+  std::vector<Distance> dist_;
+  std::vector<VertexId> parent_;
+  std::vector<uint32_t> reached_;
+  std::vector<uint32_t> settled_;
+  uint32_t generation_ = 0;
+  size_t settled_count_ = 0;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_ALT_ALT_INDEX_H_

@@ -1,0 +1,134 @@
+#include "arcflags/arc_flags.h"
+
+#include <algorithm>
+
+#include "dijkstra/dijkstra.h"
+#include "util/bytes.h"
+
+namespace roadnet {
+
+ArcFlagsIndex::ArcFlagsIndex(const Graph& g, const ArcFlagsConfig& config)
+    : graph_(g),
+      heap_(g.NumVertices()),
+      dist_(g.NumVertices(), 0),
+      parent_(g.NumVertices(), kInvalidVertex),
+      reached_(g.NumVertices(), 0),
+      settled_(g.NumVertices(), 0) {
+  const uint32_t n = g.NumVertices();
+
+  // Regions: grid cells of a coarse partition, renumbered densely over
+  // the non-empty ones.
+  CellGrid grid(g, config.region_resolution);
+  std::vector<uint32_t> dense(grid.NumCells(), 0);
+  num_regions_ = 0;
+  for (uint32_t cell : grid.NonEmptyCells()) dense[cell] = num_regions_++;
+  region_of_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    region_of_[v] = dense[grid.CellIndex(grid.CellOf(v))];
+  }
+
+  words_per_arc_ = (num_regions_ + 63) / 64;
+  flags_.assign(g.NumArcs() * words_per_arc_, 0);
+
+  // Rule 1: every arc whose head lies in region r is flagged for r (the
+  // within-region part of any shortest path).
+  for (VertexId u = 0; u < n; ++u) {
+    size_t idx = g.FirstArcIndex(u);
+    for (const Arc& a : g.Neighbors(u)) {
+      SetFlag(idx++, region_of_[a.to]);
+    }
+  }
+
+  // Rule 2: arc (u, v) is flagged for r if it begins a shortest path from
+  // u to some boundary vertex b of r, i.e. dist(u, b) == w + dist(v, b).
+  // This is arithmetic over exact distances, so every tied shortest path
+  // is covered — the pruning never cuts an optimal route.
+  std::vector<VertexId> boundary;
+  Dijkstra dijkstra(g);
+  std::vector<std::vector<VertexId>> region_boundary(num_regions_);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Arc& a : g.Neighbors(v)) {
+      if (region_of_[a.to] != region_of_[v]) {
+        region_boundary[region_of_[v]].push_back(v);
+        break;
+      }
+    }
+  }
+  for (uint32_t r = 0; r < num_regions_; ++r) {
+    for (VertexId b : region_boundary[r]) {
+      dijkstra.RunAll(b);
+      for (VertexId u = 0; u < n; ++u) {
+        const Distance du = dijkstra.DistanceTo(u);
+        if (du == kInfDistance) continue;
+        size_t idx = g.FirstArcIndex(u);
+        for (const Arc& a : g.Neighbors(u)) {
+          const Distance dv = dijkstra.DistanceTo(a.to);
+          if (dv != kInfDistance && dv + a.weight == du) SetFlag(idx, r);
+          ++idx;
+        }
+      }
+    }
+  }
+
+  arc_offsets_.reserve(n);
+  for (VertexId v = 0; v < n; ++v) arc_offsets_.push_back(g.FirstArcIndex(v));
+}
+
+Distance ArcFlagsIndex::Search(VertexId s, VertexId t) {
+  const uint32_t target_region = region_of_[t];
+  ++generation_;
+  heap_.Clear();
+  settled_count_ = 0;
+  dist_[s] = 0;
+  parent_[s] = kInvalidVertex;
+  reached_[s] = generation_;
+  heap_.Push(s, 0);
+  while (!heap_.Empty()) {
+    const VertexId u = heap_.PopMin();
+    settled_[u] = generation_;
+    ++settled_count_;
+    if (u == t) return dist_[t];
+    const Distance du = dist_[u];
+    size_t idx = arc_offsets_[u];
+    for (const Arc& a : graph_.Neighbors(u)) {
+      const size_t arc_index = idx++;
+      if (!ArcFlag(arc_index, target_region)) continue;  // pruned
+      if (settled_[a.to] == generation_) continue;
+      const Distance cand = du + a.weight;
+      if (reached_[a.to] != generation_) {
+        reached_[a.to] = generation_;
+        dist_[a.to] = cand;
+        parent_[a.to] = u;
+        heap_.Push(a.to, cand);
+      } else if (cand < dist_[a.to]) {
+        dist_[a.to] = cand;
+        parent_[a.to] = u;
+        heap_.DecreaseKey(a.to, cand);
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+Distance ArcFlagsIndex::DistanceQuery(VertexId s, VertexId t) {
+  if (s == t) return 0;
+  return Search(s, t);
+}
+
+Path ArcFlagsIndex::PathQuery(VertexId s, VertexId t) {
+  if (s == t) return {s};
+  if (Search(s, t) == kInfDistance) return {};
+  Path path;
+  for (VertexId cur = t; cur != kInvalidVertex; cur = parent_[cur]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+size_t ArcFlagsIndex::IndexBytes() const {
+  return VectorBytes(region_of_) + VectorBytes(arc_offsets_) +
+         VectorBytes(flags_);
+}
+
+}  // namespace roadnet

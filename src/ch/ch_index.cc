@@ -1,0 +1,293 @@
+#include "ch/ch_index.h"
+
+#include <algorithm>
+
+#include "io/binary.h"
+#include "util/bytes.h"
+
+namespace roadnet {
+
+ChIndex::ChIndex(const Graph& g, const ChConfig& config)
+    : graph_(g),
+      forward_(g.NumVertices()),
+      backward_(g.NumVertices()) {
+  ContractionResult result = ContractGraph(g, config);
+  rank_ = std::move(result.rank);
+  num_shortcuts_ = result.num_shortcuts;
+
+  // Build the upward adjacency: each augmented edge is stored once, at its
+  // lower-ranked endpoint, pointing to the higher-ranked one. Both search
+  // directions and the unpacking lookup share this structure.
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> degree(n, 0);
+  for (const TaggedEdge& e : result.edges) {
+    VertexId lo = rank_[e.u] < rank_[e.v] ? e.u : e.v;
+    ++degree[lo];
+  }
+  up_offsets_.assign(n + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    up_offsets_[v + 1] = up_offsets_[v] + degree[v];
+  }
+  up_arcs_.resize(up_offsets_[n]);
+  std::vector<size_t> cursor(up_offsets_.begin(), up_offsets_.end() - 1);
+  for (const TaggedEdge& e : result.edges) {
+    VertexId lo = e.u, hi = e.v;
+    if (rank_[lo] > rank_[hi]) std::swap(lo, hi);
+    up_arcs_[cursor[lo]++] = UpArc{hi, e.weight, e.middle};
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    std::sort(up_arcs_.begin() + up_offsets_[v],
+              up_arcs_.begin() + up_offsets_[v + 1],
+              [](const UpArc& a, const UpArc& b) { return a.to < b.to; });
+  }
+}
+
+namespace {
+constexpr char kChMagic[8] = {'R', 'N', 'E', 'T', 'C', 'H', 'I', 'X'};
+constexpr uint32_t kChVersion = 1;
+}  // namespace
+
+ChIndex::ChIndex(const Graph& g, DeserializeTag)
+    : graph_(g), forward_(g.NumVertices()), backward_(g.NumVertices()) {}
+
+void ChIndex::Serialize(std::ostream& out) const {
+  WriteMagic(out, kChMagic);
+  WriteScalar<uint32_t>(out, kChVersion);
+  WriteScalar<uint32_t>(out, graph_.NumVertices());
+  WriteScalar<uint64_t>(out, num_shortcuts_);
+  WriteVector(out, rank_);
+  WriteVector(out, up_offsets_);
+  WriteVector(out, up_arcs_);
+}
+
+std::unique_ptr<ChIndex> ChIndex::Deserialize(const Graph& g,
+                                              std::istream& in,
+                                              std::string* error) {
+  auto fail = [error](const char* message) {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  if (!CheckMagic(in, kChMagic)) return fail("ch: bad magic");
+  uint32_t version = 0;
+  if (!ReadScalar(in, &version) || version != kChVersion) {
+    return fail("ch: unsupported version");
+  }
+  uint32_t n = 0;
+  if (!ReadScalar(in, &n) || n != g.NumVertices()) {
+    return fail("ch: vertex count does not match the graph");
+  }
+  std::unique_ptr<ChIndex> index(new ChIndex(g, DeserializeTag{}));
+  uint64_t shortcuts = 0;
+  if (!ReadScalar(in, &shortcuts)) return fail("ch: truncated header");
+  index->num_shortcuts_ = shortcuts;
+  if (!ReadVector(in, &index->rank_) || index->rank_.size() != n) {
+    return fail("ch: bad rank block");
+  }
+  if (!ReadVector(in, &index->up_offsets_) ||
+      index->up_offsets_.size() != n + 1) {
+    return fail("ch: bad offset block");
+  }
+  if (!ReadVector(in, &index->up_arcs_) ||
+      index->up_arcs_.size() != index->up_offsets_[n]) {
+    return fail("ch: bad arc block");
+  }
+  // Structural validation so corrupted input cannot cause out-of-range
+  // indexing at query time.
+  for (uint32_t v = 0; v < n; ++v) {
+    if (index->up_offsets_[v] > index->up_offsets_[v + 1]) {
+      return fail("ch: offsets not monotone");
+    }
+  }
+  for (const UpArc& a : index->up_arcs_) {
+    if (a.to >= n || (a.middle != kInvalidVertex && a.middle >= n)) {
+      return fail("ch: arc target out of range");
+    }
+  }
+  for (uint32_t r : index->rank_) {
+    if (r >= n) return fail("ch: rank out of range");
+  }
+  return index;
+}
+
+size_t ChIndex::IndexBytes() const {
+  return VectorBytes(rank_) + VectorBytes(up_offsets_) +
+         VectorBytes(up_arcs_);
+}
+
+bool ChIndex::IsStalled(const SearchSide& side, VertexId v,
+                        Distance dv) const {
+  // v is stalled if a higher-ranked vertex u already offers a shorter way
+  // into v; the true shortest path to v then descends from u, and v cannot
+  // lie on a shortest up-down path, so its arcs need not be relaxed.
+  for (const UpArc& a : UpArcs(v)) {
+    if (side.reached[a.to] == generation_ &&
+        side.dist[a.to] + a.weight < dv) {
+      return true;
+    }
+  }
+  return false;
+}
+
+VertexId ChIndex::Search(VertexId s, VertexId t, Distance* out_dist) {
+  ++generation_;
+  settled_count_ = 0;
+  forward_.heap.Clear();
+  backward_.heap.Clear();
+
+  forward_.dist[s] = 0;
+  forward_.parent[s] = kInvalidVertex;
+  forward_.reached[s] = generation_;
+  forward_.heap.Push(s, 0);
+
+  backward_.dist[t] = 0;
+  backward_.parent[t] = kInvalidVertex;
+  backward_.reached[t] = generation_;
+  backward_.heap.Push(t, 0);
+
+  Distance best = (s == t) ? 0 : kInfDistance;
+  VertexId meet = (s == t) ? s : kInvalidVertex;
+
+  SearchSide* sides[2] = {&forward_, &backward_};
+  while (true) {
+    // A side stays active until its frontier minimum proves useless. Unlike
+    // plain bidirectional Dijkstra, each side must run until its own
+    // frontier exceeds the best tentative distance (Section 3.2: "the two
+    // traversals may not stop immediately after they meet").
+    SearchSide* side = nullptr;
+    for (SearchSide* cand : sides) {
+      if (cand->heap.Empty() || cand->heap.MinKey() >= best) continue;
+      if (side == nullptr || cand->heap.MinKey() < side->heap.MinKey()) {
+        side = cand;
+      }
+    }
+    if (side == nullptr) break;
+    SearchSide* other = (side == &forward_) ? &backward_ : &forward_;
+
+    VertexId u = side->heap.PopMin();
+    ++settled_count_;
+    const Distance du = side->dist[u];
+    if (stall_on_demand_ && IsStalled(*side, u, du)) continue;
+
+    for (const UpArc& a : UpArcs(u)) {
+      const Distance cand = du + a.weight;
+      bool improved = false;
+      if (side->reached[a.to] != generation_) {
+        side->reached[a.to] = generation_;
+        side->dist[a.to] = cand;
+        side->parent[a.to] = u;
+        side->heap.Push(a.to, cand);
+        improved = true;
+      } else if (cand < side->dist[a.to]) {
+        side->dist[a.to] = cand;
+        side->parent[a.to] = u;
+        if (side->heap.Contains(a.to)) {
+          side->heap.DecreaseKey(a.to, cand);
+        } else {
+          // Re-open: cannot happen with non-negative weights, but keep the
+          // invariant explicit.
+          side->heap.Push(a.to, cand);
+        }
+        improved = true;
+      }
+      if (improved && other->reached[a.to] == generation_) {
+        const Distance total = cand + other->dist[a.to];
+        if (total < best) {
+          best = total;
+          meet = a.to;
+        }
+      }
+    }
+  }
+  *out_dist = best;
+  return meet;
+}
+
+Distance ChIndex::DistanceQuery(VertexId s, VertexId t) {
+  Distance d = kInfDistance;
+  Search(s, t, &d);
+  return d;
+}
+
+const ChIndex::UpArc* ChIndex::FindEdge(VertexId a, VertexId b) const {
+  VertexId lo = a, hi = b;
+  if (rank_[lo] > rank_[hi]) std::swap(lo, hi);
+  auto arcs = UpArcs(lo);
+  auto it = std::lower_bound(
+      arcs.begin(), arcs.end(), hi,
+      [](const UpArc& arc, VertexId target) { return arc.to < target; });
+  return (it != arcs.end() && it->to == hi) ? &*it : nullptr;
+}
+
+void ChIndex::UnpackEdge(VertexId a, VertexId b, Path* out) const {
+  const UpArc* e = FindEdge(a, b);
+  // Every edge on an up-down path is an augmented edge by construction.
+  if (e == nullptr || e->middle == kInvalidVertex) {
+    out->push_back(b);
+    return;
+  }
+  UnpackEdge(a, e->middle, out);
+  UnpackEdge(e->middle, b, out);
+}
+
+Path ChIndex::PathQuery(VertexId s, VertexId t) {
+  Distance d = kInfDistance;
+  VertexId meet = Search(s, t, &d);
+  if (meet == kInvalidVertex) return {};
+  if (s == t) return {s};
+
+  // Augmented path: s .. meet (forward tree), then meet .. t (backward
+  // tree), expressed as vertex ids in the augmented graph.
+  std::vector<VertexId> up_path;
+  for (VertexId cur = meet; cur != kInvalidVertex;
+       cur = forward_.parent[cur]) {
+    up_path.push_back(cur);
+  }
+  std::reverse(up_path.begin(), up_path.end());
+  for (VertexId cur = backward_.parent[meet]; cur != kInvalidVertex;
+       cur = backward_.parent[cur]) {
+    up_path.push_back(cur);
+  }
+
+  // Replace every shortcut with its two halves, recursively (Section 3.2's
+  // tag-driven transformation back to a path in G).
+  Path path;
+  path.push_back(up_path.front());
+  for (size_t i = 0; i + 1 < up_path.size(); ++i) {
+    UnpackEdge(up_path[i], up_path[i + 1], &path);
+  }
+  return path;
+}
+
+std::vector<std::pair<VertexId, Distance>> ChIndex::UpwardSearchSpace(
+    VertexId s) {
+  // One-directional upward Dijkstra without stalling: every settled vertex
+  // carries its exact upward distance, which the many-to-many bucket
+  // algorithm requires.
+  ++generation_;
+  SearchSide& side = forward_;
+  side.heap.Clear();
+  side.dist[s] = 0;
+  side.reached[s] = generation_;
+  side.heap.Push(s, 0);
+
+  std::vector<std::pair<VertexId, Distance>> space;
+  while (!side.heap.Empty()) {
+    VertexId u = side.heap.PopMin();
+    space.emplace_back(u, side.dist[u]);
+    const Distance du = side.dist[u];
+    for (const UpArc& a : UpArcs(u)) {
+      const Distance cand = du + a.weight;
+      if (side.reached[a.to] != generation_) {
+        side.reached[a.to] = generation_;
+        side.dist[a.to] = cand;
+        side.heap.Push(a.to, cand);
+      } else if (side.heap.Contains(a.to) && cand < side.dist[a.to]) {
+        side.dist[a.to] = cand;
+        side.heap.DecreaseKey(a.to, cand);
+      }
+    }
+  }
+  return space;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,123 @@
+#ifndef ROADNET_CH_CH_INDEX_H_
+#define ROADNET_CH_CH_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ch/contraction.h"
+#include "ch/node_order.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "pq/indexed_heap.h"
+#include "routing/path_index.h"
+
+namespace roadnet {
+
+// Contraction Hierarchies (Geisberger et al. 2008; paper Section 3.2).
+//
+// Preprocessing contracts all vertices in heuristic order, producing an
+// augmented graph of original edges plus tagged shortcuts. A query runs a
+// bidirectional Dijkstra that only relaxes edges leading to higher-ranked
+// vertices; the two upward searches meet at the highest-ranked vertex of
+// the shortest path. Shortest path queries additionally unpack shortcuts
+// recursively through their middle-vertex tags.
+class ChIndex : public PathIndex {
+ public:
+  // Runs CH preprocessing on g. The graph must outlive the index.
+  ChIndex(const Graph& g, const ChConfig& config);
+  explicit ChIndex(const Graph& g) : ChIndex(g, ChConfig{}) {}
+
+  // Writes the preprocessed hierarchy (ranks + augmented upward graph) so
+  // query servers can skip preprocessing.
+  void Serialize(std::ostream& out) const;
+
+  // Restores a serialized hierarchy over the same graph it was built on
+  // (vertex count is validated; the caller is responsible for the graphs
+  // being identical). Returns nullptr on malformed input.
+  static std::unique_ptr<ChIndex> Deserialize(const Graph& g,
+                                              std::istream& in,
+                                              std::string* error);
+
+  std::string Name() const override { return "CH"; }
+  Distance DistanceQuery(VertexId s, VertexId t) override;
+  Path PathQuery(VertexId s, VertexId t) override;
+  size_t IndexBytes() const override;
+
+  // Enables/disables the stall-on-demand query optimization (ablation).
+  void SetStallOnDemand(bool enabled) { stall_on_demand_ = enabled; }
+
+  uint32_t RankOf(VertexId v) const { return rank_[v]; }
+  size_t NumShortcuts() const { return num_shortcuts_; }
+  size_t SettledCount() const { return settled_count_; }
+
+  // Forward upward search space of s: every vertex settled by the upward
+  // Dijkstra, with its distance. The building block of the many-to-many
+  // engine TNR preprocessing uses (Appendix B remedy: "we construct
+  // contraction hierarchies in advance to reduce the computation cost of
+  // deriving access nodes").
+  std::vector<std::pair<VertexId, Distance>> UpwardSearchSpace(VertexId s);
+
+ private:
+  // Arc of the upward graph, from a vertex to a higher-ranked one.
+  struct UpArc {
+    VertexId to;
+    Weight weight;
+    VertexId middle;  // kInvalidVertex = original edge
+  };
+
+  // One direction of the bidirectional upward search.
+  struct SearchSide {
+    IndexedHeap<Distance> heap;
+    std::vector<Distance> dist;
+    std::vector<VertexId> parent;
+    std::vector<uint32_t> reached;
+
+    explicit SearchSide(uint32_t n)
+        : heap(n), dist(n, 0), parent(n, kInvalidVertex), reached(n, 0) {}
+  };
+
+  std::span<const UpArc> UpArcs(VertexId v) const {
+    return {up_arcs_.data() + up_offsets_[v],
+            up_offsets_[v + 1] - up_offsets_[v]};
+  }
+
+  // Runs the bidirectional upward search; returns the best meeting vertex
+  // (kInvalidVertex if unreachable) and its distance in *out_dist.
+  VertexId Search(VertexId s, VertexId t, Distance* out_dist);
+
+  // True if v's tentative distance in `side` is provably not the true
+  // distance from the side's source (stall-on-demand).
+  bool IsStalled(const SearchSide& side, VertexId v, Distance dv) const;
+
+  // Deserialization constructor: scratch only; arrays filled by the
+  // factory.
+  struct DeserializeTag {};
+  ChIndex(const Graph& g, DeserializeTag);
+
+  // Looks up the (weight, middle) record of augmented edge (a, b).
+  const UpArc* FindEdge(VertexId a, VertexId b) const;
+
+  // Appends the original-graph expansion of augmented edge (a, b) to
+  // *out, excluding vertex a itself.
+  void UnpackEdge(VertexId a, VertexId b, Path* out) const;
+
+  const Graph& graph_;
+  std::vector<uint32_t> rank_;
+  std::vector<size_t> up_offsets_;
+  std::vector<UpArc> up_arcs_;
+  size_t num_shortcuts_ = 0;
+  bool stall_on_demand_ = true;
+
+  SearchSide forward_;
+  SearchSide backward_;
+  uint32_t generation_ = 0;
+  size_t settled_count_ = 0;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_CH_CH_INDEX_H_

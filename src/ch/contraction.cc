@@ -1,0 +1,281 @@
+#include "ch/contraction.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pq/indexed_heap.h"
+#include "util/rng.h"
+
+namespace roadnet {
+
+namespace {
+
+// Arc of the dynamic overlay graph maintained during contraction.
+struct OverlayArc {
+  VertexId to;
+  Weight weight;
+  VertexId middle;  // kInvalidVertex for original edges
+};
+
+// The overlay: the not-yet-contracted part of the road network plus the
+// shortcuts added so far. Keeps at most one arc per vertex pair (minimum
+// weight wins), which matches the semantics of dist() the shortcut weights
+// encode.
+class Overlay {
+ public:
+  explicit Overlay(const Graph& g) : adj_(g.NumVertices()) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      adj_[v].reserve(g.Degree(v));
+      for (const Arc& a : g.Neighbors(v)) {
+        adj_[v].push_back(OverlayArc{a.to, a.weight, kInvalidVertex});
+      }
+    }
+  }
+
+  const std::vector<OverlayArc>& Neighbors(VertexId v) const {
+    return adj_[v];
+  }
+
+  // Inserts the arc pair (u, v) with the given weight/middle, or lowers an
+  // existing arc's weight. Returns true if the overlay changed.
+  bool AddOrImprove(VertexId u, VertexId v, Weight w, VertexId middle) {
+    OverlayArc* existing = Find(u, v);
+    if (existing != nullptr) {
+      if (existing->weight <= w) return false;
+      existing->weight = w;
+      existing->middle = middle;
+      OverlayArc* reverse = Find(v, u);
+      reverse->weight = w;
+      reverse->middle = middle;
+      return true;
+    }
+    adj_[u].push_back(OverlayArc{v, w, middle});
+    adj_[v].push_back(OverlayArc{u, w, middle});
+    return true;
+  }
+
+  // Removes v and all its incident arcs.
+  void RemoveVertex(VertexId v) {
+    for (const OverlayArc& a : adj_[v]) {
+      std::vector<OverlayArc>& list = adj_[a.to];
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [v](const OverlayArc& b) { return b.to == v; }),
+                 list.end());
+    }
+    adj_[v].clear();
+    adj_[v].shrink_to_fit();
+  }
+
+ private:
+  OverlayArc* Find(VertexId u, VertexId v) {
+    for (OverlayArc& a : adj_[u]) {
+      if (a.to == v) return &a;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::vector<OverlayArc>> adj_;
+};
+
+// Bounded local Dijkstra over the overlay that skips one vertex; used to
+// find witness paths certifying that a shortcut is unnecessary. Truncation
+// (settle limit) errs on the side of adding redundant shortcuts, never on
+// incorrectness.
+class WitnessSearch {
+ public:
+  explicit WitnessSearch(uint32_t n)
+      : heap_(n), dist_(n, 0), reached_(n, 0) {}
+
+  // Runs from `source` in overlay \ {skip}, never expanding vertices whose
+  // distance exceeds `bound`, settling at most `settle_limit` vertices.
+  void Run(const Overlay& overlay, VertexId source, VertexId skip,
+           Distance bound, uint32_t settle_limit) {
+    ++generation_;
+    heap_.Clear();
+    dist_[source] = 0;
+    reached_[source] = generation_;
+    heap_.Push(source, 0);
+    uint32_t settled = 0;
+    while (!heap_.Empty() && settled < settle_limit) {
+      if (heap_.MinKey() > bound) break;
+      VertexId u = heap_.PopMin();
+      ++settled;
+      const Distance du = dist_[u];
+      for (const OverlayArc& a : overlay.Neighbors(u)) {
+        if (a.to == skip) continue;
+        const Distance cand = du + a.weight;
+        if (cand > bound) continue;
+        if (reached_[a.to] != generation_) {
+          reached_[a.to] = generation_;
+          dist_[a.to] = cand;
+          heap_.Push(a.to, cand);
+        } else if (heap_.Contains(a.to) && cand < dist_[a.to]) {
+          dist_[a.to] = cand;
+          heap_.DecreaseKey(a.to, cand);
+        }
+      }
+    }
+  }
+
+  // Best distance found for v by the last Run (kInfDistance if unreached).
+  Distance DistanceTo(VertexId v) const {
+    return reached_[v] == generation_ ? dist_[v] : kInfDistance;
+  }
+
+ private:
+  IndexedHeap<Distance> heap_;
+  std::vector<Distance> dist_;
+  std::vector<uint32_t> reached_;
+  uint32_t generation_ = 0;
+};
+
+// A shortcut the contraction of one vertex would create.
+struct PlannedShortcut {
+  VertexId u;
+  VertexId v;
+  Weight weight;
+};
+
+class Contractor {
+ public:
+  Contractor(const Graph& g, const ChConfig& config)
+      : graph_(g),
+        config_(config),
+        overlay_(g),
+        witness_(g.NumVertices()),
+        deleted_neighbours_(g.NumVertices(), 0),
+        random_priority_(g.NumVertices(), 0),
+        queue_(g.NumVertices()) {
+    if (config_.heuristic == OrderingHeuristic::kRandom) {
+      Rng rng(config_.seed);
+      for (auto& p : random_priority_) {
+        p = static_cast<int64_t>(rng.NextBelow(1u << 30));
+      }
+    }
+  }
+
+  ContractionResult Run() {
+    const uint32_t n = graph_.NumVertices();
+    ContractionResult result;
+    result.rank.assign(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      for (const Arc& a : graph_.Neighbors(v)) {
+        if (v < a.to) {
+          result.edges.push_back(TaggedEdge{v, a.to, a.weight, kInvalidVertex});
+        }
+      }
+    }
+
+    // Initial priorities.
+    std::vector<PlannedShortcut> scratch;
+    for (VertexId v = 0; v < n; ++v) {
+      queue_.Push(v, Priority(v, &scratch));
+    }
+
+    uint32_t next_rank = 0;
+    while (!queue_.Empty()) {
+      VertexId v = queue_.PopMin();
+      // Lazy re-evaluation: contraction of other vertices may have changed
+      // v's priority; contract only if v is still (weakly) minimal.
+      int64_t p = Priority(v, &scratch);
+      if (!queue_.Empty() && p > queue_.MinKey()) {
+        queue_.Push(v, p);
+        continue;
+      }
+      // Contract v: `scratch` holds the shortcuts Priority() just planned.
+      for (const PlannedShortcut& sc : scratch) {
+        overlay_.AddOrImprove(sc.u, sc.v, sc.weight, v);
+        result.edges.push_back(TaggedEdge{sc.u, sc.v, sc.weight, v});
+        ++result.num_shortcuts;
+      }
+      // Bump the deleted-neighbour term of surviving neighbours.
+      for (const OverlayArc& a : overlay_.Neighbors(v)) {
+        ++deleted_neighbours_[a.to];
+      }
+      overlay_.RemoveVertex(v);
+      result.rank[v] = next_rank++;
+    }
+
+    DeduplicateEdges(&result);
+    return result;
+  }
+
+ private:
+  // Computes v's current priority; fills *shortcuts with the shortcuts its
+  // contraction would create right now.
+  int64_t Priority(VertexId v, std::vector<PlannedShortcut>* shortcuts) {
+    shortcuts->clear();
+    const std::vector<OverlayArc>& neighbors = overlay_.Neighbors(v);
+
+    // For each neighbour u, one witness search decides all pairs (u, w).
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const OverlayArc& nu = neighbors[i];
+      Distance bound = 0;
+      for (size_t j = 0; j < neighbors.size(); ++j) {
+        if (j == i) continue;
+        bound = std::max(bound, static_cast<Distance>(nu.weight) +
+                                    neighbors[j].weight);
+      }
+      if (neighbors.size() > 1) {
+        witness_.Run(overlay_, nu.to, v, bound,
+                     config_.witness_settle_limit);
+      }
+      for (size_t j = i + 1; j < neighbors.size(); ++j) {
+        const OverlayArc& nw = neighbors[j];
+        const Distance via =
+            static_cast<Distance>(nu.weight) + nw.weight;
+        if (witness_.DistanceTo(nw.to) > via) {
+          shortcuts->push_back(PlannedShortcut{
+              nu.to, nw.to, static_cast<Weight>(via)});
+        }
+      }
+    }
+
+    if (config_.heuristic == OrderingHeuristic::kRandom) {
+      return random_priority_[v];
+    }
+    PriorityTerms terms;
+    terms.edge_difference = static_cast<int32_t>(shortcuts->size()) -
+                            static_cast<int32_t>(neighbors.size());
+    terms.deleted_neighbours =
+        static_cast<int32_t>(deleted_neighbours_[v]);
+    terms.degree = static_cast<int32_t>(neighbors.size());
+    return CombinePriority(config_.heuristic, terms);
+  }
+
+  // Collapses duplicate (u, v) records, keeping the minimum weight (the
+  // only one a query can use, hence the only one unpacking needs).
+  static void DeduplicateEdges(ContractionResult* result) {
+    for (TaggedEdge& e : result->edges) {
+      if (e.u > e.v) std::swap(e.u, e.v);
+    }
+    std::sort(result->edges.begin(), result->edges.end(),
+              [](const TaggedEdge& a, const TaggedEdge& b) {
+                if (a.u != b.u) return a.u < b.u;
+                if (a.v != b.v) return a.v < b.v;
+                return a.weight < b.weight;
+              });
+    result->edges.erase(
+        std::unique(result->edges.begin(), result->edges.end(),
+                    [](const TaggedEdge& a, const TaggedEdge& b) {
+                      return a.u == b.u && a.v == b.v;
+                    }),
+        result->edges.end());
+  }
+
+  const Graph& graph_;
+  const ChConfig config_;
+  Overlay overlay_;
+  WitnessSearch witness_;
+  std::vector<uint32_t> deleted_neighbours_;
+  std::vector<int64_t> random_priority_;
+  IndexedHeap<int64_t> queue_;
+};
+
+}  // namespace
+
+ContractionResult ContractGraph(const Graph& g, const ChConfig& config) {
+  return Contractor(g, config).Run();
+}
+
+}  // namespace roadnet

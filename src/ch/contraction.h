@@ -1,0 +1,46 @@
+#ifndef ROADNET_CH_CONTRACTION_H_
+#define ROADNET_CH_CONTRACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ch/node_order.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace roadnet {
+
+// An edge of the augmented road network produced by CH preprocessing:
+// either an original edge (middle == kInvalidVertex) or a shortcut tagged
+// with the vertex whose contraction created it (Section 3.2: "the shortcut
+// is tagged with v_i ... the tags are crucial for shortest path queries").
+struct TaggedEdge {
+  VertexId u;
+  VertexId v;
+  Weight weight;
+  VertexId middle;
+};
+
+// Result of the CH preprocessing step: the total order on the vertices and
+// the augmented edge set (original edges plus all shortcuts).
+struct ContractionResult {
+  // rank[v] = position of v in the total order (0 = contracted first =
+  // least important).
+  std::vector<uint32_t> rank;
+  // Original edges and shortcuts, de-duplicated per vertex pair keeping
+  // the minimum weight.
+  std::vector<TaggedEdge> edges;
+  // Number of shortcut edges among `edges` (reporting only).
+  size_t num_shortcuts = 0;
+};
+
+// Runs the CH preprocessing step of Section 3.2: iteratively contracts the
+// vertex with the smallest heuristic priority (with lazy priority
+// re-evaluation), inserting a shortcut between neighbours u, w of the
+// contracted vertex v whenever the witness search cannot certify a path
+// from u to w avoiding v that is no longer than w(u,v) + w(v,w).
+ContractionResult ContractGraph(const Graph& g, const ChConfig& config);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_CH_CONTRACTION_H_

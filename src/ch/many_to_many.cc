@@ -1,0 +1,46 @@
+#include "ch/many_to_many.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace roadnet {
+
+ManyToManyEngine::ManyToManyEngine(ChIndex* ch, std::vector<VertexId> targets)
+    : ch_(ch), targets_(std::move(targets)) {
+  for (uint32_t j = 0; j < targets_.size(); ++j) {
+    for (const auto& [v, d] : ch_->UpwardSearchSpace(targets_[j])) {
+      if (v >= buckets_.size()) buckets_.resize(v + 1);
+      buckets_[v].push_back(BucketEntry{j, d});
+    }
+  }
+}
+
+void ManyToManyEngine::ComputeRow(VertexId source,
+                                  std::vector<Distance>* row) {
+  row->assign(targets_.size(), kInfDistance);
+  for (const auto& [v, df] : ch_->UpwardSearchSpace(source)) {
+    if (v >= buckets_.size()) continue;
+    for (const BucketEntry& e : buckets_[v]) {
+      const Distance total = df + e.dist;
+      if (total < (*row)[e.target_index]) (*row)[e.target_index] = total;
+    }
+  }
+}
+
+std::vector<Distance> ManyToManyDistances(
+    ChIndex* ch, const std::vector<VertexId>& sources,
+    const std::vector<VertexId>& targets) {
+  std::vector<Distance> table(sources.size() * targets.size(), kInfDistance);
+  if (sources.empty() || targets.empty()) return table;
+
+  ManyToManyEngine engine(ch, targets);
+  std::vector<Distance> row;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    engine.ComputeRow(sources[i], &row);
+    std::copy(row.begin(), row.end(),
+              table.begin() + i * targets.size());
+  }
+  return table;
+}
+
+}  // namespace roadnet

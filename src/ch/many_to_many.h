@@ -1,0 +1,46 @@
+#ifndef ROADNET_CH_MANY_TO_MANY_H_
+#define ROADNET_CH_MANY_TO_MANY_H_
+
+#include <vector>
+
+#include "ch/ch_index.h"
+#include "graph/types.h"
+
+namespace roadnet {
+
+// Many-to-many distances via CH search spaces and bucket joins (Knopp et
+// al.'s algorithm). Every target's upward search space is scanned once
+// into per-vertex buckets; each source's upward search space then joins
+// against the buckets. This is how the corrected TNR preprocessing
+// computes its access-node distance tables efficiently (Appendix B remedy:
+// CH is built first to cut the cost of access-node computation).
+class ManyToManyEngine {
+ public:
+  ManyToManyEngine(ChIndex* ch, std::vector<VertexId> targets);
+
+  size_t NumTargets() const { return targets_.size(); }
+
+  // Fills (*row)[j] = dist(source, targets[j]); kInfDistance when
+  // unreachable. The row is resized as needed.
+  void ComputeRow(VertexId source, std::vector<Distance>* row);
+
+ private:
+  struct BucketEntry {
+    uint32_t target_index;
+    Distance dist;
+  };
+
+  ChIndex* ch_;
+  std::vector<VertexId> targets_;
+  std::vector<std::vector<BucketEntry>> buckets_;
+};
+
+// Convenience wrapper: full row-major matrix
+// result[i * targets.size() + j] = dist(sources[i], targets[j]).
+std::vector<Distance> ManyToManyDistances(
+    ChIndex* ch, const std::vector<VertexId>& sources,
+    const std::vector<VertexId>& targets);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_CH_MANY_TO_MANY_H_

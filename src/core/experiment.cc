@@ -1,0 +1,69 @@
+#include "core/experiment.h"
+
+#include "util/timer.h"
+
+namespace roadnet {
+
+namespace {
+// Discard target that the optimizer must assume is observed.
+volatile uint64_t benchmark_sink_ = 0;
+}  // namespace
+
+BuildResult Experiment::MeasureBuild(
+    const std::string& method,
+    const std::function<std::unique_ptr<PathIndex>()>& factory) {
+  BuildResult result;
+  result.method = method;
+  Timer timer;
+  result.index = factory();
+  result.preprocess_seconds = timer.ElapsedSeconds();
+  if (result.index != nullptr) result.index_bytes = result.index->IndexBytes();
+  return result;
+}
+
+double Experiment::MeasureDistanceQueries(PathIndex* index,
+                                          const QuerySet& queries) {
+  if (queries.pairs.empty()) return 0;
+  // The sum sink keeps the optimizer from dropping query work.
+  uint64_t sink = 0;
+  Timer timer;
+  for (const auto& [s, t] : queries.pairs) {
+    sink += index->DistanceQuery(s, t);
+  }
+  benchmark_sink_ = sink;
+  return timer.ElapsedMicros() / static_cast<double>(queries.pairs.size());
+}
+
+double Experiment::MeasurePathQueries(PathIndex* index,
+                                      const QuerySet& queries) {
+  if (queries.pairs.empty()) return 0;
+  uint64_t sink = 0;
+  Timer timer;
+  for (const auto& [s, t] : queries.pairs) {
+    sink += index->PathQuery(s, t).size();
+  }
+  benchmark_sink_ = sink;
+  return timer.ElapsedMicros() / static_cast<double>(queries.pairs.size());
+}
+
+QueryResult Experiment::MeasureQueries(PathIndex* index,
+                                       const QuerySet& queries) {
+  QueryResult result;
+  result.method = index->Name();
+  result.query_set = queries.name;
+  result.num_queries = queries.pairs.size();
+  result.avg_distance_micros = MeasureDistanceQueries(index, queries);
+  result.avg_path_micros = MeasurePathQueries(index, queries);
+  return result;
+}
+
+size_t Experiment::CountDistanceMismatches(PathIndex* a, PathIndex* b,
+                                           const QuerySet& queries) {
+  size_t mismatches = 0;
+  for (const auto& [s, t] : queries.pairs) {
+    if (a->DistanceQuery(s, t) != b->DistanceQuery(s, t)) ++mismatches;
+  }
+  return mismatches;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,45 @@
+#include "core/guidelines.h"
+
+namespace roadnet {
+
+Recommendation RecommendMethod(const WorkloadProfile& profile) {
+  const bool all_pairs_feasible =
+      profile.num_vertices <= profile.all_pairs_feasible_vertices;
+
+  // SILC: superior for shortest path queries, but only where the all-pairs
+  // preprocessing fits and space is not a concern (conclusions, item 3).
+  if (!profile.space_constrained && all_pairs_feasible &&
+      profile.path_query_fraction >= 0.5) {
+    return {"SILC",
+            "Path-dominated workload on a network small enough for "
+            "all-pairs preprocessing, with no space constraint: SILC "
+            "answers shortest path queries fastest (Figures 7, 10, 11), "
+            "at the cost of heavy preprocessing and an index that grows "
+            "as n*sqrt(n) (Figure 6)."};
+  }
+
+  // TNR: an order of magnitude faster than CH on far distance queries,
+  // but costly in space and no better than CH for paths (conclusions,
+  // item 2).
+  if (!profile.space_constrained &&
+      profile.path_query_fraction < 0.5 &&
+      profile.long_range_fraction >= 0.5) {
+    return {"TNR+CH",
+            "Distance-dominated, long-range workload: TNR over a "
+            "128x128-style grid answers far queries from precomputed "
+            "access-node tables an order of magnitude faster than CH "
+            "(Figures 8, 9), falling back to CH for near pairs. The "
+            "speedup costs considerable preprocessing and space "
+            "(Figure 6), so it only pays off when space is secondary."};
+  }
+
+  // CH: the default — smallest index, fast preprocessing, second-best
+  // queries of both kinds (conclusions, item 1).
+  return {"CH",
+          "CH is the most space-economic technique and still the "
+          "second-fastest for both shortest path and distance queries "
+          "(Figures 6-11): the preferable choice whenever both space "
+          "and time efficiency matter."};
+}
+
+}  // namespace roadnet

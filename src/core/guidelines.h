@@ -1,0 +1,48 @@
+#ifndef ROADNET_CORE_GUIDELINES_H_
+#define ROADNET_CORE_GUIDELINES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace roadnet {
+
+// A workload sketch from which a technique is recommended.
+struct WorkloadProfile {
+  uint32_t num_vertices = 0;
+
+  // Fraction of queries that need the edge sequence (vs distance only).
+  double path_query_fraction = 0.5;
+
+  // Fraction of queries whose endpoints are far apart (the regime where
+  // TNR's tables engage, Q7..Q10 in the paper).
+  double long_range_fraction = 0.5;
+
+  // True if index space is a first-class constraint.
+  bool space_constrained = true;
+
+  // Largest input the all-pairs techniques (SILC/PCPD) can realistically
+  // index; the paper observed ~1M vertices against a 24 GB budget.
+  uint32_t all_pairs_feasible_vertices = 1000000;
+};
+
+// A technique recommendation with the paper-derived rationale.
+struct Recommendation {
+  std::string method;     // "CH", "TNR+CH", or "SILC"
+  std::string rationale;  // one paragraph citing the findings
+};
+
+// Encodes the paper's selection guidelines (Sections 4.7 and 5) as an
+// executable decision procedure:
+//  * CH when space and time efficiency both matter (smallest index,
+//    second-fastest queries of both kinds);
+//  * TNR layered over CH for distance-dominated, long-range workloads
+//    (order-of-magnitude wins on Q7..Q10 at a substantial space cost);
+//  * SILC for path-dominated workloads on networks small enough to
+//    preprocess all pairs, when space is not a concern;
+//  * PCPD never (dominated by SILC in preprocessing, space, and query
+//    time — the paper's fourth conclusion).
+Recommendation RecommendMethod(const WorkloadProfile& profile);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_CORE_GUIDELINES_H_

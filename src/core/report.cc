@@ -1,0 +1,44 @@
+#include "core/report.h"
+
+#include <ostream>
+
+namespace roadnet {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void WriteBuildCsv(const std::vector<BuildRow>& rows, std::ostream& out) {
+  out << "dataset,n,method,preprocess_seconds,index_bytes\n";
+  for (const BuildRow& r : rows) {
+    out << CsvEscape(r.dataset) << ',' << r.num_vertices << ','
+        << CsvEscape(r.method) << ',' << r.preprocess_seconds << ','
+        << r.index_bytes << '\n';
+  }
+}
+
+void WriteQueryCsv(const std::vector<QueryRow>& rows, std::ostream& out) {
+  out << "dataset,n,method,query_set,queries,distance_us,path_us\n";
+  for (const QueryRow& r : rows) {
+    out << CsvEscape(r.dataset) << ',' << r.num_vertices << ','
+        << CsvEscape(r.method) << ',' << CsvEscape(r.query_set) << ','
+        << r.num_queries << ',' << r.avg_distance_micros << ','
+        << r.avg_path_micros << '\n';
+  }
+}
+
+}  // namespace roadnet

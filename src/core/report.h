@@ -1,0 +1,47 @@
+#ifndef ROADNET_CORE_REPORT_H_
+#define ROADNET_CORE_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace roadnet {
+
+// CSV emission for experiment results, so the bench tables can feed
+// external plotting (the paper's figures are log-log line charts; the
+// repository reports the same series as machine-readable rows).
+
+// One row of a space/preprocessing table (Figure 6 style).
+struct BuildRow {
+  std::string dataset;
+  uint32_t num_vertices = 0;
+  std::string method;
+  double preprocess_seconds = 0;
+  size_t index_bytes = 0;
+};
+
+// One row of a query-latency table (Figures 7-11 style).
+struct QueryRow {
+  std::string dataset;
+  uint32_t num_vertices = 0;
+  std::string method;
+  std::string query_set;
+  size_t num_queries = 0;
+  double avg_distance_micros = 0;
+  double avg_path_micros = 0;
+};
+
+// Writes "dataset,n,method,preprocess_seconds,index_bytes" rows.
+void WriteBuildCsv(const std::vector<BuildRow>& rows, std::ostream& out);
+
+// Writes "dataset,n,method,query_set,queries,distance_us,path_us" rows.
+void WriteQueryCsv(const std::vector<QueryRow>& rows, std::ostream& out);
+
+// CSV field quoting (doubles embedded quotes, wraps when needed).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_CORE_REPORT_H_

@@ -1,0 +1,115 @@
+#include "dijkstra/bidirectional.h"
+
+#include <algorithm>
+
+namespace roadnet {
+
+BidirectionalDijkstra::BidirectionalDijkstra(const Graph& g)
+    : graph_(g), forward_(g.NumVertices()), backward_(g.NumVertices()) {}
+
+void BidirectionalDijkstra::SettleOne(Side* side, const Side& other,
+                                      VertexId* best_meet,
+                                      Distance* best_dist) {
+  VertexId u = side->heap.PopMin();
+  side->settled[u] = generation_;
+  ++settled_count_;
+  const Distance du = side->dist[u];
+  for (const Arc& a : graph_.Neighbors(u)) {
+    const Distance cand = du + a.weight;
+    bool improved = false;
+    if (!side->Reached(a.to, generation_)) {
+      side->reached[a.to] = generation_;
+      side->dist[a.to] = cand;
+      side->parent[a.to] = u;
+      side->heap.Push(a.to, cand);
+      improved = true;
+    } else if (cand < side->dist[a.to] &&
+               side->settled[a.to] != generation_) {
+      side->dist[a.to] = cand;
+      side->parent[a.to] = u;
+      side->heap.DecreaseKey(a.to, cand);
+      improved = true;
+    }
+    // Any vertex reached by both searches is a candidate meeting point;
+    // checking on every improvement covers both the "meet at a vertex" and
+    // the "cross an edge between the two settled sets" cases from the
+    // paper's correctness argument.
+    if (improved && other.Reached(a.to, generation_)) {
+      const Distance total = cand + other.dist[a.to];
+      if (total < *best_dist) {
+        *best_dist = total;
+        *best_meet = a.to;
+      }
+    }
+  }
+}
+
+VertexId BidirectionalDijkstra::Search(VertexId s, VertexId t,
+                                       Distance* out_dist) {
+  ++generation_;
+  settled_count_ = 0;
+  forward_.heap.Clear();
+  backward_.heap.Clear();
+
+  forward_.dist[s] = 0;
+  forward_.parent[s] = kInvalidVertex;
+  forward_.reached[s] = generation_;
+  forward_.heap.Push(s, 0);
+
+  backward_.dist[t] = 0;
+  backward_.parent[t] = kInvalidVertex;
+  backward_.reached[t] = generation_;
+  backward_.heap.Push(t, 0);
+
+  Distance best_dist = kInfDistance;
+  VertexId best_meet = kInvalidVertex;
+  if (s == t) {
+    *out_dist = 0;
+    return s;
+  }
+
+  while (!forward_.heap.Empty() && !backward_.heap.Empty()) {
+    // Termination: once the two frontier minima together cannot beat the
+    // best meeting point, no unexplored vertex can improve the answer.
+    if (best_dist != kInfDistance &&
+        forward_.heap.MinKey() + backward_.heap.MinKey() >= best_dist) {
+      break;
+    }
+    // Balance the searches by expanding the smaller frontier key.
+    if (forward_.heap.MinKey() <= backward_.heap.MinKey()) {
+      SettleOne(&forward_, backward_, &best_meet, &best_dist);
+    } else {
+      SettleOne(&backward_, forward_, &best_meet, &best_dist);
+    }
+  }
+  *out_dist = best_dist;
+  return best_meet;
+}
+
+Distance BidirectionalDijkstra::DistanceQuery(VertexId s, VertexId t) {
+  Distance d = kInfDistance;
+  Search(s, t, &d);
+  return d;
+}
+
+Path BidirectionalDijkstra::PathQuery(VertexId s, VertexId t) {
+  Distance d = kInfDistance;
+  VertexId meet = Search(s, t, &d);
+  if (meet == kInvalidVertex) return {};
+
+  // Forward half: meet back to s, reversed.
+  Path path;
+  for (VertexId cur = meet; cur != kInvalidVertex;
+       cur = forward_.parent[cur]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  // Backward half: parents of the t-rooted tree lead from meet toward t.
+  for (VertexId cur = backward_.parent[meet]; cur != kInvalidVertex;
+       cur = backward_.parent[cur]) {
+    path.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,104 @@
+#include "dijkstra/dijkstra.h"
+
+#include <algorithm>
+
+namespace roadnet {
+
+Dijkstra::Dijkstra(const Graph& g)
+    : graph_(g),
+      heap_(g.NumVertices()),
+      dist_(g.NumVertices(), 0),
+      parent_(g.NumVertices(), kInvalidVertex),
+      first_hop_(g.NumVertices(), kInvalidVertex),
+      reached_(g.NumVertices(), 0),
+      settled_(g.NumVertices(), 0) {}
+
+void Dijkstra::Start(VertexId s) {
+  ++generation_;
+  heap_.Clear();
+  settled_count_ = 0;
+  source_ = s;
+  dist_[s] = 0;
+  parent_[s] = kInvalidVertex;
+  first_hop_[s] = kInvalidVertex;
+  reached_[s] = generation_;
+  heap_.Push(s, 0);
+}
+
+VertexId Dijkstra::SettleNext(bool track_first_hop) {
+  VertexId u = heap_.PopMin();
+  settled_[u] = generation_;
+  ++settled_count_;
+  const Distance du = dist_[u];
+  for (const Arc& a : graph_.Neighbors(u)) {
+    const Distance cand = du + a.weight;
+    if (reached_[a.to] != generation_) {
+      reached_[a.to] = generation_;
+      dist_[a.to] = cand;
+      parent_[a.to] = u;
+      if (track_first_hop) first_hop_[a.to] = (u == source_) ? a.to : first_hop_[u];
+      heap_.Push(a.to, cand);
+    } else if (cand < dist_[a.to] && settled_[a.to] != generation_) {
+      dist_[a.to] = cand;
+      parent_[a.to] = u;
+      if (track_first_hop) first_hop_[a.to] = (u == source_) ? a.to : first_hop_[u];
+      heap_.DecreaseKey(a.to, cand);
+    }
+  }
+  return u;
+}
+
+Distance Dijkstra::Run(VertexId s, VertexId t) {
+  Start(s);
+  while (!heap_.Empty()) {
+    if (SettleNext(/*track_first_hop=*/false) == t) return dist_[t];
+  }
+  return kInfDistance;
+}
+
+void Dijkstra::RunAll(VertexId s) {
+  Start(s);
+  while (!heap_.Empty()) SettleNext(/*track_first_hop=*/false);
+}
+
+void Dijkstra::RunAllWithFirstHop(VertexId s) {
+  Start(s);
+  while (!heap_.Empty()) SettleNext(/*track_first_hop=*/true);
+}
+
+void Dijkstra::RunUntilSettled(VertexId s,
+                               const std::vector<VertexId>& targets,
+                               size_t stop_after) {
+  Start(s);
+  if (target_mark_.size() < graph_.NumVertices()) {
+    target_mark_.assign(graph_.NumVertices(), 0);
+  }
+  ++target_generation_;
+  size_t distinct = 0;
+  for (VertexId t : targets) {
+    if (target_mark_[t] != target_generation_) {
+      target_mark_[t] = target_generation_;
+      ++distinct;
+    }
+  }
+  size_t remaining = std::min(distinct, stop_after);
+  while (!heap_.Empty() && remaining > 0) {
+    VertexId u = SettleNext(/*track_first_hop=*/false);
+    if (target_mark_[u] == target_generation_) {
+      target_mark_[u] = target_generation_ - 1;  // count each target once
+      --remaining;
+    }
+  }
+}
+
+Path Dijkstra::PathTo(VertexId v) const {
+  if (!Reached(v)) return {};
+  Path path;
+  for (VertexId cur = v; cur != kInvalidVertex; cur = parent_[cur]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace roadnet

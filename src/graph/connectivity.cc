@@ -1,0 +1,78 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+
+namespace roadnet {
+
+namespace {
+
+// Iterative BFS labelling from `start` over unlabelled vertices.
+void LabelFrom(const Graph& g, VertexId start, uint32_t label,
+               std::vector<uint32_t>* labels,
+               std::vector<VertexId>* queue) {
+  queue->clear();
+  queue->push_back(start);
+  (*labels)[start] = label;
+  for (size_t head = 0; head < queue->size(); ++head) {
+    VertexId v = (*queue)[head];
+    for (const Arc& a : g.Neighbors(v)) {
+      if ((*labels)[a.to] == kInvalidVertex) {
+        (*labels)[a.to] = label;
+        queue->push_back(a.to);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> ConnectedComponents(const Graph& g,
+                                          uint32_t* num_components) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> labels(n, kInvalidVertex);
+  std::vector<VertexId> queue;
+  uint32_t next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (labels[v] == kInvalidVertex) LabelFrom(g, v, next++, &labels, &queue);
+  }
+  if (num_components != nullptr) *num_components = next;
+  return labels;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumVertices() == 0) return true;
+  uint32_t count = 0;
+  ConnectedComponents(g, &count);
+  return count == 1;
+}
+
+Graph LargestComponent(const Graph& g, std::vector<VertexId>* old_to_new) {
+  uint32_t count = 0;
+  std::vector<uint32_t> labels = ConnectedComponents(g, &count);
+
+  std::vector<uint32_t> sizes(count, 0);
+  for (uint32_t label : labels) ++sizes[label];
+  uint32_t best = static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<VertexId> mapping(g.NumVertices(), kInvalidVertex);
+  uint32_t next = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (labels[v] == best) mapping[v] = next++;
+  }
+
+  GraphBuilder builder(next);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (mapping[v] == kInvalidVertex) continue;
+    builder.SetCoord(mapping[v], g.Coord(v));
+    for (const Arc& a : g.Neighbors(v)) {
+      if (v < a.to && mapping[a.to] != kInvalidVertex) {
+        builder.AddEdge(mapping[v], mapping[a.to], a.weight);
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return std::move(builder).Build();
+}
+
+}  // namespace roadnet

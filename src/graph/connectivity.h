@@ -1,0 +1,26 @@
+#ifndef ROADNET_GRAPH_CONNECTIVITY_H_
+#define ROADNET_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace roadnet {
+
+// True if every vertex is reachable from vertex 0 (or the graph is empty).
+bool IsConnected(const Graph& g);
+
+// Labels each vertex with its connected-component id (components numbered
+// in order of discovery from vertex 0 upward) and returns the labels.
+std::vector<uint32_t> ConnectedComponents(const Graph& g,
+                                          uint32_t* num_components);
+
+// Returns the subgraph induced by the largest connected component, with
+// vertices renumbered densely. `old_to_new`, if non-null, receives the
+// mapping (kInvalidVertex for dropped vertices). Mirrors how road-network
+// datasets are prepared from raw map extracts.
+Graph LargestComponent(const Graph& g, std::vector<VertexId>* old_to_new);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,40 @@
+#ifndef ROADNET_GRAPH_DIMACS_H_
+#define ROADNET_GRAPH_DIMACS_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace roadnet {
+
+// Reader/writer for the Ninth DIMACS Implementation Challenge formats used
+// by the paper's datasets (Section 4.2):
+//
+//   .gr  —  "p sp <n> <m>" header followed by arc lines "a <u> <v> <w>"
+//           (1-based vertex ids). Arcs are interpreted as undirected edges
+//           and de-duplicated, matching the paper's undirected model.
+//   .co  —  "p aux sp co <n>" header followed by "v <id> <x> <y>".
+//
+// Readers return nullopt on malformed input and record a human-readable
+// message in *error if provided.
+
+// Parses a .gr stream into a builder-compatible edge list plus vertex count.
+std::optional<Graph> ReadDimacs(std::istream& gr_stream,
+                                std::istream& co_stream,
+                                std::string* error);
+
+// Convenience overload reading from files on disk.
+std::optional<Graph> ReadDimacsFiles(const std::string& gr_path,
+                                     const std::string& co_path,
+                                     std::string* error);
+
+// Writes g in DIMACS format (each undirected edge emitted as two arcs,
+// matching the challenge files).
+void WriteDimacs(const Graph& g, std::ostream& gr_stream,
+                 std::ostream& co_stream);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_GRAPH_DIMACS_H_

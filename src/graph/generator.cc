@@ -1,0 +1,141 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/connectivity.h"
+#include "spatial/point.h"
+#include "util/rng.h"
+
+namespace roadnet {
+
+namespace {
+
+// Travel time of an edge: Euclidean length times the road-class factor.
+// Highways (both endpoints on the same highway row or column) get factor 1;
+// everything else gets local_road_factor with +/-20% noise. Always >= 1.
+Weight TravelTime(const Point& a, const Point& b, bool highway,
+                  double local_factor, Rng* rng) {
+  double len = std::sqrt(static_cast<double>(SquaredEuclidean(a, b)));
+  double factor =
+      highway ? 1.0 : local_factor * (0.8 + 0.4 * rng->NextDouble());
+  double t = len * factor;
+  return t < 1.0 ? 1 : static_cast<Weight>(t);
+}
+
+}  // namespace
+
+Graph GenerateRoadNetwork(const GeneratorConfig& config) {
+  const uint32_t side = static_cast<uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(config.target_vertices))));
+  const uint32_t rows = side;
+  const uint32_t cols = side;
+  const uint32_t n = rows * cols;
+  Rng rng(config.seed);
+
+  // Lattice coordinates with urban/rural density bands: the cumulative
+  // position arrays advance by the fine pitch inside "city" bands and by
+  // the full pitch elsewhere, so city blocks appear wherever a dense
+  // column band crosses a dense row band.
+  const int32_t fine_pitch = std::max<int32_t>(
+      1, config.pitch / static_cast<int32_t>(
+                            std::max(1u, config.city_density_factor)));
+  auto is_city_band = [&](uint32_t index) {
+    return config.city_band > 0 && (index / config.city_band) % 2 == 0;
+  };
+  std::vector<int64_t> col_pos(cols), row_pos(rows);
+  std::vector<int32_t> col_step(cols), row_step(rows);
+  int64_t x = 0;
+  for (uint32_t c = 0; c < cols; ++c) {
+    col_pos[c] = x;
+    col_step[c] = is_city_band(c) ? fine_pitch : config.pitch;
+    x += col_step[c];
+  }
+  int64_t y = 0;
+  for (uint32_t r = 0; r < rows; ++r) {
+    row_pos[r] = y;
+    row_step[r] = is_city_band(r) ? fine_pitch : config.pitch;
+    y += row_step[r];
+  }
+
+  std::vector<Point> coords(n);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      // Jitter scales with the local lattice step so dense blocks stay
+      // locally ordered.
+      const int32_t jx = std::max(1, col_step[c] / 3);
+      const int32_t jy = std::max(1, row_step[r] / 3);
+      coords[r * cols + c] =
+          Point{static_cast<int32_t>(col_pos[c] + rng.NextInRange(-jx, jx)),
+                static_cast<int32_t>(row_pos[r] + rng.NextInRange(-jy, jy))};
+    }
+  }
+
+  auto is_highway_row = [&](uint32_t r) {
+    return config.highway_period > 0 && r % config.highway_period == 0;
+  };
+  auto is_highway_col = [&](uint32_t c) {
+    return config.highway_period > 0 && c % config.highway_period == 0;
+  };
+
+  GraphBuilder builder(n);
+  for (uint32_t v = 0; v < n; ++v) builder.SetCoord(v, coords[v]);
+
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      const VertexId v = r * cols + c;
+      // Horizontal edge to (r, c+1). Highway edges are never deleted, so
+      // the fast lattice stays intact (mirrors interstates surviving in
+      // every extract).
+      if (c + 1 < cols) {
+        bool highway = is_highway_row(r);
+        if (highway || rng.NextBool(config.edge_keep_probability)) {
+          builder.AddEdge(v, v + 1,
+                          TravelTime(coords[v], coords[v + 1], highway,
+                                     config.local_road_factor, &rng));
+        }
+      }
+      // Vertical edge to (r+1, c).
+      if (r + 1 < rows) {
+        bool highway = is_highway_col(c);
+        if (highway || rng.NextBool(config.edge_keep_probability)) {
+          builder.AddEdge(v, v + cols,
+                          TravelTime(coords[v], coords[v + cols], highway,
+                                     config.local_road_factor, &rng));
+        }
+      }
+      // Occasional diagonal to (r+1, c+1), always a local road.
+      if (r + 1 < rows && c + 1 < cols &&
+          rng.NextBool(config.diagonal_probability)) {
+        builder.AddEdge(v, v + cols + 1,
+                        TravelTime(coords[v], coords[v + cols + 1], false,
+                                   config.local_road_factor, &rng));
+      }
+      // Rare long edge (bridge/tunnel) skipping several lattice steps.
+      if (config.long_edge_probability > 0 &&
+          rng.NextBool(config.long_edge_probability)) {
+        const uint32_t span = config.long_edge_span;
+        VertexId other = kInvalidVertex;
+        if (rng.NextBool(0.5)) {
+          if (c + span < cols) other = v + span;
+        } else {
+          if (r + span < rows) other = v + span * cols;
+        }
+        if (other != kInvalidVertex) {
+          // Bridges/expressway segments run at highway speed, so they are
+          // genuinely attractive to shortest paths (and an access-node
+          // computation that misses them really does corrupt answers).
+          builder.AddEdge(v, other,
+                          TravelTime(coords[v], coords[other], true,
+                                     config.local_road_factor, &rng));
+        }
+      }
+    }
+  }
+
+  Graph raw = std::move(builder).Build();
+  return LargestComponent(raw, nullptr);
+}
+
+}  // namespace roadnet

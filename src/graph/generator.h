@@ -1,0 +1,75 @@
+#ifndef ROADNET_GRAPH_GENERATOR_H_
+#define ROADNET_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace roadnet {
+
+// Configuration of the synthetic road-network generator.
+//
+// The paper evaluates on Ninth-DIMACS-Challenge USA road graphs, which are
+// not redistributable inside this repository, so the generator produces
+// networks with the same structural properties the five algorithms exploit:
+//
+//  * bounded degree (max 8: grid neighbours plus occasional diagonals),
+//  * near-planarity and strong spatial coherence (edge weights are the
+//    Euclidean length scaled by a local road-class factor, so geometric
+//    closeness implies network closeness),
+//  * a highway hierarchy (a sparse lattice of fast "highway" rows/columns
+//    creates the important vertices CH and TNR rely on),
+//  * irregularity (random edge deletions punch holes, like rivers/parks,
+//    and the largest connected component is extracted, like real map
+//    extracts).
+//
+// Networks are deterministic functions of (target_vertices, seed).
+struct GeneratorConfig {
+  // Approximate vertex count; the result is the largest connected component
+  // of a ceil(sqrt)-square lattice, so the final count is slightly lower.
+  uint32_t target_vertices = 1000;
+
+  uint64_t seed = 1;
+
+  // Probability of keeping each lattice edge.
+  double edge_keep_probability = 0.90;
+
+  // Probability of adding each diagonal edge.
+  double diagonal_probability = 0.05;
+
+  // Every highway_period-th row and column is a fast road.
+  uint32_t highway_period = 16;
+
+  // Travel-time multiplier of local (non-highway) roads relative to
+  // highways. Highways use factor 1.
+  double local_road_factor = 3.0;
+
+  // Base (rural) grid pitch in coordinate units; vertices jitter within
+  // +/- local_pitch/3.
+  int32_t pitch = 1000;
+
+  // Urban density contrast. Real road networks are strongly non-uniform:
+  // city cores pack vertices orders of magnitude denser than countryside,
+  // which is why the paper's L-infinity query buckets are populated all
+  // the way down to one 1024th of the map span. The generator reproduces
+  // this with alternating coordinate bands: every other band of
+  // `city_band` lattice columns/rows is laid out with pitch
+  // pitch / city_density_factor. Set city_density_factor = 1 for a
+  // uniform lattice.
+  uint32_t city_band = 8;
+  uint32_t city_density_factor = 64;
+
+  // Probability, per vertex, of adding one long "bridge/tunnel" edge that
+  // skips long_edge_span lattice steps in a random axis direction. Long
+  // edges are what exposes the Appendix-B TNR defect: they can jump a
+  // shell ring without touching it.
+  double long_edge_probability = 0.0;
+  uint32_t long_edge_span = 6;
+};
+
+// Generates a connected synthetic road network. See GeneratorConfig.
+Graph GenerateRoadNetwork(const GeneratorConfig& config);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_GRAPH_GENERATOR_H_

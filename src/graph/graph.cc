@@ -1,0 +1,82 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bytes.h"
+
+namespace roadnet {
+
+std::optional<Weight> Graph::EdgeWeight(VertexId u, VertexId v) const {
+  auto arcs = Neighbors(u);
+  // Arcs are sorted by target, so binary search keeps this O(log degree).
+  auto it = std::lower_bound(
+      arcs.begin(), arcs.end(), v,
+      [](const Arc& a, VertexId target) { return a.to < target; });
+  if (it != arcs.end() && it->to == v) return it->weight;
+  return std::nullopt;
+}
+
+size_t Graph::MemoryBytes() const {
+  return VectorBytes(offsets_) + VectorBytes(arcs_) + VectorBytes(coords_);
+}
+
+GraphBuilder::GraphBuilder(uint32_t num_vertices) : coords_(num_vertices) {}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v, Weight w) {
+  assert(u < coords_.size() && v < coords_.size());
+  assert(w > 0);
+  if (u == v) return;
+  edges_.push_back(RawEdge{u, v, w});
+}
+
+Graph GraphBuilder::Build() && {
+  const uint32_t n = NumVertices();
+
+  // Normalize to (min(u,v), max(u,v)), sort, and collapse duplicates to the
+  // minimum weight.
+  for (RawEdge& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges_.begin(), edges_.end(),
+            [](const RawEdge& a, const RawEdge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              if (a.v != b.v) return a.v < b.v;
+              return a.w < b.w;
+            });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const RawEdge& a, const RawEdge& b) {
+                             return a.u == b.u && a.v == b.v;
+                           }),
+               edges_.end());
+
+  Graph g;
+  g.coords_ = std::move(coords_);
+  for (const Point& p : g.coords_) g.bounds_.Expand(p);
+
+  std::vector<uint32_t> degree(n, 0);
+  for (const RawEdge& e : edges_) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  g.arcs_.resize(g.offsets_[n]);
+
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const RawEdge& e : edges_) {
+    g.arcs_[cursor[e.u]++] = Arc{e.v, e.w};
+    g.arcs_[cursor[e.v]++] = Arc{e.u, e.w};
+  }
+  // Edges were sorted by (u, v), so each block with source u is already
+  // sorted for the arcs emitted from the u side, but arcs emitted from the
+  // v side interleave; sort each block to restore the invariant.
+  for (uint32_t v = 0; v < n; ++v) {
+    std::sort(g.arcs_.begin() + g.offsets_[v],
+              g.arcs_.begin() + g.offsets_[v + 1],
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,122 @@
+#ifndef ROADNET_GRAPH_GRAPH_H_
+#define ROADNET_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "spatial/point.h"
+#include "spatial/rect.h"
+
+namespace roadnet {
+
+// Half-edge of the adjacency structure: the far endpoint and the weight.
+struct Arc {
+  VertexId to;
+  Weight weight;
+
+  friend bool operator==(const Arc& a, const Arc& b) {
+    return a.to == b.to && a.weight == b.weight;
+  }
+};
+
+// Immutable undirected weighted road network with per-vertex planar
+// coordinates, stored in compressed-sparse-row form (each undirected edge
+// appears as two arcs). This is the common substrate every algorithm in
+// the paper is built on (Section 2: degree-bounded connected graph, edge
+// weights = travel times).
+class Graph {
+ public:
+  Graph() = default;
+
+  // Move-only: graphs can be large and accidental copies are never wanted.
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(coords_.size());
+  }
+
+  // Number of undirected edges.
+  size_t NumEdges() const { return arcs_.size() / 2; }
+
+  // Number of directed arcs (2 * NumEdges()).
+  size_t NumArcs() const { return arcs_.size(); }
+
+  // Global CSR position of v's first arc; v's arcs occupy
+  // [FirstArcIndex(v), FirstArcIndex(v) + Degree(v)). Lets per-arc
+  // annotations (e.g. Arc Flags) live in parallel arrays.
+  size_t FirstArcIndex(VertexId v) const { return offsets_[v]; }
+
+  // Outgoing arcs of v, sorted by target id.
+  std::span<const Arc> Neighbors(VertexId v) const {
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Weight of the undirected edge (u, v), or nullopt if absent.
+  std::optional<Weight> EdgeWeight(VertexId u, VertexId v) const;
+
+  bool HasEdge(VertexId u, VertexId v) const {
+    return EdgeWeight(u, v).has_value();
+  }
+
+  const Point& Coord(VertexId v) const { return coords_[v]; }
+  const std::vector<Point>& Coords() const { return coords_; }
+
+  // Bounding box of all vertex coordinates.
+  const Rect& Bounds() const { return bounds_; }
+
+  // Heap bytes held by the graph itself (not counted as index overhead;
+  // every method needs the graph resident).
+  size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<size_t> offsets_;  // size n+1
+  std::vector<Arc> arcs_;        // size 2m, grouped by source
+  std::vector<Point> coords_;    // size n
+  Rect bounds_ = Rect::Empty();
+};
+
+// Accumulates edges and coordinates, then produces a CSR Graph.
+// Parallel edges collapse to the minimum weight; self-loops are dropped
+// (neither ever participates in a shortest path).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(uint32_t num_vertices);
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(coords_.size());
+  }
+
+  // Records the undirected edge (u, v) with the given positive weight.
+  void AddEdge(VertexId u, VertexId v, Weight w);
+
+  void SetCoord(VertexId v, Point p) { coords_[v] = p; }
+
+  // Builds the immutable graph. The builder is consumed.
+  Graph Build() &&;
+
+ private:
+  struct RawEdge {
+    VertexId u;
+    VertexId v;
+    Weight w;
+  };
+
+  std::vector<RawEdge> edges_;
+  std::vector<Point> coords_;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_GRAPH_GRAPH_H_

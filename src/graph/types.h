@@ -1,0 +1,29 @@
+#ifndef ROADNET_GRAPH_TYPES_H_
+#define ROADNET_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace roadnet {
+
+// Dense vertex identifier in [0, n).
+using VertexId = uint32_t;
+
+// Non-negative edge weight. The DIMACS travel-time graphs and our synthetic
+// generator both fit comfortably in 32 bits per edge.
+using Weight = uint32_t;
+
+// Sum of weights along a path. 64-bit so that no realistic path overflows.
+using Distance = uint64_t;
+
+// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+// Sentinel for "unreachable".
+inline constexpr Distance kInfDistance =
+    std::numeric_limits<Distance>::max();
+
+}  // namespace roadnet
+
+#endif  // ROADNET_GRAPH_TYPES_H_

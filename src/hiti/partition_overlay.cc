@@ -1,0 +1,209 @@
+#include "hiti/partition_overlay.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace roadnet {
+
+PartitionOverlayIndex::PartitionOverlayIndex(
+    const Graph& g, const PartitionOverlayConfig& config)
+    : graph_(g),
+      heap_(g.NumVertices()),
+      dist_(g.NumVertices(), 0),
+      parent_(g.NumVertices(), kInvalidVertex),
+      via_clique_(g.NumVertices(), 0),
+      reached_(g.NumVertices(), 0),
+      settled_(g.NumVertices(), 0),
+      rheap_(g.NumVertices()),
+      rdist_(g.NumVertices(), 0),
+      rparent_(g.NumVertices(), kInvalidVertex),
+      rreached_(g.NumVertices(), 0) {
+  const uint32_t n = g.NumVertices();
+
+  // Regions: dense ids over the non-empty cells of a coarse grid.
+  CellGrid grid(g, config.region_resolution);
+  std::vector<uint32_t> dense(grid.NumCells(), 0);
+  num_regions_ = 0;
+  for (uint32_t cell : grid.NonEmptyCells()) dense[cell] = num_regions_++;
+  region_of_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    region_of_[v] = dense[grid.CellIndex(grid.CellOf(v))];
+  }
+
+  // Boundary vertices: adjacent to another region.
+  is_boundary_.assign(n, false);
+  std::vector<std::vector<VertexId>> region_boundary(num_regions_);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Arc& a : g.Neighbors(v)) {
+      if (region_of_[a.to] != region_of_[v]) {
+        is_boundary_[v] = true;
+        region_boundary[region_of_[v]].push_back(v);
+        break;
+      }
+    }
+  }
+
+  // Boundary cliques: within-region shortest distances between boundary
+  // vertices (HEPV/HiTi's precomputed component distances).
+  std::vector<std::vector<CliqueArc>> clique(n);
+  for (uint32_t r = 0; r < num_regions_; ++r) {
+    for (VertexId b : region_boundary[r]) {
+      RestrictedSearch(b, kInvalidVertex, r, nullptr, nullptr);
+      for (VertexId other : region_boundary[r]) {
+        if (other == b || rreached_[other] != rgeneration_) continue;
+        clique[b].push_back(
+            CliqueArc{other, static_cast<Weight>(rdist_[other])});
+      }
+    }
+  }
+  clique_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    clique_offsets_[v + 1] =
+        clique_offsets_[v] + static_cast<uint32_t>(clique[v].size());
+  }
+  clique_arcs_.resize(clique_offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    std::copy(clique[v].begin(), clique[v].end(),
+              clique_arcs_.begin() + clique_offsets_[v]);
+  }
+}
+
+Distance PartitionOverlayIndex::RestrictedSearch(
+    VertexId source, VertexId target, uint32_t region,
+    std::vector<Distance>* dist, std::vector<VertexId>* parent) {
+  ++rgeneration_;
+  rheap_.Clear();
+  rdist_[source] = 0;
+  rparent_[source] = kInvalidVertex;
+  rreached_[source] = rgeneration_;
+  rheap_.Push(source, 0);
+  while (!rheap_.Empty()) {
+    const VertexId u = rheap_.PopMin();
+    if (u == target) break;
+    const Distance du = rdist_[u];
+    for (const Arc& a : graph_.Neighbors(u)) {
+      if (region_of_[a.to] != region) continue;  // stay inside the region
+      const Distance cand = du + a.weight;
+      if (rreached_[a.to] != rgeneration_) {
+        rreached_[a.to] = rgeneration_;
+        rdist_[a.to] = cand;
+        rparent_[a.to] = u;
+        rheap_.Push(a.to, cand);
+      } else if (rheap_.Contains(a.to) && cand < rdist_[a.to]) {
+        rdist_[a.to] = cand;
+        rparent_[a.to] = u;
+        rheap_.DecreaseKey(a.to, cand);
+      }
+    }
+  }
+  if (dist != nullptr) *dist = rdist_;
+  if (parent != nullptr) *parent = rparent_;
+  if (target == kInvalidVertex) return kInfDistance;
+  return rreached_[target] == rgeneration_ ? rdist_[target] : kInfDistance;
+}
+
+Distance PartitionOverlayIndex::Search(VertexId s, VertexId t) {
+  const uint32_t rs = region_of_[s];
+  const uint32_t rt = region_of_[t];
+  ++generation_;
+  heap_.Clear();
+  settled_count_ = 0;
+  dist_[s] = 0;
+  parent_[s] = kInvalidVertex;
+  via_clique_[s] = 0;
+  reached_[s] = generation_;
+  heap_.Push(s, 0);
+
+  auto relax = [&](VertexId from, VertexId to, Weight w, bool clique) {
+    const Distance cand = dist_[from] + w;
+    if (reached_[to] != generation_) {
+      reached_[to] = generation_;
+      dist_[to] = cand;
+      parent_[to] = from;
+      via_clique_[to] = clique ? 1 : 0;
+      heap_.Push(to, cand);
+    } else if (settled_[to] != generation_ && cand < dist_[to]) {
+      dist_[to] = cand;
+      parent_[to] = from;
+      via_clique_[to] = clique ? 1 : 0;
+      heap_.DecreaseKey(to, cand);
+    }
+  };
+
+  while (!heap_.Empty()) {
+    const VertexId u = heap_.PopMin();
+    settled_[u] = generation_;
+    ++settled_count_;
+    if (u == t) return dist_[t];
+    const uint32_t ru = region_of_[u];
+    if (ru == rs || ru == rt) {
+      // Inside the source/target region: ordinary expansion.
+      for (const Arc& a : graph_.Neighbors(u)) {
+        relax(u, a.to, a.weight, /*clique=*/false);
+      }
+      // A boundary vertex of the source/target region may also shortcut
+      // through its clique (harmless: clique weights are true distances).
+      for (const CliqueArc& c : CliqueArcs(u)) {
+        relax(u, c.to, c.weight, /*clique=*/true);
+      }
+    } else {
+      // Foreign region: u is necessarily a boundary vertex. Traverse the
+      // region through its clique and leave through crossing arcs.
+      for (const CliqueArc& c : CliqueArcs(u)) {
+        relax(u, c.to, c.weight, /*clique=*/true);
+      }
+      for (const Arc& a : graph_.Neighbors(u)) {
+        if (region_of_[a.to] != ru) {
+          relax(u, a.to, a.weight, /*clique=*/false);
+        }
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+Distance PartitionOverlayIndex::DistanceQuery(VertexId s, VertexId t) {
+  if (s == t) return 0;
+  return Search(s, t);
+}
+
+Path PartitionOverlayIndex::PathQuery(VertexId s, VertexId t) {
+  if (s == t) return {s};
+  if (Search(s, t) == kInfDistance) return {};
+
+  // Overlay path (may contain clique hops), t back to s.
+  std::vector<std::pair<VertexId, bool>> overlay;  // (vertex, via clique)
+  for (VertexId cur = t; cur != kInvalidVertex; cur = parent_[cur]) {
+    overlay.emplace_back(cur, via_clique_[cur] != 0);
+    if (cur == s) break;
+  }
+  std::reverse(overlay.begin(), overlay.end());
+
+  Path path{s};
+  for (size_t i = 1; i < overlay.size(); ++i) {
+    const VertexId from = overlay[i - 1].first;
+    const auto [to, clique] = overlay[i];
+    if (!clique) {
+      path.push_back(to);
+      continue;
+    }
+    // Unpack the clique hop with a restricted search inside the region.
+    RestrictedSearch(from, to, region_of_[to], nullptr, nullptr);
+    Path segment;
+    for (VertexId cur = to; cur != kInvalidVertex; cur = rparent_[cur]) {
+      segment.push_back(cur);
+      if (cur == from) break;
+    }
+    std::reverse(segment.begin(), segment.end());
+    path.insert(path.end(), segment.begin() + 1, segment.end());
+  }
+  return path;
+}
+
+size_t PartitionOverlayIndex::IndexBytes() const {
+  return VectorBytes(region_of_) + is_boundary_.capacity() / 8 +
+         VectorBytes(clique_offsets_) + VectorBytes(clique_arcs_);
+}
+
+}  // namespace roadnet

@@ -1,0 +1,105 @@
+#include "io/serialize.h"
+
+#include <fstream>
+
+#include "io/binary.h"
+
+namespace roadnet {
+
+namespace {
+
+constexpr char kGraphMagic[8] = {'R', 'N', 'E', 'T', 'G', 'R', 'P', 'H'};
+constexpr uint32_t kGraphVersion = 1;
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+void WriteGraph(const Graph& g, std::ostream& out) {
+  WriteMagic(out, kGraphMagic);
+  WriteScalar<uint32_t>(out, kGraphVersion);
+  WriteScalar<uint32_t>(out, g.NumVertices());
+  // Coordinates.
+  WriteVector(out, g.Coords());
+  // Edges, one record per undirected edge.
+  struct EdgeRecord {
+    VertexId u;
+    VertexId v;
+    Weight w;
+  };
+  std::vector<EdgeRecord> edges;
+  edges.reserve(g.NumEdges());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      if (u < a.to) edges.push_back(EdgeRecord{u, a.to, a.weight});
+    }
+  }
+  WriteVector(out, edges);
+}
+
+std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
+  if (!CheckMagic(in, kGraphMagic)) {
+    SetError(error, "graph: bad magic");
+    return std::nullopt;
+  }
+  uint32_t version = 0;
+  if (!ReadScalar(in, &version) || version != kGraphVersion) {
+    SetError(error, "graph: unsupported version");
+    return std::nullopt;
+  }
+  uint32_t n = 0;
+  if (!ReadScalar(in, &n)) {
+    SetError(error, "graph: truncated header");
+    return std::nullopt;
+  }
+  std::vector<Point> coords;
+  if (!ReadVector(in, &coords) || coords.size() != n) {
+    SetError(error, "graph: bad coordinate block");
+    return std::nullopt;
+  }
+  struct EdgeRecord {
+    VertexId u;
+    VertexId v;
+    Weight w;
+  };
+  std::vector<EdgeRecord> edges;
+  if (!ReadVector(in, &edges)) {
+    SetError(error, "graph: bad edge block");
+    return std::nullopt;
+  }
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) builder.SetCoord(v, coords[v]);
+  for (const EdgeRecord& e : edges) {
+    if (e.u >= n || e.v >= n || e.w == 0) {
+      SetError(error, "graph: invalid edge record");
+      return std::nullopt;
+    }
+    builder.AddEdge(e.u, e.v, e.w);
+  }
+  return std::move(builder).Build();
+}
+
+bool WriteGraphFile(const Graph& g, const std::string& path,
+                    std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    SetError(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  WriteGraph(g, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Graph> ReadGraphFile(const std::string& path,
+                                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadGraph(in, error);
+}
+
+}  // namespace roadnet

@@ -1,0 +1,32 @@
+#ifndef ROADNET_IO_SERIALIZE_H_
+#define ROADNET_IO_SERIALIZE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace roadnet {
+
+// Versioned binary serialization for graphs and preprocessed indexes, so
+// a deployment can run preprocessing once (CH on the full USA graph takes
+// the paper 30 minutes) and ship the index to query servers.
+//
+// Format: 8-byte magic ("RNETxxxx" per payload kind), u32 version, then
+// payload. All integers little-endian, lengths prefixed. Readers return
+// nullopt on malformed input and describe the problem in *error.
+
+// --- Graph ---
+void WriteGraph(const Graph& g, std::ostream& out);
+std::optional<Graph> ReadGraph(std::istream& in, std::string* error);
+
+bool WriteGraphFile(const Graph& g, const std::string& path,
+                    std::string* error);
+std::optional<Graph> ReadGraphFile(const std::string& path,
+                                   std::string* error);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_IO_SERIALIZE_H_

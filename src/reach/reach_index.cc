@@ -1,0 +1,150 @@
+#include "reach/reach_index.h"
+
+#include <algorithm>
+
+#include "dijkstra/dijkstra.h"
+#include "util/bytes.h"
+
+namespace roadnet {
+
+ReachIndex::ReachIndex(const Graph& g)
+    : graph_(g),
+      reach_(g.NumVertices(), 0),
+      forward_(g.NumVertices()),
+      backward_(g.NumVertices()) {
+  const uint32_t n = g.NumVertices();
+  Dijkstra dijkstra(g);
+  std::vector<std::pair<Distance, VertexId>> order;
+  std::vector<Distance> height(n, 0);
+
+  for (VertexId s = 0; s < n; ++s) {
+    dijkstra.RunAll(s);
+    // Process vertices by decreasing distance so every tight-edge
+    // continuation below a vertex is finished before the vertex itself.
+    order.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      const Distance d = dijkstra.DistanceTo(v);
+      if (d != kInfDistance) order.emplace_back(d, v);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [dv, v] : order) {
+      Distance h = 0;
+      for (const Arc& a : g.Neighbors(v)) {
+        // Tight edge v -> x of the shortest-path DAG (covers every tied
+        // shortest path, unlike a single parent tree).
+        const Distance dx = dijkstra.DistanceTo(a.to);
+        if (dx != kInfDistance && dv + a.weight == dx) {
+          h = std::max(h, a.weight + height[a.to]);
+        }
+      }
+      height[v] = h;
+      reach_[v] = std::max(reach_[v], std::min(dv, h));
+    }
+  }
+}
+
+void ReachIndex::SettleOne(Side* side, const Side& other,
+                           VertexId* best_meet, Distance* best_dist) {
+  VertexId u = side->heap.PopMin();
+  side->settled[u] = generation_;
+  ++settled_count_;
+  const Distance du = side->dist[u];
+
+  // Reach pruning: if u sits deeper into this side than its reach allows,
+  // any shortest path through u must end within reach(u) of the other
+  // endpoint — and the other search has then already reached u. If it has
+  // not, u is provably off every shortest path and its arcs are skipped.
+  if (reach_[u] < du && other.reached[u] != generation_ &&
+      !other.heap.Empty() && reach_[u] < other.heap.MinKey()) {
+    return;
+  }
+
+  for (const Arc& a : graph_.Neighbors(u)) {
+    const Distance cand = du + a.weight;
+    bool improved = false;
+    if (side->reached[a.to] != generation_) {
+      side->reached[a.to] = generation_;
+      side->dist[a.to] = cand;
+      side->parent[a.to] = u;
+      side->heap.Push(a.to, cand);
+      improved = true;
+    } else if (cand < side->dist[a.to] &&
+               side->settled[a.to] != generation_) {
+      side->dist[a.to] = cand;
+      side->parent[a.to] = u;
+      side->heap.DecreaseKey(a.to, cand);
+      improved = true;
+    }
+    if (improved && other.reached[a.to] == generation_) {
+      const Distance total = cand + other.dist[a.to];
+      if (total < *best_dist) {
+        *best_dist = total;
+        *best_meet = a.to;
+      }
+    }
+  }
+}
+
+VertexId ReachIndex::Search(VertexId s, VertexId t, Distance* out_dist) {
+  ++generation_;
+  settled_count_ = 0;
+  forward_.heap.Clear();
+  backward_.heap.Clear();
+
+  forward_.dist[s] = 0;
+  forward_.parent[s] = kInvalidVertex;
+  forward_.reached[s] = generation_;
+  forward_.heap.Push(s, 0);
+  backward_.dist[t] = 0;
+  backward_.parent[t] = kInvalidVertex;
+  backward_.reached[t] = generation_;
+  backward_.heap.Push(t, 0);
+
+  if (s == t) {
+    *out_dist = 0;
+    return s;
+  }
+  Distance best_dist = kInfDistance;
+  VertexId best_meet = kInvalidVertex;
+  while (!forward_.heap.Empty() && !backward_.heap.Empty()) {
+    if (best_dist != kInfDistance &&
+        forward_.heap.MinKey() + backward_.heap.MinKey() >= best_dist) {
+      break;
+    }
+    if (forward_.heap.MinKey() <= backward_.heap.MinKey()) {
+      SettleOne(&forward_, backward_, &best_meet, &best_dist);
+    } else {
+      SettleOne(&backward_, forward_, &best_meet, &best_dist);
+    }
+  }
+  *out_dist = best_dist;
+  return best_meet;
+}
+
+Distance ReachIndex::DistanceQuery(VertexId s, VertexId t) {
+  Distance d = kInfDistance;
+  Search(s, t, &d);
+  return d;
+}
+
+Path ReachIndex::PathQuery(VertexId s, VertexId t) {
+  Distance d = kInfDistance;
+  VertexId meet = Search(s, t, &d);
+  if (meet == kInvalidVertex) return {};
+  Path path;
+  for (VertexId cur = meet; cur != kInvalidVertex;
+       cur = forward_.parent[cur]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  for (VertexId cur = backward_.parent[meet]; cur != kInvalidVertex;
+       cur = backward_.parent[cur]) {
+    path.push_back(cur);
+  }
+  return path;
+}
+
+size_t ReachIndex::IndexBytes() const { return VectorBytes(reach_); }
+
+}  // namespace roadnet

@@ -1,0 +1,71 @@
+#ifndef ROADNET_REACH_REACH_INDEX_H_
+#define ROADNET_REACH_REACH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pq/indexed_heap.h"
+#include "routing/path_index.h"
+
+namespace roadnet {
+
+// RE / reach-based pruning (Goldberg, Kaplan, Werneck 2006) — the third
+// technique of the paper's Appendix A. The reach of a vertex v is
+//   reach(v) = max over shortest paths P(s, t) containing v of
+//              min(dist(s, v), dist(v, t)),
+// i.e. how deep inside long shortest paths v can sit. Appendix A: "given
+// any two vertices s and t, if the reach of v is smaller than both
+// dist(s, v) and dist(v, t), then v cannot be on the shortest path from s
+// to t" — which plugs straight into bidirectional Dijkstra as a pruning
+// rule.
+//
+// Preprocessing here computes EXACT reaches with one SSSP per source: for
+// a fixed source s, every vertex's contribution is min(dist(s, v),
+// height(v)), where height(v) is the longest tight-edge continuation
+// below v in the shortest-path DAG (not just the tree, so tied shortest
+// paths are covered and pruning never cuts an optimal route). O(n * m)
+// overall — practical for the datasets the Appendix A bench uses, and
+// exactly the semantics the inexact upper-bound schemes approximate.
+class ReachIndex : public PathIndex {
+ public:
+  explicit ReachIndex(const Graph& g);
+
+  std::string Name() const override { return "RE"; }
+  Distance DistanceQuery(VertexId s, VertexId t) override;
+  Path PathQuery(VertexId s, VertexId t) override;
+  size_t IndexBytes() const override;
+
+  Distance ReachOf(VertexId v) const { return reach_[v]; }
+
+  size_t SettledCount() const { return settled_count_; }
+
+ private:
+  struct Side {
+    IndexedHeap<Distance> heap;
+    std::vector<Distance> dist;
+    std::vector<VertexId> parent;
+    std::vector<uint32_t> reached;
+    std::vector<uint32_t> settled;
+
+    explicit Side(uint32_t n)
+        : heap(n), dist(n, 0), parent(n, kInvalidVertex), reached(n, 0),
+          settled(n, 0) {}
+  };
+
+  VertexId Search(VertexId s, VertexId t, Distance* out_dist);
+  void SettleOne(Side* side, const Side& other, VertexId* best_meet,
+                 Distance* best_dist);
+
+  const Graph& graph_;
+  std::vector<Distance> reach_;
+
+  Side forward_;
+  Side backward_;
+  uint32_t generation_ = 0;
+  size_t settled_count_ = 0;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_REACH_REACH_INDEX_H_

@@ -1,0 +1,24 @@
+#include "routing/path.h"
+
+namespace roadnet {
+
+Distance PathWeight(const Graph& g, const Path& path) {
+  if (path.empty()) return kInfDistance;
+  Distance total = 0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto w = g.EdgeWeight(path[i], path[i + 1]);
+    if (!w.has_value()) return kInfDistance;
+    total += *w;
+  }
+  return total;
+}
+
+bool IsValidPath(const Graph& g, const Path& path) {
+  if (path.empty()) return false;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!g.HasEdge(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,27 @@
+#ifndef ROADNET_ROUTING_PATH_H_
+#define ROADNET_ROUTING_PATH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace roadnet {
+
+// A path is the vertex sequence s = v0, v1, ..., vk = t. In a simple graph
+// this uniquely identifies the edge sequence the paper's shortest path
+// queries ask for. An empty vector means "no path"; a single vertex is the
+// trivial s == t path.
+using Path = std::vector<VertexId>;
+
+// Sum of edge weights along the path, or kInfDistance if some consecutive
+// pair is not an edge of g.
+Distance PathWeight(const Graph& g, const Path& path);
+
+// True if every consecutive pair is an edge of g (and the path is
+// non-empty). Used by the correctness harness to validate query answers.
+bool IsValidPath(const Graph& g, const Path& path);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_ROUTING_PATH_H_

@@ -1,0 +1,42 @@
+#ifndef ROADNET_ROUTING_PATH_INDEX_H_
+#define ROADNET_ROUTING_PATH_INDEX_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/types.h"
+#include "routing/path.h"
+
+namespace roadnet {
+
+// Common interface of every technique the paper evaluates (Section 3):
+// the bidirectional Dijkstra baseline, CH, TNR, SILC, and PCPD. Indexes
+// are constructed over a Graph (preprocessing happens in the constructor
+// or a factory) and then answer the paper's two query types.
+//
+// Implementations are not required to be thread-safe: like the paper's
+// code, each index keeps per-query scratch state sized by the graph so
+// queries run allocation-free.
+class PathIndex {
+ public:
+  virtual ~PathIndex() = default;
+
+  // Technique name as used in the paper's figures ("CH", "TNR", ...).
+  virtual std::string Name() const = 0;
+
+  // Distance query (Section 2): length of the shortest path from s to t,
+  // or kInfDistance if t is unreachable.
+  virtual Distance DistanceQuery(VertexId s, VertexId t) = 0;
+
+  // Shortest path query (Section 2): the path as a vertex sequence
+  // (empty if unreachable).
+  virtual Path PathQuery(VertexId s, VertexId t) = 0;
+
+  // Bytes of precomputed structures held beyond the input graph; the
+  // paper's "space consumption" metric (Figure 6a).
+  virtual size_t IndexBytes() const = 0;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_ROUTING_PATH_INDEX_H_

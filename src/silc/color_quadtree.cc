@@ -1,0 +1,119 @@
+#include "silc/color_quadtree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "spatial/morton.h"
+#include "util/bytes.h"
+
+namespace roadnet {
+
+MortonSpace::MortonSpace(const Graph& g) : code_of_(g.NumVertices()) {
+  const Rect& b = g.Bounds();
+  uint64_t max_code = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const Point& p = g.Coord(v);
+    const uint32_t x = static_cast<uint32_t>(
+        static_cast<int64_t>(p.x) - b.min_x);
+    const uint32_t y = static_cast<uint32_t>(
+        static_cast<int64_t>(p.y) - b.min_y);
+    code_of_[v] = MortonEncode(x, y);
+    max_code = std::max(max_code, code_of_[v]);
+  }
+  // Root level: number of quadtree levels needed to cover max_code.
+  root_level_ = 0;
+  while (root_level_ < 32 && (max_code >> (2 * root_level_)) != 0) {
+    ++root_level_;
+  }
+
+  sorted_.resize(g.NumVertices());
+  std::iota(sorted_.begin(), sorted_.end(), 0);
+  std::sort(sorted_.begin(), sorted_.end(), [this](VertexId a, VertexId b) {
+    return code_of_[a] < code_of_[b];
+  });
+  sorted_codes_.reserve(sorted_.size());
+  for (VertexId v : sorted_) sorted_codes_.push_back(code_of_[v]);
+}
+
+size_t MortonSpace::MemoryBytes() const {
+  return VectorBytes(code_of_) + VectorBytes(sorted_) +
+         VectorBytes(sorted_codes_);
+}
+
+namespace {
+
+// Recursive subdivision over the Morton-sorted position range [lo, hi).
+// `base` is the first code of the current block, `level` its quadtree
+// level (a block covers 4^level codes).
+void Subdivide(const std::vector<uint64_t>& codes,
+               const std::vector<uint32_t>& colors, size_t lo, size_t hi,
+               uint64_t base, uint32_t level,
+               std::vector<ColorInterval>* intervals,
+               std::vector<uint32_t>* exceptions) {
+  if (lo >= hi) return;
+
+  // Single-colour block? Early-exit scan.
+  const uint32_t first_color = colors[lo];
+  bool uniform = true;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    if (colors[i] != first_color) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) {
+    intervals->push_back(ColorInterval{base, first_color});
+    return;
+  }
+
+  if (level == 0) {
+    // Distinct vertices sharing one exact Morton code with different
+    // colours: subdivision cannot separate them. Record as exceptions.
+    for (size_t i = lo; i < hi; ++i) {
+      exceptions->push_back(static_cast<uint32_t>(i));
+    }
+    return;
+  }
+
+  // Split into the four child quadrants.
+  const uint64_t quarter = uint64_t{1} << (2 * (level - 1));
+  size_t child_lo = lo;
+  for (int q = 0; q < 4; ++q) {
+    const uint64_t child_base = base + static_cast<uint64_t>(q) * quarter;
+    const uint64_t child_end = child_base + quarter;
+    const size_t child_hi = static_cast<size_t>(
+        std::lower_bound(codes.begin() + child_lo, codes.begin() + hi,
+                         child_end) -
+        codes.begin());
+    Subdivide(codes, colors, child_lo, child_hi, child_base, level - 1,
+              intervals, exceptions);
+    child_lo = child_hi;
+  }
+}
+
+}  // namespace
+
+void CompressColors(const MortonSpace& space,
+                    const std::vector<uint32_t>& color_by_position,
+                    std::vector<ColorInterval>* intervals,
+                    std::vector<uint32_t>* exceptions) {
+  intervals->clear();
+  exceptions->clear();
+  Subdivide(space.SortedCodes(), color_by_position, 0,
+            space.SortedCodes().size(), 0, space.RootLevel(), intervals,
+            exceptions);
+}
+
+uint32_t LookupColor(const ColorInterval* begin, const ColorInterval* end,
+                     uint64_t code) {
+  // Last interval whose start is <= code. Emitted blocks are disjoint,
+  // sorted, and cover every vertex code, so this is the containing block.
+  const ColorInterval* it = std::upper_bound(
+      begin, end, code, [](uint64_t c, const ColorInterval& iv) {
+        return c < iv.start;
+      });
+  if (it == begin) return kColorUnreachable;
+  return (it - 1)->color;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,74 @@
+#ifndef ROADNET_SILC_COLOR_QUADTREE_H_
+#define ROADNET_SILC_COLOR_QUADTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace roadnet {
+
+// Sentinel colours used by SILC's per-source partitions.
+inline constexpr uint32_t kColorSource = 0xffffffffu;      // the source itself
+inline constexpr uint32_t kColorUnreachable = 0xfffffffeu;
+
+// Shared Z-order view of the vertex set: each vertex's coordinates,
+// normalized to the bounding box, interleaved into a Morton code, and the
+// vertex ids sorted by that code. Quadtree blocks are exactly aligned
+// Morton-code ranges of this order, which is what lets SILC store each
+// equivalence class as a handful of Z-curve intervals (Appendix D: "each
+// cell is transformed into an interval on a two-dimensional Z-curve").
+class MortonSpace {
+ public:
+  explicit MortonSpace(const Graph& g);
+
+  uint64_t CodeOf(VertexId v) const { return code_of_[v]; }
+
+  // Vertex ids sorted by Morton code.
+  const std::vector<VertexId>& SortedVertices() const { return sorted_; }
+  // Morton codes aligned with SortedVertices().
+  const std::vector<uint64_t>& SortedCodes() const { return sorted_codes_; }
+
+  // Smallest L such that every code fits in 2L bits (quadtree root level).
+  uint32_t RootLevel() const { return root_level_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<uint64_t> code_of_;
+  std::vector<VertexId> sorted_;
+  std::vector<uint64_t> sorted_codes_;
+  uint32_t root_level_ = 0;
+};
+
+// One maximal single-colour quadtree block, identified by the first Morton
+// code it covers. Blocks emitted for one source are disjoint and sorted,
+// so the block containing a code is found with one binary search.
+struct ColorInterval {
+  uint64_t start;
+  uint32_t color;
+};
+
+// Compresses a per-vertex colouring into Z-curve intervals by recursive
+// quadtree subdivision (Appendix D: split any cell containing two
+// different equivalence classes into four quadrants).
+//
+// color_by_position[i] is the colour of space.SortedVertices()[i].
+// Vertices that share one exact Morton code but disagree in colour cannot
+// be separated by subdivision; they are reported in *exceptions (indices
+// into the sorted order) and excluded from interval lookups.
+void CompressColors(const MortonSpace& space,
+                    const std::vector<uint32_t>& color_by_position,
+                    std::vector<ColorInterval>* intervals,
+                    std::vector<uint32_t>* exceptions);
+
+// Looks up the colour of `code` in a compressed interval list (the
+// [begin, end) range of one source's intervals). Returns the colour of the
+// containing block.
+uint32_t LookupColor(const ColorInterval* begin, const ColorInterval* end,
+                     uint64_t code);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_SILC_COLOR_QUADTREE_H_

@@ -1,0 +1,56 @@
+#ifndef ROADNET_SPATIAL_MORTON_H_
+#define ROADNET_SPATIAL_MORTON_H_
+
+#include <cstdint>
+
+namespace roadnet {
+
+// Z-order (Morton) encoding of 32-bit cell coordinates into a 64-bit code.
+// SILC stores each first-hop colour region as a set of intervals on the
+// Z-curve (Appendix D), and quadtree blocks map to aligned Z-intervals.
+
+namespace internal_morton {
+
+// Spreads the low 32 bits of v so that bit i moves to bit 2*i.
+inline uint64_t SpreadBits(uint64_t v) {
+  v &= 0xffffffffULL;
+  v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+// Inverse of SpreadBits.
+inline uint32_t CompactBits(uint64_t v) {
+  v &= 0x5555555555555555ULL;
+  v = (v | (v >> 1)) & 0x3333333333333333ULL;
+  v = (v | (v >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v >> 4)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v >> 8)) & 0x0000ffff0000ffffULL;
+  v = (v | (v >> 16)) & 0x00000000ffffffffULL;
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace internal_morton
+
+// Interleaves (x, y) into a Z-order code. x occupies even bits.
+inline uint64_t MortonEncode(uint32_t x, uint32_t y) {
+  return internal_morton::SpreadBits(x) |
+         (internal_morton::SpreadBits(y) << 1);
+}
+
+// Recovers x from a Z-order code.
+inline uint32_t MortonX(uint64_t code) {
+  return internal_morton::CompactBits(code);
+}
+
+// Recovers y from a Z-order code.
+inline uint32_t MortonY(uint64_t code) {
+  return internal_morton::CompactBits(code >> 1);
+}
+
+}  // namespace roadnet
+
+#endif  // ROADNET_SPATIAL_MORTON_H_

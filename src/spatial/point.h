@@ -1,0 +1,41 @@
+#ifndef ROADNET_SPATIAL_POINT_H_
+#define ROADNET_SPATIAL_POINT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+namespace roadnet {
+
+// Planar vertex coordinate. DIMACS .co files store integer micro-degrees;
+// the synthetic generator produces integer grid coordinates. All spatial
+// reasoning in the paper (grids, shells, L-infinity query buckets, quadtree
+// squares) is integer-exact on these.
+struct Point {
+  int32_t x = 0;
+  int32_t y = 0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+// Chebyshev (L-infinity) distance, the metric used to bucket the paper's
+// query sets Q1..Q10 (Section 4.2).
+inline int64_t LInfDistance(const Point& a, const Point& b) {
+  int64_t dx = std::abs(static_cast<int64_t>(a.x) - b.x);
+  int64_t dy = std::abs(static_cast<int64_t>(a.y) - b.y);
+  return std::max(dx, dy);
+}
+
+// Squared Euclidean distance, used by the generator when assigning
+// travel-time edge weights.
+inline int64_t SquaredEuclidean(const Point& a, const Point& b) {
+  int64_t dx = static_cast<int64_t>(a.x) - b.x;
+  int64_t dy = static_cast<int64_t>(a.y) - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace roadnet
+
+#endif  // ROADNET_SPATIAL_POINT_H_

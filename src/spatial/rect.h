@@ -1,0 +1,75 @@
+#ifndef ROADNET_SPATIAL_RECT_H_
+#define ROADNET_SPATIAL_RECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "spatial/point.h"
+
+namespace roadnet {
+
+// Closed axis-aligned integer rectangle [min_x, max_x] x [min_y, max_y].
+// Used for grid cells, TNR shells, and the square regions of SILC/PCPD.
+struct Rect {
+  int32_t min_x = 0;
+  int32_t min_y = 0;
+  int32_t max_x = -1;
+  int32_t max_y = -1;
+
+  static Rect Empty() { return Rect{}; }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const Rect& o) const {
+    return !IsEmpty() && !o.IsEmpty() && min_x <= o.max_x &&
+           o.min_x <= max_x && min_y <= o.max_y && o.min_y <= max_y;
+  }
+
+  // Grows the rectangle to cover p.
+  void Expand(const Point& p) {
+    if (IsEmpty()) {
+      min_x = max_x = p.x;
+      min_y = max_y = p.y;
+      return;
+    }
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+// Bounding box of a point sequence.
+template <typename Iterator>
+Rect BoundingBox(Iterator begin, Iterator end) {
+  Rect r = Rect::Empty();
+  for (Iterator it = begin; it != end; ++it) r.Expand(*it);
+  return r;
+}
+
+// True if the segment (a, b) crosses or touches the boundary of rect while
+// having at least one endpoint strictly related to each side: i.e. one
+// endpoint inside (or on) the rectangle and the other outside it. This is
+// the "edge intersects the shell" predicate TNR needs: shells are the
+// boundaries of cell-aligned squares, and road edges are short relative to
+// cells, so endpoint sidedness is the correct and exact test for the
+// cell-granularity geometry used throughout (shell membership is computed
+// on grid cells, not raw coordinates; see tnr/grid.h).
+inline bool SegmentCrossesRect(const Rect& r, const Point& a,
+                               const Point& b) {
+  return r.Contains(a) != r.Contains(b);
+}
+
+}  // namespace roadnet
+
+#endif  // ROADNET_SPATIAL_RECT_H_

@@ -1,0 +1,66 @@
+#include "spatial/unique_morton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "spatial/morton.h"
+
+namespace roadnet {
+
+uint32_t BuildUniqueMortonCodes(const Graph& g,
+                                std::vector<uint64_t>* code_of,
+                                std::vector<VertexId>* sorted,
+                                std::vector<uint64_t>* sorted_codes) {
+  const uint32_t n = g.NumVertices();
+  const Rect& b = g.Bounds();
+
+  std::vector<std::pair<uint64_t, VertexId>> coded(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const Point& p = g.Coord(v);
+    const uint32_t x =
+        static_cast<uint32_t>((static_cast<int64_t>(p.x) - b.min_x) * 16);
+    const uint32_t y =
+        static_cast<uint32_t>((static_cast<int64_t>(p.y) - b.min_y) * 16);
+    coded[v] = {MortonEncode(x, y), v};
+  }
+  std::sort(coded.begin(), coded.end());
+
+  code_of->resize(n);
+  for (const auto& [code, v] : coded) (*code_of)[v] = code;
+  // Nudge co-located runs apart: the k-th duplicate moves to sub-cell
+  // (k%16, k/16) of the 16x16 scaled cell.
+  for (size_t i = 0; i < coded.size();) {
+    size_t j = i + 1;
+    while (j < coded.size() && coded[j].first == coded[i].first) ++j;
+    if (j - i > 1) {
+      assert(j - i <= 256 && "too many co-located vertices");
+      const uint32_t bx = MortonX(coded[i].first);
+      const uint32_t by = MortonY(coded[i].first);
+      for (size_t k = i; k < j; ++k) {
+        const uint32_t d = static_cast<uint32_t>(k - i);
+        (*code_of)[coded[k].second] = MortonEncode(bx + d % 16, by + d / 16);
+      }
+    }
+    i = j;
+  }
+
+  uint64_t max_code = 0;
+  for (uint64_t c : *code_of) max_code = std::max(max_code, c);
+  uint32_t root_level = 0;
+  while (root_level < 32 && (max_code >> (2 * root_level)) != 0) {
+    ++root_level;
+  }
+
+  sorted->resize(n);
+  for (VertexId v = 0; v < n; ++v) (*sorted)[v] = v;
+  std::sort(sorted->begin(), sorted->end(), [&](VertexId a, VertexId b2) {
+    return (*code_of)[a] < (*code_of)[b2];
+  });
+  sorted_codes->clear();
+  sorted_codes->reserve(n);
+  for (VertexId v : *sorted) sorted_codes->push_back((*code_of)[v]);
+  return root_level;
+}
+
+}  // namespace roadnet

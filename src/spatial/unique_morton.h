@@ -1,0 +1,28 @@
+#ifndef ROADNET_SPATIAL_UNIQUE_MORTON_H_
+#define ROADNET_SPATIAL_UNIQUE_MORTON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace roadnet {
+
+// Assigns every vertex a UNIQUE Morton code: coordinates are normalized
+// to the bounding box, scaled by 16, and runs of co-located vertices are
+// nudged apart inside the scaled 16x16 sub-cell (so at most 256 vertices
+// may share one exact coordinate). Quadtree-based structures (PCPD, the
+// approximate distance oracle) need uniqueness so their recursive pair
+// refinement always bottoms out at true singletons.
+//
+// Returns the quadtree root level (codes fit in 2 * root_level bits) and
+// fills codes[v], plus the vertex ids sorted by code and the sorted code
+// array (aligned).
+uint32_t BuildUniqueMortonCodes(const Graph& g,
+                                std::vector<uint64_t>* code_of,
+                                std::vector<VertexId>* sorted,
+                                std::vector<uint64_t>* sorted_codes);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_SPATIAL_UNIQUE_MORTON_H_

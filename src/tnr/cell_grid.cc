@@ -1,0 +1,40 @@
+#include "tnr/cell_grid.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace roadnet {
+
+CellGrid::CellGrid(const Graph& g, uint32_t resolution)
+    : resolution_(resolution),
+      vertex_cells_(g.NumVertices()),
+      cell_vertices_(static_cast<size_t>(resolution) * resolution) {
+  const Rect& b = g.Bounds();
+  // Cell side, rounded up so every coordinate maps into [0, resolution).
+  const int64_t width = static_cast<int64_t>(b.max_x) - b.min_x + 1;
+  const int64_t height = static_cast<int64_t>(b.max_y) - b.min_y + 1;
+  const int64_t side_x =
+      std::max<int64_t>(1, (width + resolution - 1) / resolution);
+  const int64_t side_y =
+      std::max<int64_t>(1, (height + resolution - 1) / resolution);
+
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const Point& p = g.Coord(v);
+    CellCoord c{
+        static_cast<int32_t>((static_cast<int64_t>(p.x) - b.min_x) / side_x),
+        static_cast<int32_t>((static_cast<int64_t>(p.y) - b.min_y) / side_y)};
+    vertex_cells_[v] = c;
+    cell_vertices_[CellIndex(c)].push_back(v);
+  }
+  for (uint32_t i = 0; i < NumCells(); ++i) {
+    if (!cell_vertices_[i].empty()) non_empty_cells_.push_back(i);
+  }
+}
+
+size_t CellGrid::MemoryBytes() const {
+  return VectorBytes(vertex_cells_) + NestedVectorBytes(cell_vertices_) +
+         VectorBytes(non_empty_cells_);
+}
+
+}  // namespace roadnet

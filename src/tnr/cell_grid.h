@@ -1,0 +1,69 @@
+#ifndef ROADNET_TNR_CELL_GRID_H_
+#define ROADNET_TNR_CELL_GRID_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace roadnet {
+
+// Integer coordinates of a grid cell.
+struct CellCoord {
+  int32_t x = 0;
+  int32_t y = 0;
+
+  friend bool operator==(const CellCoord& a, const CellCoord& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+// Chebyshev distance between cells. TNR's shell geometry is expressed in
+// this metric: the inner shell of C is the boundary of the 5x5 cell square
+// around C (cells at distance exactly 2), the outer shell is the boundary
+// of the 9x9 square (distance exactly 4). "Beyond the outer shell" means
+// distance >= 5 (Section 3.3).
+inline int32_t CellChebyshev(const CellCoord& a, const CellCoord& b) {
+  return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+// Uniform resolution x resolution grid imposed on the graph's bounding box
+// (Section 3.3: "TNR is an indexing method that imposes a grid on the road
+// network"). Precomputes each vertex's cell and the vertex list per cell.
+class CellGrid {
+ public:
+  CellGrid(const Graph& g, uint32_t resolution);
+
+  uint32_t resolution() const { return resolution_; }
+  uint32_t NumCells() const { return resolution_ * resolution_; }
+
+  CellCoord CellOf(VertexId v) const { return vertex_cells_[v]; }
+
+  uint32_t CellIndex(const CellCoord& c) const {
+    return static_cast<uint32_t>(c.y) * resolution_ +
+           static_cast<uint32_t>(c.x);
+  }
+
+  const std::vector<VertexId>& VerticesIn(uint32_t cell_index) const {
+    return cell_vertices_[cell_index];
+  }
+
+  // Cells with at least one vertex.
+  const std::vector<uint32_t>& NonEmptyCells() const {
+    return non_empty_cells_;
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  uint32_t resolution_;
+  std::vector<CellCoord> vertex_cells_;
+  std::vector<std::vector<VertexId>> cell_vertices_;
+  std::vector<uint32_t> non_empty_cells_;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_TNR_CELL_GRID_H_

@@ -1,0 +1,36 @@
+#ifndef ROADNET_UTIL_BYTES_H_
+#define ROADNET_UTIL_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace roadnet {
+
+// Helpers used by every index to account for its resident size, mirroring
+// the paper's "space consumption (MB)" metric. We count the bytes actually
+// held by containers (capacity-based for vectors) rather than process RSS,
+// which makes the numbers deterministic and comparable across methods.
+
+// Bytes held by the heap buffer of a vector of trivially sized elements.
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+// Bytes held by a vector of vectors (outer buffer plus every inner buffer).
+template <typename T>
+size_t NestedVectorBytes(const std::vector<std::vector<T>>& v) {
+  size_t total = v.capacity() * sizeof(std::vector<T>);
+  for (const auto& inner : v) total += inner.capacity() * sizeof(T);
+  return total;
+}
+
+// Formats a byte count as mebibytes, the unit used in Figure 6(a).
+inline double BytesToMiB(size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace roadnet
+
+#endif  // ROADNET_UTIL_BYTES_H_

@@ -1,0 +1,33 @@
+#ifndef ROADNET_UTIL_TIMER_H_
+#define ROADNET_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace roadnet {
+
+// Monotonic wall-clock stopwatch used for all preprocessing and query
+// timings reported by the experiment framework.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Reset(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Elapsed time in microseconds (the unit the paper reports query times in).
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_UTIL_TIMER_H_

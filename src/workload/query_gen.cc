@@ -1,0 +1,168 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+#include "dijkstra/dijkstra.h"
+#include "tnr/cell_grid.h"
+#include "util/rng.h"
+
+namespace roadnet {
+
+namespace {
+
+constexpr int kNumSets = 10;
+
+// Uniform random vertex.
+VertexId RandomVertex(const Graph& g, Rng* rng) {
+  return static_cast<VertexId>(rng->NextBelow(g.NumVertices()));
+}
+
+}  // namespace
+
+std::vector<QuerySet> GenerateLInfQuerySets(const Graph& g, size_t per_set,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  // l = cell side of the paper's 1024x1024 grid.
+  const Rect& b = g.Bounds();
+  const int64_t span = std::max<int64_t>(
+      std::max(static_cast<int64_t>(b.max_x) - b.min_x,
+               static_cast<int64_t>(b.max_y) - b.min_y),
+      1024);
+  const int64_t l = (span + 1023) / 1024;
+
+  // Secondary coarse grid for targeted sampling of near buckets, where
+  // rejection sampling would practically never hit.
+  const CellGrid grid(g, 256);
+  const int64_t cell_side = (span + 255) / 256;
+
+  std::vector<QuerySet> sets(kNumSets);
+  for (int i = 0; i < kNumSets; ++i) {
+    sets[i].name = "Q" + std::to_string(i + 1);
+    const int64_t lo = l << i;        // 2^(i-1) * l with i one-based
+    const int64_t hi = l << (i + 1);  // 2^i * l
+
+    auto in_range = [&](VertexId s, VertexId t) {
+      const int64_t d = LInfDistance(g.Coord(s), g.Coord(t));
+      return s != t && d >= lo && d < hi;
+    };
+
+    size_t stale = 0;  // consecutive failures; bail out on hopeless buckets
+    while (sets[i].pairs.size() < per_set && stale < per_set * 4 + 400) {
+      // Cheap first: plain rejection sampling (wins for far buckets).
+      bool found = false;
+      for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+        const VertexId s = RandomVertex(g, &rng);
+        const VertexId t = RandomVertex(g, &rng);
+        if (in_range(s, t)) {
+          sets[i].pairs.emplace_back(s, t);
+          found = true;
+        }
+      }
+      if (found) {
+        stale = 0;
+        continue;
+      }
+      // Targeted: scan the coarse-grid ring around a random source.
+      const VertexId s = RandomVertex(g, &rng);
+      const CellCoord cs = grid.CellOf(s);
+      const int32_t r_lo = std::max<int64_t>(0, lo / cell_side - 1);
+      const int32_t r_hi =
+          static_cast<int32_t>(std::min<int64_t>(255, hi / cell_side + 1));
+      std::vector<VertexId> candidates;
+      for (int32_t y = std::max(0, cs.y - r_hi);
+           y <= std::min(255, cs.y + r_hi); ++y) {
+        for (int32_t x = std::max(0, cs.x - r_hi);
+             x <= std::min(255, cs.x + r_hi); ++x) {
+          if (CellChebyshev(cs, CellCoord{x, y}) < r_lo) continue;
+          for (VertexId t : grid.VerticesIn(grid.CellIndex(CellCoord{x, y}))) {
+            if (in_range(s, t)) candidates.push_back(t);
+          }
+        }
+      }
+      if (candidates.empty()) {
+        ++stale;
+        continue;
+      }
+      stale = 0;
+      sets[i].pairs.emplace_back(
+          s, candidates[rng.NextBelow(candidates.size())]);
+    }
+  }
+  return sets;
+}
+
+std::vector<QuerySet> GenerateNetworkDistanceQuerySets(const Graph& g,
+                                                       size_t per_set,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  Dijkstra dijkstra(g);
+
+  // Rough maximum network distance: the eccentricity of a corner vertex
+  // (the paper likewise uses "a rough estimation").
+  VertexId corner = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (static_cast<int64_t>(g.Coord(v).x) + g.Coord(v).y <
+        static_cast<int64_t>(g.Coord(corner).x) + g.Coord(corner).y) {
+      corner = v;
+    }
+  }
+  dijkstra.RunAll(corner);
+  Distance ld = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const Distance d = dijkstra.DistanceTo(v);
+    if (d != kInfDistance) ld = std::max(ld, d);
+  }
+
+  std::vector<QuerySet> sets(kNumSets);
+  std::vector<std::pair<Distance, Distance>> bounds(kNumSets);
+  for (int i = 0; i < kNumSets; ++i) {
+    sets[i].name = "R" + std::to_string(i + 1);
+    // [2^(i-11) ld, 2^(i-10) ld) with i one-based: R10 = [ld/2, ld).
+    bounds[i] = {ld >> (10 - i), ld >> (9 - i)};
+  }
+
+  // One SSSP feeds every bucket: from a random source, sample a few
+  // targets inside each still-unfilled distance band.
+  size_t stale = 0;
+  std::vector<std::vector<VertexId>> candidates(kNumSets);
+  auto all_full = [&] {
+    for (const auto& s : sets) {
+      if (s.pairs.size() < per_set) return false;
+    }
+    return true;
+  };
+  const size_t per_source = 25;
+  while (!all_full() && stale < 200) {
+    const VertexId s = RandomVertex(g, &rng);
+    dijkstra.RunAll(s);
+    for (auto& c : candidates) c.clear();
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      const Distance d = dijkstra.DistanceTo(t);
+      if (t == s || d == kInfDistance) continue;
+      for (int i = 0; i < kNumSets; ++i) {
+        if (sets[i].pairs.size() < per_set && d >= bounds[i].first &&
+            d < bounds[i].second) {
+          candidates[i].push_back(t);
+          break;
+        }
+      }
+    }
+    bool progressed = false;
+    for (int i = 0; i < kNumSets; ++i) {
+      auto& c = candidates[i];
+      for (size_t k = 0; k < per_source && !c.empty() &&
+                         sets[i].pairs.size() < per_set;
+           ++k) {
+        const size_t pick = rng.NextBelow(c.size());
+        sets[i].pairs.emplace_back(s, c[pick]);
+        c[pick] = c.back();
+        c.pop_back();
+        progressed = true;
+      }
+    }
+    stale = progressed ? 0 : stale + 1;
+  }
+  return sets;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,37 @@
+#ifndef ROADNET_WORKLOAD_QUERY_GEN_H_
+#define ROADNET_WORKLOAD_QUERY_GEN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace roadnet {
+
+// One query workload: a named list of (source, target) pairs.
+struct QuerySet {
+  std::string name;
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+};
+
+// The paper's query sets Q1..Q10 (Section 4.2): impose a 1024x1024 grid on
+// the network, let l be the cell side, and fill Qi with random vertex
+// pairs whose L-infinity distance lies in [2^(i-1) * l, 2^i * l).
+// Buckets that the network cannot populate (e.g. the graph's diameter is
+// too small) come back smaller than `per_set`; they are never padded with
+// out-of-range pairs.
+std::vector<QuerySet> GenerateLInfQuerySets(const Graph& g, size_t per_set,
+                                            uint64_t seed);
+
+// The alternative sets R1..R10 (Appendix E.2): ld is a rough estimate of
+// the maximum network distance, and Ri holds pairs with
+// dist(u, v) in [2^(i-11) * ld, 2^(i-10) * ld).
+std::vector<QuerySet> GenerateNetworkDistanceQuerySets(const Graph& g,
+                                                       size_t per_set,
+                                                       uint64_t seed);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,134 @@
+#include "tnr/access_nodes.h"
+
+#include <algorithm>
+
+#include "ch/ch_index.h"
+#include "dijkstra/dijkstra.h"
+#include "tests/test_util.h"
+#include "tnr/cell_grid.h"
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+// The covering property (Section 3.3): for any vertex v in a cell C and
+// any target t beyond C's outer shell, SOME access node of C lies on a
+// shortest v-t path with its recorded distance exact, i.e.
+// min over a of [recorded d(v,a) + dist(a,t)] == dist(v,t).
+TEST(AccessNodes, CoverAllFarShortestPaths) {
+  Graph g = TestNetwork(900, 55);
+  CellGrid grid(g, 12);
+  ChIndex ch(g);
+  AccessNodeSet set = ComputeAccessNodes(g, grid, &ch);
+  Dijkstra dij(g);
+
+  Rng rng(5);
+  size_t checked = 0;
+  while (checked < 60) {
+    const VertexId v = static_cast<VertexId>(rng.NextBelow(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.NextBelow(g.NumVertices()));
+    if (CellChebyshev(grid.CellOf(v), grid.CellOf(t)) < 5) continue;
+    ++checked;
+    const Distance truth = dij.Run(v, t);
+    Distance via_access = kInfDistance;
+    for (const VertexAccess& va : set.vertex_access[v]) {
+      const Distance rest = dij.Run(va.node, t);
+      if (rest == kInfDistance) continue;
+      via_access = std::min(via_access, va.dist + rest);
+    }
+    EXPECT_EQ(via_access, truth) << "v=" << v << " t=" << t;
+  }
+}
+
+TEST(AccessNodes, RecordedDistancesAreExact) {
+  Graph g = TestNetwork(600, 19);
+  CellGrid grid(g, 10);
+  ChIndex ch(g);
+  AccessNodeSet set = ComputeAccessNodes(g, grid, &ch);
+  Dijkstra dij(g);
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const VertexId v = static_cast<VertexId>(rng.NextBelow(g.NumVertices()));
+    for (const VertexAccess& va : set.vertex_access[v]) {
+      EXPECT_EQ(va.dist, dij.Run(v, va.node))
+          << "v=" << v << " access=" << va.node;
+    }
+  }
+}
+
+TEST(AccessNodes, EveryCellVertexCarriesTheFullCellSet) {
+  // I2 completeness: each vertex has one entry per access node of its
+  // cell (the paper's "distance from each vertex v to each access node of
+  // the cell that contains v").
+  Graph g = TestNetwork(600, 23);
+  CellGrid grid(g, 10);
+  ChIndex ch(g);
+  AccessNodeSet set = ComputeAccessNodes(g, grid, &ch);
+  for (uint32_t cell : grid.NonEmptyCells()) {
+    const auto& access = set.cell_access[cell];
+    for (VertexId v : grid.VerticesIn(cell)) {
+      EXPECT_EQ(set.vertex_access[v].size(), access.size()) << "v=" << v;
+    }
+  }
+}
+
+TEST(AccessNodes, AccessCountPerCellIsSmall) {
+  // The paper observes ~10 access nodes per cell regardless of dataset;
+  // our synthetic analogues should stay in the same order of magnitude.
+  Graph g = TestNetwork(2500, 29);
+  CellGrid grid(g, 16);
+  ChIndex ch(g);
+  AccessNodeSet set = ComputeAccessNodes(g, grid, &ch);
+  size_t cells = 0, total = 0, biggest = 0;
+  for (uint32_t cell : grid.NonEmptyCells()) {
+    const size_t k = set.cell_access[cell].size();
+    ++cells;
+    total += k;
+    biggest = std::max(biggest, k);
+  }
+  const double avg = static_cast<double>(total) / cells;
+  EXPECT_LT(avg, 40.0);
+  EXPECT_LT(biggest, 120u);
+}
+
+TEST(AccessNodes, FlawedVariantMissesJumpingEdgeCoverage) {
+  // On a network with fast shell-jumping bridges, the flawed enumeration
+  // must produce a strictly poorer covering: some far pair's Equation-1
+  // estimate exceeds the true distance.
+  GeneratorConfig gc;
+  gc.target_vertices = 1600;
+  gc.seed = 4242 + 2000;
+  gc.long_edge_probability = 0.05;
+  gc.long_edge_span = 14;
+  Graph g = GenerateRoadNetwork(gc);
+  CellGrid grid(g, 16);
+  ChIndex ch(g);
+  AccessNodeSet correct = ComputeAccessNodes(g, grid, &ch);
+  AccessNodeSet flawed = ComputeAccessNodesFlawed(g, grid, &ch);
+  Dijkstra dij(g);
+
+  Rng rng(7);
+  size_t checked = 0, flawed_wrong = 0;
+  while (checked < 150) {
+    const VertexId v = static_cast<VertexId>(rng.NextBelow(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.NextBelow(g.NumVertices()));
+    if (CellChebyshev(grid.CellOf(v), grid.CellOf(t)) < 5) continue;
+    ++checked;
+    const Distance truth = dij.Run(v, t);
+    auto via = [&](const AccessNodeSet& s) {
+      Distance best = kInfDistance;
+      for (const VertexAccess& va : s.vertex_access[v]) {
+        const Distance rest = dij.Run(va.node, t);
+        if (rest != kInfDistance) best = std::min(best, va.dist + rest);
+      }
+      return best;
+    };
+    EXPECT_EQ(via(correct), truth) << "correct variant must cover v=" << v;
+    if (via(flawed) != truth) ++flawed_wrong;
+  }
+  EXPECT_GT(flawed_wrong, 0u)
+      << "the flawed variant should miss at least one covering";
+}
+
+}  // namespace
+}  // namespace roadnet

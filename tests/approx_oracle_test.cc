@@ -1,0 +1,104 @@
+#include "pcpd/approx_oracle.h"
+
+#include "dijkstra/dijkstra.h"
+#include "tests/test_util.h"
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+struct OracleParam {
+  uint64_t seed;
+  double epsilon;
+};
+
+class ApproxOracleTest
+    : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(ApproxOracleTest, ErrorStaysWithinEpsilon) {
+  const auto [seed, epsilon] = GetParam();
+  Graph g = TestNetwork(350, seed);
+  ApproxDistanceOracle oracle(g, epsilon);
+  Dijkstra dij(g);
+  for (auto [s, t] : RandomPairs(g, 200, seed + 50)) {
+    if (s == t) {
+      EXPECT_EQ(oracle.Query(s, t), 0u);
+      continue;
+    }
+    const Distance truth = dij.Run(s, t);
+    const Distance approx = oracle.Query(s, t);
+    if (truth == kInfDistance) {
+      EXPECT_EQ(approx, kInfDistance);
+      continue;
+    }
+    ASSERT_NE(approx, kInfDistance) << "s=" << s << " t=" << t;
+    const double rel =
+        std::abs(static_cast<double>(approx) - static_cast<double>(truth)) /
+        static_cast<double>(truth);
+    EXPECT_LE(rel, epsilon + 1e-9)
+        << "s=" << s << " t=" << t << " approx=" << approx
+        << " truth=" << truth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndEpsilons, ApproxOracleTest,
+    ::testing::Values(OracleParam{1, 0.01}, OracleParam{1, 0.10},
+                      OracleParam{2, 0.25}, OracleParam{3, 0.05},
+                      OracleParam{4, 0.50}));
+
+TEST(ApproxOracle, ExactForSelfQueries) {
+  Graph g = TestNetwork(200, 7);
+  ApproxDistanceOracle oracle(g, 0.1);
+  for (VertexId v = 0; v < g.NumVertices(); v += 13) {
+    EXPECT_EQ(oracle.Query(v, v), 0u);
+  }
+}
+
+TEST(ApproxOracle, LooserEpsilonMeansFewerPairs) {
+  Graph g = TestNetwork(400, 9);
+  ApproxDistanceOracle tight(g, 0.02);
+  ApproxDistanceOracle loose(g, 0.5);
+  EXPECT_LT(loose.NumPairs(), tight.NumPairs());
+  EXPECT_LT(loose.IndexBytes(), tight.IndexBytes());
+}
+
+TEST(ApproxOracle, HandlesDisconnectedGraphs) {
+  GraphBuilder b(6);
+  b.SetCoord(0, Point{0, 0});
+  b.SetCoord(1, Point{100, 0});
+  b.SetCoord(2, Point{200, 0});
+  b.SetCoord(3, Point{5000, 5000});
+  b.SetCoord(4, Point{5100, 5000});
+  b.SetCoord(5, Point{5200, 5000});
+  b.AddEdge(0, 1, 5);
+  b.AddEdge(1, 2, 5);
+  b.AddEdge(3, 4, 7);
+  b.AddEdge(4, 5, 7);
+  Graph g = std::move(b).Build();
+  ApproxDistanceOracle oracle(g, 0.1);
+  EXPECT_EQ(oracle.Query(0, 5), kInfDistance);
+  EXPECT_EQ(oracle.Query(3, 0), kInfDistance);
+  EXPECT_NE(oracle.Query(0, 2), kInfDistance);
+}
+
+TEST(ApproxOracle, SmallerThanExactAllPairs) {
+  // The point of the revision: the pair count stays well below the n^2
+  // an explicit all-pairs table needs, and grows subquadratically.
+  Graph g1 = TestNetwork(400, 11);
+  Graph g2 = TestNetwork(1600, 11);
+  ApproxDistanceOracle o1(g1, 0.25);
+  ApproxDistanceOracle o2(g2, 0.25);
+  const size_t n1 = g1.NumVertices();
+  const size_t n2 = g2.NumVertices();
+  EXPECT_LT(o1.NumPairs(), n1 * n1 / 2);
+  EXPECT_LT(o2.NumPairs(), n2 * n2 / 2);
+  const double pair_growth =
+      static_cast<double>(o2.NumPairs()) / static_cast<double>(o1.NumPairs());
+  const double quadratic_growth =
+      (static_cast<double>(n2) * n2) / (static_cast<double>(n1) * n1);
+  EXPECT_LT(pair_growth, quadratic_growth / 1.5);
+}
+
+}  // namespace
+}  // namespace roadnet

@@ -1,0 +1,127 @@
+#include "ch/ch_index.h"
+
+#include <memory>
+
+#include "ch/contraction.h"
+#include "ch/many_to_many.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/generator.h"
+#include "tests/test_util.h"
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+TEST(Contraction, PaperFigure1ProducesValidShortcuts) {
+  Graph g = PaperFigure1Graph();
+  ChConfig config;
+  ContractionResult result = ContractGraph(g, config);
+  ASSERT_EQ(result.rank.size(), 8u);
+  // All ranks distinct.
+  std::vector<bool> seen(8, false);
+  for (uint32_t r : result.rank) {
+    ASSERT_LT(r, 8u);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+  // Every shortcut's weight equals the true distance between its endpoints
+  // (Section 3.2: w(c) = dist(vj, vk)).
+  Dijkstra dij(g);
+  for (const TaggedEdge& e : result.edges) {
+    if (e.middle == kInvalidVertex) continue;
+    EXPECT_EQ(dij.Run(e.u, e.v), e.weight)
+        << "shortcut (" << e.u << "," << e.v << ")";
+  }
+}
+
+TEST(ChIndex, PaperFigure1Distances) {
+  Graph g = PaperFigure1Graph();
+  ChIndex ch(g);
+  // The paper's walkthrough: the CH query for (v3, v7) meets at v8 and
+  // returns dist = 6 (v3-v1-v8 = 2 plus v8-v6-v5-v7 = 4).
+  EXPECT_EQ(ch.DistanceQuery(2, 6), 6u);
+  Dijkstra dij(g);
+  for (VertexId s = 0; s < 8; ++s) {
+    for (VertexId t = 0; t < 8; ++t) {
+      EXPECT_EQ(ch.DistanceQuery(s, t), dij.Run(s, t))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(ChIndex, CorrectOnSyntheticNetworks) {
+  Graph g = TestNetwork(600, 7);
+  ChIndex ch(g);
+  ExpectIndexCorrect(g, &ch, 200, 11);
+}
+
+TEST(ChIndex, CorrectWithoutStallOnDemand) {
+  Graph g = TestNetwork(600, 7);
+  ChIndex ch(g);
+  ch.SetStallOnDemand(false);
+  ExpectIndexCorrect(g, &ch, 200, 13);
+}
+
+TEST(ChIndex, SelfQuery) {
+  Graph g = TestNetwork(200, 3);
+  ChIndex ch(g);
+  EXPECT_EQ(ch.DistanceQuery(5, 5), 0u);
+  Path p = ch.PathQuery(5, 5);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 5u);
+}
+
+TEST(ChIndex, AllOrderingHeuristicsAreCorrect) {
+  Graph g = TestNetwork(400, 21);
+  for (OrderingHeuristic h :
+       {OrderingHeuristic::kEdgeDifferenceDeleted,
+        OrderingHeuristic::kEdgeDifference, OrderingHeuristic::kDegree,
+        OrderingHeuristic::kRandom}) {
+    ChConfig config;
+    config.heuristic = h;
+    ChIndex ch(g, config);
+    ExpectIndexCorrect(g, &ch, 100, 17);
+  }
+}
+
+TEST(ChIndex, GoodOrderingBeatsRandomOnShortcuts) {
+  Graph g = TestNetwork(1200, 5);
+  ChConfig good;
+  ChConfig bad;
+  bad.heuristic = OrderingHeuristic::kRandom;
+  ChIndex ch_good(g, good);
+  ChIndex ch_bad(g, bad);
+  // The paper notes an inferior ordering can produce drastically more
+  // shortcuts; edge-difference ordering must do no worse than random.
+  EXPECT_LE(ch_good.NumShortcuts(), ch_bad.NumShortcuts());
+}
+
+TEST(ManyToMany, MatchesPairwiseDijkstra) {
+  Graph g = TestNetwork(300, 9);
+  ChIndex ch(g);
+  Rng rng(42);
+  std::vector<VertexId> sources, targets;
+  for (int i = 0; i < 12; ++i) {
+    sources.push_back(static_cast<VertexId>(rng.NextBelow(g.NumVertices())));
+    targets.push_back(static_cast<VertexId>(rng.NextBelow(g.NumVertices())));
+  }
+  std::vector<Distance> table = ManyToManyDistances(&ch, sources, targets);
+  Dijkstra dij(g);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = 0; j < targets.size(); ++j) {
+      EXPECT_EQ(table[i * targets.size() + j],
+                dij.Run(sources[i], targets[j]))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(ManyToMany, EmptyInputs) {
+  Graph g = TestNetwork(100, 1);
+  ChIndex ch(g);
+  EXPECT_TRUE(ManyToManyDistances(&ch, {}, {1, 2}).empty());
+  EXPECT_TRUE(ManyToManyDistances(&ch, {1}, {}).empty());
+}
+
+}  // namespace
+}  // namespace roadnet

@@ -1,0 +1,106 @@
+#include "pq/indexed_heap.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/rng.h"
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+TEST(IndexedHeap, BasicOrdering) {
+  IndexedHeap<uint64_t> heap(10);
+  heap.Push(3, 30);
+  heap.Push(1, 10);
+  heap.Push(2, 20);
+  EXPECT_EQ(heap.Size(), 3u);
+  EXPECT_EQ(heap.MinItem(), 1u);
+  EXPECT_EQ(heap.MinKey(), 10u);
+  EXPECT_EQ(heap.PopMin(), 1u);
+  EXPECT_EQ(heap.PopMin(), 2u);
+  EXPECT_EQ(heap.PopMin(), 3u);
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(IndexedHeap, DecreaseKeyReorders) {
+  IndexedHeap<uint64_t> heap(10);
+  heap.Push(0, 100);
+  heap.Push(1, 50);
+  heap.DecreaseKey(0, 10);
+  EXPECT_EQ(heap.MinItem(), 0u);
+  EXPECT_EQ(heap.KeyOf(0), 10u);
+}
+
+TEST(IndexedHeap, PushOrDecreaseSemantics) {
+  IndexedHeap<uint64_t> heap(10);
+  EXPECT_TRUE(heap.PushOrDecrease(5, 50));
+  EXPECT_FALSE(heap.PushOrDecrease(5, 60));  // larger: rejected
+  EXPECT_FALSE(heap.PushOrDecrease(5, 50));  // equal: rejected
+  EXPECT_TRUE(heap.PushOrDecrease(5, 40));
+  EXPECT_EQ(heap.KeyOf(5), 40u);
+}
+
+TEST(IndexedHeap, ContainsTracksLifecycle) {
+  IndexedHeap<uint64_t> heap(4);
+  EXPECT_FALSE(heap.Contains(2));
+  heap.Push(2, 7);
+  EXPECT_TRUE(heap.Contains(2));
+  heap.PopMin();
+  EXPECT_FALSE(heap.Contains(2));
+  // Re-insertion after pop is allowed.
+  heap.Push(2, 9);
+  EXPECT_TRUE(heap.Contains(2));
+}
+
+TEST(IndexedHeap, ClearIsConstantTimeReusable) {
+  IndexedHeap<uint64_t> heap(8);
+  for (uint32_t round = 0; round < 5; ++round) {
+    for (uint32_t i = 0; i < 8; ++i) heap.Push(i, i + round);
+    EXPECT_EQ(heap.MinItem(), 0u);
+    heap.Clear();
+    EXPECT_TRUE(heap.Empty());
+    EXPECT_FALSE(heap.Contains(0));
+  }
+}
+
+TEST(IndexedHeap, RandomizedAgainstStdPriorityQueue) {
+  constexpr uint32_t kItems = 300;
+  IndexedHeap<uint64_t> heap(kItems);
+  std::vector<uint64_t> best(kItems, ~uint64_t{0});
+  Rng rng(99);
+
+  // Random pushes and decreases, then drain and compare with a reference
+  // selection sort over the final keys.
+  for (int op = 0; op < 5000; ++op) {
+    const uint32_t item = static_cast<uint32_t>(rng.NextBelow(kItems));
+    const uint64_t key = rng.NextBelow(1000000);
+    if (!heap.Contains(item)) {
+      if (best[item] != ~uint64_t{0}) continue;  // already popped? not yet
+      heap.Push(item, key);
+      best[item] = key;
+    } else if (key < heap.KeyOf(item)) {
+      heap.DecreaseKey(item, key);
+      best[item] = key;
+    }
+  }
+  uint64_t last = 0;
+  size_t popped = 0;
+  while (!heap.Empty()) {
+    const uint64_t k = heap.MinKey();
+    const uint32_t item = heap.PopMin();
+    EXPECT_GE(k, last);
+    EXPECT_EQ(k, best[item]);
+    last = k;
+    ++popped;
+  }
+  size_t expected = 0;
+  for (uint64_t b : best) {
+    if (b != ~uint64_t{0}) ++expected;
+  }
+  EXPECT_EQ(popped, expected);
+}
+
+}  // namespace
+}  // namespace roadnet

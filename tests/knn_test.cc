@@ -1,0 +1,107 @@
+#include "routing/knn.h"
+
+#include <algorithm>
+
+#include "ch/ch_index.h"
+#include "dijkstra/dijkstra.h"
+#include "tests/test_util.h"
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+std::vector<VertexId> RandomPois(const Graph& g, size_t count,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> pois;
+  for (size_t i = 0; i < count; ++i) {
+    pois.push_back(static_cast<VertexId>(rng.NextBelow(g.NumVertices())));
+  }
+  return pois;
+}
+
+std::vector<Distance> DistancesOf(const std::vector<KnnResult>& r) {
+  std::vector<Distance> d;
+  for (const KnnResult& x : r) d.push_back(x.dist);
+  return d;
+}
+
+TEST(Knn, StrategiesAgreeOnDistances) {
+  Graph g = TestNetwork(900, 3);
+  ChIndex ch(g);
+  const auto pois = RandomPois(g, 30, 5);
+  Rng rng(7);
+  for (int i = 0; i < 25; ++i) {
+    const VertexId q = static_cast<VertexId>(rng.NextBelow(g.NumVertices()));
+    for (size_t k : {size_t{1}, size_t{5}, size_t{30}}) {
+      const auto a = KnnByDijkstra(g, pois, q, k);
+      const auto b = KnnByIndexScan(&ch, pois, q, k);
+      EXPECT_EQ(DistancesOf(a), DistancesOf(b))
+          << "q=" << q << " k=" << k;
+    }
+  }
+}
+
+TEST(Knn, MatchesBruteForce) {
+  Graph g = TestNetwork(500, 11);
+  ChIndex ch(g);
+  const auto pois = RandomPois(g, 20, 9);
+  Dijkstra dij(g);
+  const VertexId q = 42;
+  dij.RunAll(q);
+  std::vector<Distance> all;
+  for (VertexId p : pois) all.push_back(dij.DistanceTo(p));
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  const auto top3 = KnnByIndexScan(&ch, pois, q, 3);
+  ASSERT_GE(top3.size(), 1u);
+  // Results are sorted ascending and within the true distance multiset.
+  for (size_t i = 0; i + 1 < top3.size(); ++i) {
+    EXPECT_LE(top3[i].dist, top3[i + 1].dist);
+  }
+  EXPECT_EQ(top3[0].dist, all[0]);
+}
+
+TEST(Knn, KLargerThanPoiCount) {
+  Graph g = TestNetwork(300, 13);
+  ChIndex ch(g);
+  const auto pois = RandomPois(g, 4, 3);
+  const auto results = KnnByIndexScan(&ch, pois, 0, 100);
+  EXPECT_LE(results.size(), 4u);
+  EXPECT_GE(results.size(), 1u);
+}
+
+TEST(Knn, DuplicatePoisCollapse) {
+  Graph g = TestNetwork(300, 17);
+  ChIndex ch(g);
+  std::vector<VertexId> pois = {7, 7, 7, 9};
+  const auto results = KnnByIndexScan(&ch, pois, 0, 4);
+  EXPECT_LE(results.size(), 2u);
+  const auto results2 = KnnByDijkstra(g, pois, 0, 4);
+  EXPECT_EQ(DistancesOf(results), DistancesOf(results2));
+}
+
+TEST(Knn, QueryVertexIsPoi) {
+  Graph g = TestNetwork(300, 19);
+  ChIndex ch(g);
+  std::vector<VertexId> pois = {5, 100, 200};
+  const auto results = KnnByIndexScan(&ch, pois, 5, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].poi, 5u);
+  EXPECT_EQ(results[0].dist, 0u);
+}
+
+TEST(Knn, DijkstraVariantStopsEarly) {
+  Graph g = TestNetwork(2500, 23);
+  const auto pois = RandomPois(g, 50, 31);
+  // Settling only 1 nearest POI should explore far less than settling all.
+  Dijkstra probe(g);
+  probe.RunUntilSettled(0, pois, 1);
+  const size_t near_ball = probe.SettledCount();
+  probe.RunUntilSettled(0, pois);
+  EXPECT_LT(near_ball, probe.SettledCount());
+}
+
+}  // namespace
+}  // namespace roadnet

@@ -1,0 +1,55 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("CH"), "CH");
+  EXPECT_EQ(CsvEscape("DE'"), "DE'");
+}
+
+TEST(CsvEscape, QuotesSpecialCharacters) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Report, BuildCsvFormat) {
+  std::vector<BuildRow> rows = {
+      {"DE'", 529, "CH", 0.5, 1024},
+      {"NH'", 1156, "TNR", 2.25, 4096},
+  };
+  std::stringstream out;
+  WriteBuildCsv(rows, out);
+  EXPECT_EQ(out.str(),
+            "dataset,n,method,preprocess_seconds,index_bytes\n"
+            "DE',529,CH,0.5,1024\n"
+            "NH',1156,TNR,2.25,4096\n");
+}
+
+TEST(Report, QueryCsvFormat) {
+  std::vector<QueryRow> rows = {
+      {"CO'", 4489, "SILC", "Q7", 400, 1.5, 2.25},
+  };
+  std::stringstream out;
+  WriteQueryCsv(rows, out);
+  EXPECT_EQ(out.str(),
+            "dataset,n,method,query_set,queries,distance_us,path_us\n"
+            "CO',4489,SILC,Q7,400,1.5,2.25\n");
+}
+
+TEST(Report, EmptyTablesStillEmitHeaders) {
+  std::stringstream b, q;
+  WriteBuildCsv({}, b);
+  WriteQueryCsv({}, q);
+  EXPECT_EQ(b.str(), "dataset,n,method,preprocess_seconds,index_bytes\n");
+  EXPECT_EQ(q.str(),
+            "dataset,n,method,query_set,queries,distance_us,path_us\n");
+}
+
+}  // namespace
+}  // namespace roadnet

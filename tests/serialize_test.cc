@@ -1,0 +1,110 @@
+#include "io/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "ch/ch_index.h"
+#include "tests/test_util.h"
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+TEST(GraphSerialization, RoundTripsInMemory) {
+  Graph g = TestNetwork(500, 7);
+  std::stringstream buffer;
+  WriteGraph(g, buffer);
+  std::string error;
+  auto loaded = ReadGraph(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->NumVertices(), g.NumVertices());
+  ASSERT_EQ(loaded->NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_TRUE(loaded->Coord(v) == g.Coord(v));
+    auto a = g.Neighbors(v);
+    auto b = loaded->Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+  }
+}
+
+TEST(GraphSerialization, RoundTripsOnDisk) {
+  Graph g = TestNetwork(300, 9);
+  const std::string path = ::testing::TempDir() + "/roadnet_graph.bin";
+  std::string error;
+  ASSERT_TRUE(WriteGraphFile(g, path, &error)) << error;
+  auto loaded = ReadGraphFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->NumVertices(), g.NumVertices());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphSerialization, RejectsGarbage) {
+  std::stringstream buffer("this is not a graph file at all");
+  std::string error;
+  EXPECT_FALSE(ReadGraph(buffer, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(GraphSerialization, RejectsTruncation) {
+  Graph g = TestNetwork(300, 11);
+  std::stringstream buffer;
+  WriteGraph(g, buffer);
+  const std::string full = buffer.str();
+  for (size_t cut : {size_t{4}, size_t{20}, full.size() / 2,
+                     full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    std::string error;
+    EXPECT_FALSE(ReadGraph(truncated, &error).has_value())
+        << "cut at " << cut;
+  }
+}
+
+TEST(ChSerialization, RoundTripPreservesAnswers) {
+  Graph g = TestNetwork(700, 13);
+  ChIndex original(g);
+  std::stringstream buffer;
+  original.Serialize(buffer);
+  std::string error;
+  auto restored = ChIndex::Deserialize(g, buffer, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  EXPECT_EQ(restored->NumShortcuts(), original.NumShortcuts());
+  for (auto [s, t] : RandomPairs(g, 150, 5)) {
+    EXPECT_EQ(restored->DistanceQuery(s, t), original.DistanceQuery(s, t));
+    EXPECT_EQ(restored->PathQuery(s, t), original.PathQuery(s, t));
+  }
+  // The restored index remains correct against ground truth too.
+  ExpectIndexCorrect(g, restored.get(), 60, 21);
+}
+
+TEST(ChSerialization, RejectsWrongGraph) {
+  Graph g1 = TestNetwork(500, 1);
+  Graph g2 = TestNetwork(900, 2);
+  ChIndex ch(g1);
+  std::stringstream buffer;
+  ch.Serialize(buffer);
+  std::string error;
+  EXPECT_EQ(ChIndex::Deserialize(g2, buffer, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ChSerialization, RejectsCorruptedArcTargets) {
+  Graph g = TestNetwork(300, 3);
+  ChIndex ch(g);
+  std::stringstream buffer;
+  ch.Serialize(buffer);
+  std::string data = buffer.str();
+  // Flip bytes near the end (inside the arc block) to force an
+  // out-of-range target, and verify validation rejects it rather than
+  // crashing later.
+  for (size_t i = data.size() - 12; i < data.size() - 4; ++i) {
+    data[i] = static_cast<char>(0xfe);
+  }
+  std::stringstream corrupted(data);
+  std::string error;
+  EXPECT_EQ(ChIndex::Deserialize(g, corrupted, &error), nullptr);
+}
+
+}  // namespace
+}  // namespace roadnet

@@ -1,0 +1,59 @@
+#include "spatial/point.h"
+#include "spatial/rect.h"
+
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+TEST(Point, LInfDistance) {
+  EXPECT_EQ(LInfDistance({0, 0}, {3, -4}), 4);
+  EXPECT_EQ(LInfDistance({-5, 2}, {-5, 2}), 0);
+  EXPECT_EQ(LInfDistance({1, 1}, {10, 5}), 9);
+}
+
+TEST(Point, SquaredEuclidean) {
+  EXPECT_EQ(SquaredEuclidean({0, 0}, {3, 4}), 25);
+  EXPECT_EQ(SquaredEuclidean({-1, -1}, {2, 3}), 25);
+}
+
+TEST(Rect, EmptyAndExpand) {
+  Rect r = Rect::Empty();
+  EXPECT_TRUE(r.IsEmpty());
+  r.Expand({5, 7});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.Contains({5, 7}));
+  r.Expand({-3, 10});
+  EXPECT_TRUE(r.Contains({0, 8}));
+  EXPECT_FALSE(r.Contains({0, 11}));
+}
+
+TEST(Rect, Intersection) {
+  Rect a{0, 0, 10, 10};
+  Rect b{5, 5, 15, 15};
+  Rect c{11, 0, 20, 10};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(Rect::Empty().Intersects(a));
+}
+
+TEST(Rect, SegmentCrossing) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(SegmentCrossesRect(r, {5, 5}, {20, 5}));   // inside -> outside
+  EXPECT_TRUE(SegmentCrossesRect(r, {-5, 5}, {5, 5}));   // outside -> inside
+  EXPECT_FALSE(SegmentCrossesRect(r, {1, 1}, {9, 9}));   // fully inside
+  EXPECT_FALSE(SegmentCrossesRect(r, {20, 20}, {30, 30}));  // fully outside
+}
+
+TEST(Rect, BoundingBox) {
+  std::vector<Point> pts = {{3, 4}, {-1, 9}, {7, 0}};
+  Rect r = BoundingBox(pts.begin(), pts.end());
+  EXPECT_EQ(r.min_x, -1);
+  EXPECT_EQ(r.max_x, 7);
+  EXPECT_EQ(r.min_y, 0);
+  EXPECT_EQ(r.max_y, 9);
+}
+
+}  // namespace
+}  // namespace roadnet

@@ -1,0 +1,104 @@
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+#include <set>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    EXPECT_LT(rng.NextBelow(1), 1u);
+  }
+}
+
+TEST(Rng, NextInRangeInclusiveBounds) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all seven values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double min = 1, max = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.05);
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.ElapsedSeconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(timer.ElapsedMicros(), timer.ElapsedSeconds() * 1e6,
+              timer.ElapsedMicros() * 0.5);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.010);
+}
+
+TEST(Bytes, VectorBytesUsesCapacity) {
+  std::vector<uint32_t> v;
+  v.reserve(100);
+  v.push_back(1);
+  EXPECT_EQ(VectorBytes(v), 100 * sizeof(uint32_t));
+}
+
+TEST(Bytes, NestedVectorBytesCountsInnerBuffers) {
+  std::vector<std::vector<uint8_t>> v(3);
+  v[0].assign(10, 0);
+  v[2].assign(20, 0);
+  const size_t bytes = NestedVectorBytes(v);
+  EXPECT_GE(bytes, 3 * sizeof(std::vector<uint8_t>) + 30);
+}
+
+TEST(Bytes, MiBConversion) {
+  EXPECT_DOUBLE_EQ(BytesToMiB(1024 * 1024), 1.0);
+  EXPECT_DOUBLE_EQ(BytesToMiB(0), 0.0);
+}
+
+}  // namespace
+}  // namespace roadnet

@@ -1,0 +1,232 @@
+// Command-line front end for the library: generate or convert networks,
+// run CH preprocessing once, persist the index, and serve queries — the
+// deployment workflow behind the paper's "online map services" setting.
+//
+//   roadnet_cli generate   --vertices N [--seed S] --out graph.bin
+//   roadnet_cli convert    --gr FILE --co FILE --out graph.bin
+//   roadnet_cli export     --graph graph.bin --gr FILE --co FILE
+//   roadnet_cli preprocess --graph graph.bin --out index.ch
+//   roadnet_cli stats      --graph graph.bin [--index index.ch]
+//   roadnet_cli query      --graph graph.bin --index index.ch
+//                          --from S --to T [--path]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "ch/ch_index.h"
+#include "graph/connectivity.h"
+#include "graph/dimacs.h"
+#include "graph/generator.h"
+#include "io/serialize.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace roadnet;
+
+// Minimal --flag value parser; flags map to their following argument.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) break;
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  // Allow trailing boolean flags (e.g. --path) with no value.
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0 &&
+        (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0)) {
+      flags[argv[i] + 2] = "1";
+    }
+  }
+  return flags;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: roadnet_cli <generate|convert|export|preprocess|stats|query>"
+      " [flags]\n"
+      "  generate   --vertices N [--seed S] --out graph.bin\n"
+      "  convert    --gr FILE --co FILE --out graph.bin\n"
+      "  export     --graph graph.bin --gr FILE --co FILE\n"
+      "  preprocess --graph graph.bin --out index.ch\n"
+      "  stats      --graph graph.bin [--index index.ch]\n"
+      "  query      --graph graph.bin --index index.ch --from S --to T"
+      " [--path]\n");
+  return 2;
+}
+
+std::optional<Graph> LoadGraph(
+    const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("graph");
+  if (it == flags.end()) {
+    std::fprintf(stderr, "missing --graph\n");
+    return std::nullopt;
+  }
+  std::string error;
+  auto g = ReadGraphFile(it->second, &error);
+  if (!g.has_value()) std::fprintf(stderr, "%s\n", error.c_str());
+  return g;
+}
+
+int Generate(const std::map<std::string, std::string>& flags) {
+  GeneratorConfig config;
+  if (auto it = flags.find("vertices"); it != flags.end()) {
+    config.target_vertices = std::stoul(it->second);
+  }
+  if (auto it = flags.find("seed"); it != flags.end()) {
+    config.seed = std::stoull(it->second);
+  }
+  auto out = flags.find("out");
+  if (out == flags.end()) return Usage();
+  Graph g = GenerateRoadNetwork(config);
+  std::string error;
+  if (!WriteGraphFile(g, out->second, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u vertices, %zu edges\n", out->second.c_str(),
+              g.NumVertices(), g.NumEdges());
+  return 0;
+}
+
+int Convert(const std::map<std::string, std::string>& flags) {
+  auto gr = flags.find("gr");
+  auto co = flags.find("co");
+  auto out = flags.find("out");
+  if (gr == flags.end() || co == flags.end() || out == flags.end()) {
+    return Usage();
+  }
+  std::string error;
+  auto g = ReadDimacsFiles(gr->second, co->second, &error);
+  if (!g.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (!WriteGraphFile(*g, out->second, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("converted: %u vertices, %zu edges\n", g->NumVertices(),
+              g->NumEdges());
+  return 0;
+}
+
+int Export(const std::map<std::string, std::string>& flags) {
+  auto gr = flags.find("gr");
+  auto co = flags.find("co");
+  if (gr == flags.end() || co == flags.end()) return Usage();
+  auto g = LoadGraph(flags);
+  if (!g.has_value()) return 1;
+  std::ofstream gr_out(gr->second), co_out(co->second);
+  if (!gr_out || !co_out) {
+    std::fprintf(stderr, "cannot open output files\n");
+    return 1;
+  }
+  WriteDimacs(*g, gr_out, co_out);
+  std::printf("exported %u vertices to %s / %s\n", g->NumVertices(),
+              gr->second.c_str(), co->second.c_str());
+  return 0;
+}
+
+int Preprocess(const std::map<std::string, std::string>& flags) {
+  auto out = flags.find("out");
+  if (out == flags.end()) return Usage();
+  auto g = LoadGraph(flags);
+  if (!g.has_value()) return 1;
+  Timer timer;
+  ChIndex ch(*g);
+  std::printf("CH preprocessing: %.2f s, %zu shortcuts\n",
+              timer.ElapsedSeconds(), ch.NumShortcuts());
+  std::ofstream file(out->second, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", out->second.c_str());
+    return 1;
+  }
+  ch.Serialize(file);
+  std::printf("wrote %s (%.1f MiB)\n", out->second.c_str(),
+              ch.IndexBytes() / (1024.0 * 1024.0));
+  return 0;
+}
+
+int Stats(const std::map<std::string, std::string>& flags) {
+  auto g = LoadGraph(flags);
+  if (!g.has_value()) return 1;
+  std::printf("vertices:  %u\n", g->NumVertices());
+  std::printf("edges:     %zu\n", g->NumEdges());
+  std::printf("connected: %s\n", IsConnected(*g) ? "yes" : "no");
+  const Rect& b = g->Bounds();
+  std::printf("bounds:    [%d, %d] x [%d, %d]\n", b.min_x, b.max_x, b.min_y,
+              b.max_y);
+  if (auto it = flags.find("index"); it != flags.end()) {
+    std::ifstream file(it->second, std::ios::binary);
+    std::string error;
+    auto ch = ChIndex::Deserialize(*g, file, &error);
+    if (ch == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("CH index:  %zu shortcuts, %.1f MiB\n", ch->NumShortcuts(),
+                ch->IndexBytes() / (1024.0 * 1024.0));
+  }
+  return 0;
+}
+
+int Query(const std::map<std::string, std::string>& flags) {
+  auto index_flag = flags.find("index");
+  auto from = flags.find("from");
+  auto to = flags.find("to");
+  if (index_flag == flags.end() || from == flags.end() || to == flags.end()) {
+    return Usage();
+  }
+  auto g = LoadGraph(flags);
+  if (!g.has_value()) return 1;
+  std::ifstream file(index_flag->second, std::ios::binary);
+  std::string error;
+  auto ch = ChIndex::Deserialize(*g, file, &error);
+  if (ch == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const VertexId s = static_cast<VertexId>(std::stoul(from->second));
+  const VertexId t = static_cast<VertexId>(std::stoul(to->second));
+  if (s >= g->NumVertices() || t >= g->NumVertices()) {
+    std::fprintf(stderr, "vertex ids must be < %u\n", g->NumVertices());
+    return 1;
+  }
+  Timer timer;
+  const Distance d = ch->DistanceQuery(s, t);
+  std::printf("distance %u -> %u: ", s, t);
+  if (d == kInfDistance) {
+    std::printf("unreachable");
+  } else {
+    std::printf("%llu", static_cast<unsigned long long>(d));
+  }
+  std::printf("  (%.1f us)\n", timer.ElapsedMicros());
+  if (flags.count("path") && d != kInfDistance) {
+    const Path path = ch->PathQuery(s, t);
+    std::printf("path (%zu vertices):", path.size());
+    for (VertexId v : path) std::printf(" %u", v);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return Generate(flags);
+  if (command == "convert") return Convert(flags);
+  if (command == "export") return Export(flags);
+  if (command == "preprocess") return Preprocess(flags);
+  if (command == "stats") return Stats(flags);
+  if (command == "query") return Query(flags);
+  return Usage();
+}
