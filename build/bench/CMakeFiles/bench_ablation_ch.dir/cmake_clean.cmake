@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ch.dir/bench_ablation_ch.cc.o"
+  "CMakeFiles/bench_ablation_ch.dir/bench_ablation_ch.cc.o.d"
+  "bench_ablation_ch"
+  "bench_ablation_ch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tnr_hitrate.dir/bench_ablation_tnr_hitrate.cc.o"
+  "CMakeFiles/bench_ablation_tnr_hitrate.dir/bench_ablation_tnr_hitrate.cc.o.d"
+  "bench_ablation_tnr_hitrate"
+  "bench_ablation_tnr_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tnr_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appa_alt.dir/bench_appa_alt.cc.o"
+  "CMakeFiles/bench_appa_alt.dir/bench_appa_alt.cc.o.d"
+  "bench_appa_alt"
+  "bench_appa_alt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appa_alt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

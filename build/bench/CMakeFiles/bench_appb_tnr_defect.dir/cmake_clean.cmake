@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appb_tnr_defect.dir/bench_appb_tnr_defect.cc.o"
+  "CMakeFiles/bench_appb_tnr_defect.dir/bench_appb_tnr_defect.cc.o.d"
+  "bench_appb_tnr_defect"
+  "bench_appb_tnr_defect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appb_tnr_defect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_appb_tnr_defect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_approx_oracle.dir/bench_ext_approx_oracle.cc.o"
+  "CMakeFiles/bench_ext_approx_oracle.dir/bench_ext_approx_oracle.cc.o.d"
+  "bench_ext_approx_oracle"
+  "bench_ext_approx_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_approx_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_tnr_variants.dir/bench_fig14_15_tnr_variants.cc.o"
+  "CMakeFiles/bench_fig14_15_tnr_variants.dir/bench_fig14_15_tnr_variants.cc.o.d"
+  "bench_fig14_15_tnr_variants"
+  "bench_fig14_15_tnr_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_tnr_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

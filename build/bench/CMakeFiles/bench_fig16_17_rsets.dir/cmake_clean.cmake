@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_17_rsets.dir/bench_fig16_17_rsets.cc.o"
+  "CMakeFiles/bench_fig16_17_rsets.dir/bench_fig16_17_rsets.cc.o.d"
+  "bench_fig16_17_rsets"
+  "bench_fig16_17_rsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_17_rsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

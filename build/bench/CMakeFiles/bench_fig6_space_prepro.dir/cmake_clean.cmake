@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_space_prepro.dir/bench_fig6_space_prepro.cc.o"
+  "CMakeFiles/bench_fig6_space_prepro.dir/bench_fig6_space_prepro.cc.o.d"
+  "bench_fig6_space_prepro"
+  "bench_fig6_space_prepro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_space_prepro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_silc_vs_pcpd.dir/bench_fig7_silc_vs_pcpd.cc.o"
+  "CMakeFiles/bench_fig7_silc_vs_pcpd.dir/bench_fig7_silc_vs_pcpd.cc.o.d"
+  "bench_fig7_silc_vs_pcpd"
+  "bench_fig7_silc_vs_pcpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_silc_vs_pcpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

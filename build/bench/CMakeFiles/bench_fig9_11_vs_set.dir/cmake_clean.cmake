@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_11_vs_set.dir/bench_fig9_11_vs_set.cc.o"
+  "CMakeFiles/bench_fig9_11_vs_set.dir/bench_fig9_11_vs_set.cc.o.d"
+  "bench_fig9_11_vs_set"
+  "bench_fig9_11_vs_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_11_vs_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_delta.dir/bench_table2_delta.cc.o"
+  "CMakeFiles/bench_table2_delta.dir/bench_table2_delta.cc.o.d"
+  "bench_table2_delta"
+  "bench_table2_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_service.dir/route_service.cpp.o"
+  "CMakeFiles/route_service.dir/route_service.cpp.o.d"
+  "route_service"
+  "route_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

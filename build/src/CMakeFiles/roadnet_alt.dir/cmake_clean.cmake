@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_alt.dir/alt/alt_index.cc.o"
+  "CMakeFiles/roadnet_alt.dir/alt/alt_index.cc.o.d"
+  "libroadnet_alt.a"
+  "libroadnet_alt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_alt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_arcflags.dir/arcflags/arc_flags.cc.o"
+  "CMakeFiles/roadnet_arcflags.dir/arcflags/arc_flags.cc.o.d"
+  "libroadnet_arcflags.a"
+  "libroadnet_arcflags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_arcflags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

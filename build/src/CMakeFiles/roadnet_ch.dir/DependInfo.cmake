@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ch/ch_index.cc" "src/CMakeFiles/roadnet_ch.dir/ch/ch_index.cc.o" "gcc" "src/CMakeFiles/roadnet_ch.dir/ch/ch_index.cc.o.d"
+  "/root/repo/src/ch/contraction.cc" "src/CMakeFiles/roadnet_ch.dir/ch/contraction.cc.o" "gcc" "src/CMakeFiles/roadnet_ch.dir/ch/contraction.cc.o.d"
+  "/root/repo/src/ch/many_to_many.cc" "src/CMakeFiles/roadnet_ch.dir/ch/many_to_many.cc.o" "gcc" "src/CMakeFiles/roadnet_ch.dir/ch/many_to_many.cc.o.d"
+  "/root/repo/src/ch/node_order.cc" "src/CMakeFiles/roadnet_ch.dir/ch/node_order.cc.o" "gcc" "src/CMakeFiles/roadnet_ch.dir/ch/node_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/roadnet_dijkstra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_ch.dir/ch/ch_index.cc.o"
+  "CMakeFiles/roadnet_ch.dir/ch/ch_index.cc.o.d"
+  "CMakeFiles/roadnet_ch.dir/ch/contraction.cc.o"
+  "CMakeFiles/roadnet_ch.dir/ch/contraction.cc.o.d"
+  "CMakeFiles/roadnet_ch.dir/ch/many_to_many.cc.o"
+  "CMakeFiles/roadnet_ch.dir/ch/many_to_many.cc.o.d"
+  "CMakeFiles/roadnet_ch.dir/ch/node_order.cc.o"
+  "CMakeFiles/roadnet_ch.dir/ch/node_order.cc.o.d"
+  "libroadnet_ch.a"
+  "libroadnet_ch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_ch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

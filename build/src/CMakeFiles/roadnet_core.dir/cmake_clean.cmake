@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_core.dir/core/experiment.cc.o"
+  "CMakeFiles/roadnet_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/roadnet_core.dir/core/guidelines.cc.o"
+  "CMakeFiles/roadnet_core.dir/core/guidelines.cc.o.d"
+  "CMakeFiles/roadnet_core.dir/core/report.cc.o"
+  "CMakeFiles/roadnet_core.dir/core/report.cc.o.d"
+  "libroadnet_core.a"
+  "libroadnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_dijkstra.dir/dijkstra/bidirectional.cc.o"
+  "CMakeFiles/roadnet_dijkstra.dir/dijkstra/bidirectional.cc.o.d"
+  "CMakeFiles/roadnet_dijkstra.dir/dijkstra/dijkstra.cc.o"
+  "CMakeFiles/roadnet_dijkstra.dir/dijkstra/dijkstra.cc.o.d"
+  "CMakeFiles/roadnet_dijkstra.dir/routing/knn.cc.o"
+  "CMakeFiles/roadnet_dijkstra.dir/routing/knn.cc.o.d"
+  "libroadnet_dijkstra.a"
+  "libroadnet_dijkstra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_dijkstra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroadnet_dijkstra.a"
+)

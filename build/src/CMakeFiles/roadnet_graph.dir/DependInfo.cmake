@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/connectivity.cc" "src/CMakeFiles/roadnet_graph.dir/graph/connectivity.cc.o" "gcc" "src/CMakeFiles/roadnet_graph.dir/graph/connectivity.cc.o.d"
+  "/root/repo/src/graph/dimacs.cc" "src/CMakeFiles/roadnet_graph.dir/graph/dimacs.cc.o" "gcc" "src/CMakeFiles/roadnet_graph.dir/graph/dimacs.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/CMakeFiles/roadnet_graph.dir/graph/generator.cc.o" "gcc" "src/CMakeFiles/roadnet_graph.dir/graph/generator.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/roadnet_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/roadnet_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/io/serialize.cc" "src/CMakeFiles/roadnet_graph.dir/io/serialize.cc.o" "gcc" "src/CMakeFiles/roadnet_graph.dir/io/serialize.cc.o.d"
+  "/root/repo/src/spatial/unique_morton.cc" "src/CMakeFiles/roadnet_graph.dir/spatial/unique_morton.cc.o" "gcc" "src/CMakeFiles/roadnet_graph.dir/spatial/unique_morton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

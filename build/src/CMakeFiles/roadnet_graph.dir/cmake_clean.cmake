@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_graph.dir/graph/connectivity.cc.o"
+  "CMakeFiles/roadnet_graph.dir/graph/connectivity.cc.o.d"
+  "CMakeFiles/roadnet_graph.dir/graph/dimacs.cc.o"
+  "CMakeFiles/roadnet_graph.dir/graph/dimacs.cc.o.d"
+  "CMakeFiles/roadnet_graph.dir/graph/generator.cc.o"
+  "CMakeFiles/roadnet_graph.dir/graph/generator.cc.o.d"
+  "CMakeFiles/roadnet_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/roadnet_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/roadnet_graph.dir/io/serialize.cc.o"
+  "CMakeFiles/roadnet_graph.dir/io/serialize.cc.o.d"
+  "CMakeFiles/roadnet_graph.dir/spatial/unique_morton.cc.o"
+  "CMakeFiles/roadnet_graph.dir/spatial/unique_morton.cc.o.d"
+  "libroadnet_graph.a"
+  "libroadnet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

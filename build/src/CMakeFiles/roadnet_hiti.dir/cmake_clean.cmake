@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_hiti.dir/hiti/partition_overlay.cc.o"
+  "CMakeFiles/roadnet_hiti.dir/hiti/partition_overlay.cc.o.d"
+  "libroadnet_hiti.a"
+  "libroadnet_hiti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_hiti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

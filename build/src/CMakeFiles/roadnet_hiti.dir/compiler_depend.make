@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for roadnet_hiti.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_pcpd.dir/pcpd/approx_oracle.cc.o"
+  "CMakeFiles/roadnet_pcpd.dir/pcpd/approx_oracle.cc.o.d"
+  "CMakeFiles/roadnet_pcpd.dir/pcpd/pcpd_index.cc.o"
+  "CMakeFiles/roadnet_pcpd.dir/pcpd/pcpd_index.cc.o.d"
+  "CMakeFiles/roadnet_pcpd.dir/pcpd/redundancy.cc.o"
+  "CMakeFiles/roadnet_pcpd.dir/pcpd/redundancy.cc.o.d"
+  "libroadnet_pcpd.a"
+  "libroadnet_pcpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_pcpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_reach.dir/reach/reach_index.cc.o"
+  "CMakeFiles/roadnet_reach.dir/reach/reach_index.cc.o.d"
+  "libroadnet_reach.a"
+  "libroadnet_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

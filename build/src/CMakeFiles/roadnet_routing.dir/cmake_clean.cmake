@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_routing.dir/routing/path.cc.o"
+  "CMakeFiles/roadnet_routing.dir/routing/path.cc.o.d"
+  "libroadnet_routing.a"
+  "libroadnet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

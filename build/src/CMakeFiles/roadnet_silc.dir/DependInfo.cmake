@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/silc/color_quadtree.cc" "src/CMakeFiles/roadnet_silc.dir/silc/color_quadtree.cc.o" "gcc" "src/CMakeFiles/roadnet_silc.dir/silc/color_quadtree.cc.o.d"
+  "/root/repo/src/silc/silc_index.cc" "src/CMakeFiles/roadnet_silc.dir/silc/silc_index.cc.o" "gcc" "src/CMakeFiles/roadnet_silc.dir/silc/silc_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/roadnet_dijkstra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

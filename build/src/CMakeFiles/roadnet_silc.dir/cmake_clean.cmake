@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_silc.dir/silc/color_quadtree.cc.o"
+  "CMakeFiles/roadnet_silc.dir/silc/color_quadtree.cc.o.d"
+  "CMakeFiles/roadnet_silc.dir/silc/silc_index.cc.o"
+  "CMakeFiles/roadnet_silc.dir/silc/silc_index.cc.o.d"
+  "libroadnet_silc.a"
+  "libroadnet_silc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_silc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

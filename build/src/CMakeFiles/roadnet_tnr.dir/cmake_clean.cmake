@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_tnr.dir/tnr/access_nodes.cc.o"
+  "CMakeFiles/roadnet_tnr.dir/tnr/access_nodes.cc.o.d"
+  "CMakeFiles/roadnet_tnr.dir/tnr/cell_grid.cc.o"
+  "CMakeFiles/roadnet_tnr.dir/tnr/cell_grid.cc.o.d"
+  "CMakeFiles/roadnet_tnr.dir/tnr/tnr_index.cc.o"
+  "CMakeFiles/roadnet_tnr.dir/tnr/tnr_index.cc.o.d"
+  "libroadnet_tnr.a"
+  "libroadnet_tnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_tnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_workload.dir/workload/datasets.cc.o"
+  "CMakeFiles/roadnet_workload.dir/workload/datasets.cc.o.d"
+  "CMakeFiles/roadnet_workload.dir/workload/query_gen.cc.o"
+  "CMakeFiles/roadnet_workload.dir/workload/query_gen.cc.o.d"
+  "libroadnet_workload.a"
+  "libroadnet_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/access_nodes_test.cc" "tests/CMakeFiles/access_nodes_test.dir/access_nodes_test.cc.o" "gcc" "tests/CMakeFiles/access_nodes_test.dir/access_nodes_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/roadnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_alt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_arcflags.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_hiti.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_silc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_pcpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_tnr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_ch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_dijkstra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadnet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_oracle_test.dir/approx_oracle_test.cc.o"
+  "CMakeFiles/approx_oracle_test.dir/approx_oracle_test.cc.o.d"
+  "approx_oracle_test"
+  "approx_oracle_test.pdb"
+  "approx_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

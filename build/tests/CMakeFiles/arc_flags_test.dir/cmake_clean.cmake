@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_flags_test.dir/arc_flags_test.cc.o"
+  "CMakeFiles/arc_flags_test.dir/arc_flags_test.cc.o.d"
+  "arc_flags_test"
+  "arc_flags_test.pdb"
+  "arc_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiti_test.dir/hiti_test.cc.o"
+  "CMakeFiles/hiti_test.dir/hiti_test.cc.o.d"
+  "hiti_test"
+  "hiti_test.pdb"
+  "hiti_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internals_test.dir/internals_test.cc.o"
+  "CMakeFiles/internals_test.dir/internals_test.cc.o.d"
+  "internals_test"
+  "internals_test.pdb"
+  "internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

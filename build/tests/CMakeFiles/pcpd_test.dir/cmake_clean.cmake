@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcpd_test.dir/pcpd_test.cc.o"
+  "CMakeFiles/pcpd_test.dir/pcpd_test.cc.o.d"
+  "pcpd_test"
+  "pcpd_test.pdb"
+  "pcpd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcpd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silc_test.dir/silc_test.cc.o"
+  "CMakeFiles/silc_test.dir/silc_test.cc.o.d"
+  "silc_test"
+  "silc_test.pdb"
+  "silc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnr_test.dir/tnr_test.cc.o"
+  "CMakeFiles/tnr_test.dir/tnr_test.cc.o.d"
+  "tnr_test"
+  "tnr_test.pdb"
+  "tnr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

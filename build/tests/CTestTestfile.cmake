@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ch_test[1]_include.cmake")
+include("/root/repo/build/tests/tnr_test[1]_include.cmake")
+include("/root/repo/build/tests/silc_test[1]_include.cmake")
+include("/root/repo/build/tests/pcpd_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/dijkstra_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/alt_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/access_nodes_test[1]_include.cmake")
+include("/root/repo/build/tests/knn_test[1]_include.cmake")
+include("/root/repo/build/tests/arc_flags_test[1]_include.cmake")
+include("/root/repo/build/tests/reach_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/approx_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/internals_test[1]_include.cmake")
+include("/root/repo/build/tests/hiti_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_cli.dir/roadnet_cli.cc.o"
+  "CMakeFiles/roadnet_cli.dir/roadnet_cli.cc.o.d"
+  "roadnet_cli"
+  "roadnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
