@@ -1,0 +1,127 @@
+// Batch query throughput: queries/sec vs worker count for the five main
+// techniques, through the concurrent QueryEngine. The paper measures
+// per-query latency on one core; a production service provisions by
+// aggregate throughput, so this bench reports how each technique scales
+// when one immutable index is shared by a pool of workers, each with its
+// own QueryContext.
+//
+// Expected shape: near-linear scaling for every technique (queries are
+// read-only and independent), with the heavier per-query techniques
+// (bidirectional Dijkstra) scaling at least as well as the light ones
+// because their work units dwarf the batch bookkeeping.
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ch/ch_index.h"
+#include "dijkstra/bidirectional.h"
+#include "engine/query_engine.h"
+#include "pcpd/pcpd_index.h"
+#include "silc/silc_index.h"
+#include "tnr/tnr_index.h"
+
+int main() {
+  using namespace roadnet;
+
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  // One mid-size dataset: big enough that a batch runs long against the
+  // pool hand-off cost, small enough that the all-pairs techniques build.
+  std::vector<DatasetSpec> panels;
+  for (const auto& spec : PaperDatasets()) {
+    if (spec.name == (bench::FastMode() ? "DE'" : "CO'")) {
+      panels.push_back(spec);
+    }
+  }
+
+  // Scaling beyond this many workers is memory-bus / scheduler dependent;
+  // below it, qps should grow near-linearly with the worker count.
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("Batch throughput: aggregate queries/sec vs worker count\n");
+  std::printf("hardware threads: %u%s\n", hw,
+              hw < 4 ? "  (speedup@4 cannot exceed the core count)" : "");
+  for (const auto& spec : panels) {
+    Graph g = BuildDataset(spec);
+
+    BidirectionalDijkstra bidi(g);
+    ChIndex ch(g);
+    TnrConfig config;
+    config.grid_resolution = bench::PaperGridResolution();
+    TnrIndex tnr(g, &ch, config);
+    std::unique_ptr<SilcIndex> silc;
+    std::unique_ptr<PcpdIndex> pcpd;
+    if (g.NumVertices() <= bench::MaxVerticesForAllPairs()) {
+      silc = std::make_unique<SilcIndex>(g);
+      pcpd = std::make_unique<PcpdIndex>(g);
+    }
+    std::vector<PathIndex*> indexes = {&bidi, &ch, &tnr};
+    if (silc != nullptr) indexes.push_back(silc.get());
+    if (pcpd != nullptr) indexes.push_back(pcpd.get());
+
+    // One pooled batch over all populated Q1..Q10 sets, so the mix spans
+    // the full spectrum of query difficulty and work stealing has real
+    // imbalance to fix.
+    const auto sets =
+        GenerateLInfQuerySets(g, bench::QueriesPerSet(), 4200 + spec.seed);
+    std::vector<std::pair<VertexId, VertexId>> queries;
+    for (const auto& set : sets) {
+      queries.insert(queries.end(), set.pairs.begin(), set.pairs.end());
+    }
+    // Slow methods get a smaller batch; qps is batch-size independent.
+    // Stride-sampled so the subsample keeps the Q1..Q10 difficulty mix.
+    std::vector<std::pair<VertexId, VertexId>> small;
+    const size_t small_target =
+        std::min(queries.size(), 4 * bench::SlowMethodQueryCap());
+    const size_t stride = std::max<size_t>(1, queries.size() / small_target);
+    for (size_t i = 0; i < queries.size(); i += stride) {
+      small.push_back(queries[i]);
+    }
+
+    std::printf("\n(%s)  n=%u, batch=%zu queries (Q1..Q10 pooled)\n",
+                spec.name.c_str(), g.NumVertices(), queries.size());
+    std::printf("%-10s |", "Method");
+    for (size_t tc : thread_counts) std::printf(" %9zu thr", tc);
+    std::printf(" | %9s %9s\n", "speedup@4", "p99 us@4");
+    bench::PrintRule(76);
+
+    for (PathIndex* index : indexes) {
+      const bool slow = index == &bidi;
+      const auto& batch = slow ? small : queries;
+      BatchOptions options;
+      options.record_latencies = true;
+
+      std::printf("%-10s |", index->Name().c_str());
+      double qps1 = 0, qps4 = 0, p99_at_4 = 0;
+      for (size_t tc : thread_counts) {
+        QueryEngine engine(*index, tc);
+        engine.Run(batch, options);  // warm-up: touch caches, page in
+        // Repeat the batch until the measured window is long enough to
+        // drown scheduler jitter; qps is aggregated over all repeats.
+        double seconds = 0;
+        size_t done = 0;
+        double p99 = 0;
+        while (seconds < 0.25) {
+          const BatchResult result = engine.Run(batch, options);
+          seconds += result.stats.wall_seconds;
+          done += result.stats.num_queries;
+          p99 = result.stats.p99_micros;
+        }
+        const double qps = seconds > 0 ? done / seconds : 0;
+        if (tc == 1) qps1 = qps;
+        if (tc == 4) {
+          qps4 = qps;
+          p99_at_4 = p99;
+        }
+        std::printf(" %13.0f", qps);
+      }
+      std::printf(" | %8.2fx %9.1f\n", qps1 > 0 ? qps4 / qps1 : 0,
+                  p99_at_4);
+    }
+  }
+  std::printf(
+      "\nspeedup@4 = aggregate qps at 4 workers / qps at 1 worker.\n");
+  return 0;
+}

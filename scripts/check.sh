@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification: regular build + complete test suite, then a
+# ThreadSanitizer build exercising the concurrent engine tests.
+#
+#   scripts/check.sh [ctest-filter]
+#
+# An optional argument narrows the regular ctest run (passed to ctest -R);
+# the TSan stage always runs the Engine* tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+
+echo "==> Release build + full test suite (build/)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j"$(nproc)"
+if [[ -n "$FILTER" ]]; then
+  (cd build && ctest --output-on-failure -j"$(nproc)" -R "$FILTER")
+else
+  (cd build && ctest --output-on-failure -j"$(nproc)")
+fi
+
+echo "==> ThreadSanitizer build + engine tests (build-tsan/)"
+cmake -B build-tsan -S . -DROADNET_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target \
+  engine_equivalence_test engine_stress_test
+(cd build-tsan && ctest --output-on-failure -R 'Engine(Equivalence|Stress)')
+
+echo "==> OK"

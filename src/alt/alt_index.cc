@@ -8,13 +8,7 @@
 
 namespace roadnet {
 
-AltIndex::AltIndex(const Graph& g, const AltConfig& config)
-    : graph_(g),
-      heap_(g.NumVertices()),
-      dist_(g.NumVertices(), 0),
-      parent_(g.NumVertices(), kInvalidVertex),
-      reached_(g.NumVertices(), 0),
-      settled_(g.NumVertices(), 0) {
+AltIndex::AltIndex(const Graph& g, const AltConfig& config) : graph_(g) {
   const uint32_t n = g.NumVertices();
   const uint32_t k = std::max(1u, std::min(config.num_landmarks, n));
   landmark_dist_.reserve(static_cast<size_t>(k) * n);
@@ -60,52 +54,64 @@ Distance AltIndex::LowerBound(VertexId v, VertexId t) const {
   return bound;
 }
 
-Distance AltIndex::Search(VertexId s, VertexId t) {
-  ++generation_;
-  heap_.Clear();
-  settled_count_ = 0;
-  dist_[s] = 0;
-  parent_[s] = kInvalidVertex;
-  reached_[s] = generation_;
-  heap_.Push(s, LowerBound(s, t));
+std::unique_ptr<QueryContext> AltIndex::NewContext() const {
+  return std::make_unique<Context>(graph_.NumVertices());
+}
 
-  while (!heap_.Empty()) {
-    const VertexId u = heap_.PopMin();
-    settled_[u] = generation_;
-    ++settled_count_;
-    if (u == t) return dist_[t];
-    const Distance du = dist_[u];
+size_t AltIndex::SettledCount() const {
+  auto* ctx = static_cast<const Context*>(default_context());
+  return ctx == nullptr ? 0 : ctx->settled_count;
+}
+
+Distance AltIndex::Search(Context* ctx, VertexId s, VertexId t) const {
+  ++ctx->generation;
+  ctx->heap.Clear();
+  ctx->settled_count = 0;
+  ctx->dist[s] = 0;
+  ctx->parent[s] = kInvalidVertex;
+  ctx->reached[s] = ctx->generation;
+  ctx->heap.Push(s, LowerBound(s, t));
+
+  while (!ctx->heap.Empty()) {
+    const VertexId u = ctx->heap.PopMin();
+    ctx->settled[u] = ctx->generation;
+    ++ctx->settled_count;
+    if (u == t) return ctx->dist[t];
+    const Distance du = ctx->dist[u];
     for (const Arc& a : graph_.Neighbors(u)) {
-      if (settled_[a.to] == generation_) continue;
+      if (ctx->settled[a.to] == ctx->generation) continue;
       const Distance cand = du + a.weight;
-      if (reached_[a.to] != generation_) {
-        reached_[a.to] = generation_;
-        dist_[a.to] = cand;
-        parent_[a.to] = u;
-        heap_.Push(a.to, cand + LowerBound(a.to, t));
-      } else if (cand < dist_[a.to]) {
+      if (ctx->reached[a.to] != ctx->generation) {
+        ctx->reached[a.to] = ctx->generation;
+        ctx->dist[a.to] = cand;
+        ctx->parent[a.to] = u;
+        ctx->heap.Push(a.to, cand + LowerBound(a.to, t));
+      } else if (cand < ctx->dist[a.to]) {
         // The potential is consistent, so keys only ever decrease with
         // the tentative distance.
         const Distance key = cand + LowerBound(a.to, t);
-        dist_[a.to] = cand;
-        parent_[a.to] = u;
-        heap_.DecreaseKey(a.to, key);
+        ctx->dist[a.to] = cand;
+        ctx->parent[a.to] = u;
+        ctx->heap.DecreaseKey(a.to, key);
       }
     }
   }
   return kInfDistance;
 }
 
-Distance AltIndex::DistanceQuery(VertexId s, VertexId t) {
+Distance AltIndex::DistanceQuery(QueryContext* ctx, VertexId s,
+                                 VertexId t) const {
   if (s == t) return 0;
-  return Search(s, t);
+  return Search(static_cast<Context*>(ctx), s, t);
 }
 
-Path AltIndex::PathQuery(VertexId s, VertexId t) {
+Path AltIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
+                         VertexId t) const {
+  Context* ctx = static_cast<Context*>(raw_ctx);
   if (s == t) return {s};
-  if (Search(s, t) == kInfDistance) return {};
+  if (Search(ctx, s, t) == kInfDistance) return {};
   Path path;
-  for (VertexId cur = t; cur != kInvalidVertex; cur = parent_[cur]) {
+  for (VertexId cur = t; cur != kInvalidVertex; cur = ctx->parent[cur]) {
     path.push_back(cur);
   }
   std::reverse(path.begin(), path.end());

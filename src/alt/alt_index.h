@@ -2,6 +2,7 @@
 #define ROADNET_ALT_ALT_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -38,8 +39,12 @@ class AltIndex : public PathIndex {
   explicit AltIndex(const Graph& g) : AltIndex(g, AltConfig{}) {}
 
   std::string Name() const override { return "ALT"; }
-  Distance DistanceQuery(VertexId s, VertexId t) override;
-  Path PathQuery(VertexId s, VertexId t) override;
+  std::unique_ptr<QueryContext> NewContext() const override;
+  Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                         VertexId t) const override;
+  Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const override;
+  using PathIndex::DistanceQuery;
+  using PathIndex::PathQuery;
   size_t IndexBytes() const override;
 
   const std::vector<VertexId>& Landmarks() const { return landmarks_; }
@@ -48,32 +53,39 @@ class AltIndex : public PathIndex {
   // admissibility property tests.
   Distance LowerBound(VertexId v, VertexId t) const;
 
-  // Vertices settled by the most recent query (goal-direction metric; A*
-  // should settle far fewer than plain Dijkstra on directed queries).
-  size_t SettledCount() const { return settled_count_; }
+  // Vertices settled by the most recent default-context query
+  // (goal-direction metric; A* should settle far fewer than plain
+  // Dijkstra on directed queries).
+  size_t SettledCount() const;
 
  private:
+  // Query scratch (generation-stamped).
+  struct Context : QueryContext {
+    explicit Context(uint32_t n)
+        : heap(n), dist(n, 0), parent(n, kInvalidVertex), reached(n, 0),
+          settled(n, 0) {}
+
+    IndexedHeap<Distance> heap;
+    std::vector<Distance> dist;
+    std::vector<VertexId> parent;
+    std::vector<uint32_t> reached;
+    std::vector<uint32_t> settled;
+    uint32_t generation = 0;
+    size_t settled_count = 0;
+  };
+
   // dist(landmarks_[i], v) at landmark_dist_[i * n + v].
   Distance LandmarkDistance(uint32_t i, VertexId v) const {
     return landmark_dist_[static_cast<size_t>(i) * graph_.NumVertices() + v];
   }
 
   // Runs the A* search; returns dist (kInfDistance if unreachable) and
-  // leaves the parent tree in place for path extraction.
-  Distance Search(VertexId s, VertexId t);
+  // leaves the parent tree in the context for path extraction.
+  Distance Search(Context* ctx, VertexId s, VertexId t) const;
 
   const Graph& graph_;
   std::vector<VertexId> landmarks_;
   std::vector<Distance> landmark_dist_;  // k x n row-major
-
-  // Query scratch (generation-stamped).
-  IndexedHeap<Distance> heap_;
-  std::vector<Distance> dist_;
-  std::vector<VertexId> parent_;
-  std::vector<uint32_t> reached_;
-  std::vector<uint32_t> settled_;
-  uint32_t generation_ = 0;
-  size_t settled_count_ = 0;
 };
 
 }  // namespace roadnet

@@ -8,12 +8,7 @@
 namespace roadnet {
 
 ArcFlagsIndex::ArcFlagsIndex(const Graph& g, const ArcFlagsConfig& config)
-    : graph_(g),
-      heap_(g.NumVertices()),
-      dist_(g.NumVertices(), 0),
-      parent_(g.NumVertices(), kInvalidVertex),
-      reached_(g.NumVertices(), 0),
-      settled_(g.NumVertices(), 0) {
+    : graph_(g) {
   const uint32_t n = g.NumVertices();
 
   // Regions: grid cells of a coarse partition, renumbered densely over
@@ -74,52 +69,64 @@ ArcFlagsIndex::ArcFlagsIndex(const Graph& g, const ArcFlagsConfig& config)
   for (VertexId v = 0; v < n; ++v) arc_offsets_.push_back(g.FirstArcIndex(v));
 }
 
-Distance ArcFlagsIndex::Search(VertexId s, VertexId t) {
+std::unique_ptr<QueryContext> ArcFlagsIndex::NewContext() const {
+  return std::make_unique<Context>(graph_.NumVertices());
+}
+
+size_t ArcFlagsIndex::SettledCount() const {
+  auto* ctx = static_cast<const Context*>(default_context());
+  return ctx == nullptr ? 0 : ctx->settled_count;
+}
+
+Distance ArcFlagsIndex::Search(Context* ctx, VertexId s, VertexId t) const {
   const uint32_t target_region = region_of_[t];
-  ++generation_;
-  heap_.Clear();
-  settled_count_ = 0;
-  dist_[s] = 0;
-  parent_[s] = kInvalidVertex;
-  reached_[s] = generation_;
-  heap_.Push(s, 0);
-  while (!heap_.Empty()) {
-    const VertexId u = heap_.PopMin();
-    settled_[u] = generation_;
-    ++settled_count_;
-    if (u == t) return dist_[t];
-    const Distance du = dist_[u];
+  ++ctx->generation;
+  ctx->heap.Clear();
+  ctx->settled_count = 0;
+  ctx->dist[s] = 0;
+  ctx->parent[s] = kInvalidVertex;
+  ctx->reached[s] = ctx->generation;
+  ctx->heap.Push(s, 0);
+  while (!ctx->heap.Empty()) {
+    const VertexId u = ctx->heap.PopMin();
+    ctx->settled[u] = ctx->generation;
+    ++ctx->settled_count;
+    if (u == t) return ctx->dist[t];
+    const Distance du = ctx->dist[u];
     size_t idx = arc_offsets_[u];
     for (const Arc& a : graph_.Neighbors(u)) {
       const size_t arc_index = idx++;
       if (!ArcFlag(arc_index, target_region)) continue;  // pruned
-      if (settled_[a.to] == generation_) continue;
+      if (ctx->settled[a.to] == ctx->generation) continue;
       const Distance cand = du + a.weight;
-      if (reached_[a.to] != generation_) {
-        reached_[a.to] = generation_;
-        dist_[a.to] = cand;
-        parent_[a.to] = u;
-        heap_.Push(a.to, cand);
-      } else if (cand < dist_[a.to]) {
-        dist_[a.to] = cand;
-        parent_[a.to] = u;
-        heap_.DecreaseKey(a.to, cand);
+      if (ctx->reached[a.to] != ctx->generation) {
+        ctx->reached[a.to] = ctx->generation;
+        ctx->dist[a.to] = cand;
+        ctx->parent[a.to] = u;
+        ctx->heap.Push(a.to, cand);
+      } else if (cand < ctx->dist[a.to]) {
+        ctx->dist[a.to] = cand;
+        ctx->parent[a.to] = u;
+        ctx->heap.DecreaseKey(a.to, cand);
       }
     }
   }
   return kInfDistance;
 }
 
-Distance ArcFlagsIndex::DistanceQuery(VertexId s, VertexId t) {
+Distance ArcFlagsIndex::DistanceQuery(QueryContext* ctx, VertexId s,
+                                      VertexId t) const {
   if (s == t) return 0;
-  return Search(s, t);
+  return Search(static_cast<Context*>(ctx), s, t);
 }
 
-Path ArcFlagsIndex::PathQuery(VertexId s, VertexId t) {
+Path ArcFlagsIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
+                              VertexId t) const {
+  Context* ctx = static_cast<Context*>(raw_ctx);
   if (s == t) return {s};
-  if (Search(s, t) == kInfDistance) return {};
+  if (Search(ctx, s, t) == kInfDistance) return {};
   Path path;
-  for (VertexId cur = t; cur != kInvalidVertex; cur = parent_[cur]) {
+  for (VertexId cur = t; cur != kInvalidVertex; cur = ctx->parent[cur]) {
     path.push_back(cur);
   }
   std::reverse(path.begin(), path.end());

@@ -2,6 +2,7 @@
 #define ROADNET_ARCFLAGS_ARC_FLAGS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -41,8 +42,12 @@ class ArcFlagsIndex : public PathIndex {
       : ArcFlagsIndex(g, ArcFlagsConfig{}) {}
 
   std::string Name() const override { return "ArcFlags"; }
-  Distance DistanceQuery(VertexId s, VertexId t) override;
-  Path PathQuery(VertexId s, VertexId t) override;
+  std::unique_ptr<QueryContext> NewContext() const override;
+  Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                         VertexId t) const override;
+  Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const override;
+  using PathIndex::DistanceQuery;
+  using PathIndex::PathQuery;
   size_t IndexBytes() const override;
 
   uint32_t NumRegions() const { return num_regions_; }
@@ -56,17 +61,32 @@ class ArcFlagsIndex : public PathIndex {
            1;
   }
 
-  size_t SettledCount() const { return settled_count_; }
+  size_t SettledCount() const;
 
  private:
+  // Query scratch.
+  struct Context : QueryContext {
+    explicit Context(uint32_t n)
+        : heap(n), dist(n, 0), parent(n, kInvalidVertex), reached(n, 0),
+          settled(n, 0) {}
+
+    IndexedHeap<Distance> heap;
+    std::vector<Distance> dist;
+    std::vector<VertexId> parent;
+    std::vector<uint32_t> reached;
+    std::vector<uint32_t> settled;
+    uint32_t generation = 0;
+    size_t settled_count = 0;
+  };
+
   void SetFlag(size_t arc_index, uint32_t region) {
     flags_[arc_index * words_per_arc_ + region / 64] |=
         uint64_t{1} << (region % 64);
   }
 
   // Runs the pruned Dijkstra toward t; returns the distance and leaves
-  // the parent tree for path extraction.
-  Distance Search(VertexId s, VertexId t);
+  // the parent tree in the context for path extraction.
+  Distance Search(Context* ctx, VertexId s, VertexId t) const;
 
   const Graph& graph_;
   uint32_t num_regions_ = 0;
@@ -74,15 +94,6 @@ class ArcFlagsIndex : public PathIndex {
   std::vector<uint32_t> region_of_;      // per vertex
   std::vector<size_t> arc_offsets_;      // CSR offsets (copy of graph's)
   std::vector<uint64_t> flags_;          // 2m * words_per_arc_
-
-  // Query scratch.
-  IndexedHeap<Distance> heap_;
-  std::vector<Distance> dist_;
-  std::vector<VertexId> parent_;
-  std::vector<uint32_t> reached_;
-  std::vector<uint32_t> settled_;
-  uint32_t generation_ = 0;
-  size_t settled_count_ = 0;
 };
 
 }  // namespace roadnet

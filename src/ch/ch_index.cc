@@ -7,10 +7,7 @@
 
 namespace roadnet {
 
-ChIndex::ChIndex(const Graph& g, const ChConfig& config)
-    : graph_(g),
-      forward_(g.NumVertices()),
-      backward_(g.NumVertices()) {
+ChIndex::ChIndex(const Graph& g, const ChConfig& config) : graph_(g) {
   ContractionResult result = ContractGraph(g, config);
   rank_ = std::move(result.rank);
   num_shortcuts_ = result.num_shortcuts;
@@ -47,8 +44,16 @@ constexpr char kChMagic[8] = {'R', 'N', 'E', 'T', 'C', 'H', 'I', 'X'};
 constexpr uint32_t kChVersion = 1;
 }  // namespace
 
-ChIndex::ChIndex(const Graph& g, DeserializeTag)
-    : graph_(g), forward_(g.NumVertices()), backward_(g.NumVertices()) {}
+ChIndex::ChIndex(const Graph& g, DeserializeTag) : graph_(g) {}
+
+std::unique_ptr<QueryContext> ChIndex::NewContext() const {
+  return std::make_unique<Context>(graph_.NumVertices());
+}
+
+size_t ChIndex::SettledCount() const {
+  auto* ctx = static_cast<const Context*>(default_context());
+  return ctx == nullptr ? 0 : ctx->settled_count;
+}
 
 void ChIndex::Serialize(std::ostream& out) const {
   WriteMagic(out, kChMagic);
@@ -114,13 +119,13 @@ size_t ChIndex::IndexBytes() const {
          VectorBytes(up_arcs_);
 }
 
-bool ChIndex::IsStalled(const SearchSide& side, VertexId v,
-                        Distance dv) const {
+bool ChIndex::IsStalled(const SearchSide& side, uint32_t generation,
+                        VertexId v, Distance dv) const {
   // v is stalled if a higher-ranked vertex u already offers a shorter way
   // into v; the true shortest path to v then descends from u, and v cannot
   // lie on a shortest up-down path, so its arcs need not be relaxed.
   for (const UpArc& a : UpArcs(v)) {
-    if (side.reached[a.to] == generation_ &&
+    if (side.reached[a.to] == generation &&
         side.dist[a.to] + a.weight < dv) {
       return true;
     }
@@ -128,26 +133,29 @@ bool ChIndex::IsStalled(const SearchSide& side, VertexId v,
   return false;
 }
 
-VertexId ChIndex::Search(VertexId s, VertexId t, Distance* out_dist) {
-  ++generation_;
-  settled_count_ = 0;
-  forward_.heap.Clear();
-  backward_.heap.Clear();
+VertexId ChIndex::Search(Context* ctx, VertexId s, VertexId t,
+                         Distance* out_dist) const {
+  ++ctx->generation;
+  ctx->settled_count = 0;
+  SearchSide& forward = ctx->forward;
+  SearchSide& backward = ctx->backward;
+  forward.heap.Clear();
+  backward.heap.Clear();
 
-  forward_.dist[s] = 0;
-  forward_.parent[s] = kInvalidVertex;
-  forward_.reached[s] = generation_;
-  forward_.heap.Push(s, 0);
+  forward.dist[s] = 0;
+  forward.parent[s] = kInvalidVertex;
+  forward.reached[s] = ctx->generation;
+  forward.heap.Push(s, 0);
 
-  backward_.dist[t] = 0;
-  backward_.parent[t] = kInvalidVertex;
-  backward_.reached[t] = generation_;
-  backward_.heap.Push(t, 0);
+  backward.dist[t] = 0;
+  backward.parent[t] = kInvalidVertex;
+  backward.reached[t] = ctx->generation;
+  backward.heap.Push(t, 0);
 
   Distance best = (s == t) ? 0 : kInfDistance;
   VertexId meet = (s == t) ? s : kInvalidVertex;
 
-  SearchSide* sides[2] = {&forward_, &backward_};
+  SearchSide* sides[2] = {&forward, &backward};
   while (true) {
     // A side stays active until its frontier minimum proves useless. Unlike
     // plain bidirectional Dijkstra, each side must run until its own
@@ -161,18 +169,20 @@ VertexId ChIndex::Search(VertexId s, VertexId t, Distance* out_dist) {
       }
     }
     if (side == nullptr) break;
-    SearchSide* other = (side == &forward_) ? &backward_ : &forward_;
+    SearchSide* other = (side == &forward) ? &backward : &forward;
 
     VertexId u = side->heap.PopMin();
-    ++settled_count_;
+    ++ctx->settled_count;
     const Distance du = side->dist[u];
-    if (stall_on_demand_ && IsStalled(*side, u, du)) continue;
+    if (stall_on_demand_ && IsStalled(*side, ctx->generation, u, du)) {
+      continue;
+    }
 
     for (const UpArc& a : UpArcs(u)) {
       const Distance cand = du + a.weight;
       bool improved = false;
-      if (side->reached[a.to] != generation_) {
-        side->reached[a.to] = generation_;
+      if (side->reached[a.to] != ctx->generation) {
+        side->reached[a.to] = ctx->generation;
         side->dist[a.to] = cand;
         side->parent[a.to] = u;
         side->heap.Push(a.to, cand);
@@ -189,7 +199,7 @@ VertexId ChIndex::Search(VertexId s, VertexId t, Distance* out_dist) {
         }
         improved = true;
       }
-      if (improved && other->reached[a.to] == generation_) {
+      if (improved && other->reached[a.to] == ctx->generation) {
         const Distance total = cand + other->dist[a.to];
         if (total < best) {
           best = total;
@@ -202,9 +212,10 @@ VertexId ChIndex::Search(VertexId s, VertexId t, Distance* out_dist) {
   return meet;
 }
 
-Distance ChIndex::DistanceQuery(VertexId s, VertexId t) {
+Distance ChIndex::DistanceQuery(QueryContext* ctx, VertexId s,
+                                VertexId t) const {
   Distance d = kInfDistance;
-  Search(s, t, &d);
+  Search(static_cast<Context*>(ctx), s, t, &d);
   return d;
 }
 
@@ -229,9 +240,11 @@ void ChIndex::UnpackEdge(VertexId a, VertexId b, Path* out) const {
   UnpackEdge(e->middle, b, out);
 }
 
-Path ChIndex::PathQuery(VertexId s, VertexId t) {
+Path ChIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
+                        VertexId t) const {
+  Context* ctx = static_cast<Context*>(raw_ctx);
   Distance d = kInfDistance;
-  VertexId meet = Search(s, t, &d);
+  VertexId meet = Search(ctx, s, t, &d);
   if (meet == kInvalidVertex) return {};
   if (s == t) return {s};
 
@@ -239,12 +252,12 @@ Path ChIndex::PathQuery(VertexId s, VertexId t) {
   // tree), expressed as vertex ids in the augmented graph.
   std::vector<VertexId> up_path;
   for (VertexId cur = meet; cur != kInvalidVertex;
-       cur = forward_.parent[cur]) {
+       cur = ctx->forward.parent[cur]) {
     up_path.push_back(cur);
   }
   std::reverse(up_path.begin(), up_path.end());
-  for (VertexId cur = backward_.parent[meet]; cur != kInvalidVertex;
-       cur = backward_.parent[cur]) {
+  for (VertexId cur = ctx->backward.parent[meet]; cur != kInvalidVertex;
+       cur = ctx->backward.parent[cur]) {
     up_path.push_back(cur);
   }
 
@@ -262,12 +275,14 @@ std::vector<std::pair<VertexId, Distance>> ChIndex::UpwardSearchSpace(
     VertexId s) {
   // One-directional upward Dijkstra without stalling: every settled vertex
   // carries its exact upward distance, which the many-to-many bucket
-  // algorithm requires.
-  ++generation_;
-  SearchSide& side = forward_;
+  // algorithm requires. Reuses the default context's forward side so the
+  // n calls TNR preprocessing makes stay allocation-free.
+  Context* ctx = static_cast<Context*>(DefaultContext());
+  ++ctx->generation;
+  SearchSide& side = ctx->forward;
   side.heap.Clear();
   side.dist[s] = 0;
-  side.reached[s] = generation_;
+  side.reached[s] = ctx->generation;
   side.heap.Push(s, 0);
 
   std::vector<std::pair<VertexId, Distance>> space;
@@ -277,8 +292,8 @@ std::vector<std::pair<VertexId, Distance>> ChIndex::UpwardSearchSpace(
     const Distance du = side.dist[u];
     for (const UpArc& a : UpArcs(u)) {
       const Distance cand = du + a.weight;
-      if (side.reached[a.to] != generation_) {
-        side.reached[a.to] = generation_;
+      if (side.reached[a.to] != ctx->generation) {
+        side.reached[a.to] = ctx->generation;
         side.dist[a.to] = cand;
         side.heap.Push(a.to, cand);
       } else if (side.heap.Contains(a.to) && cand < side.dist[a.to]) {

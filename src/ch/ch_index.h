@@ -25,6 +25,9 @@ namespace roadnet {
 // vertices; the two upward searches meet at the highest-ranked vertex of
 // the shortest path. Shortest path queries additionally unpack shortcuts
 // recursively through their middle-vertex tags.
+//
+// The hierarchy is immutable after preprocessing; all search scratch
+// lives in the QueryContext, so one index serves any number of threads.
 class ChIndex : public PathIndex {
  public:
   // Runs CH preprocessing on g. The graph must outlive the index.
@@ -43,16 +46,21 @@ class ChIndex : public PathIndex {
                                               std::string* error);
 
   std::string Name() const override { return "CH"; }
-  Distance DistanceQuery(VertexId s, VertexId t) override;
-  Path PathQuery(VertexId s, VertexId t) override;
+  std::unique_ptr<QueryContext> NewContext() const override;
+  Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                         VertexId t) const override;
+  Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const override;
+  using PathIndex::DistanceQuery;
+  using PathIndex::PathQuery;
   size_t IndexBytes() const override;
 
   // Enables/disables the stall-on-demand query optimization (ablation).
+  // Not synchronized: flip only while no concurrent queries run.
   void SetStallOnDemand(bool enabled) { stall_on_demand_ = enabled; }
 
   uint32_t RankOf(VertexId v) const { return rank_[v]; }
   size_t NumShortcuts() const { return num_shortcuts_; }
-  size_t SettledCount() const { return settled_count_; }
+  size_t SettledCount() const;
 
   // Forward upward search space of s: every vertex settled by the upward
   // Dijkstra, with its distance. The building block of the many-to-many
@@ -80,6 +88,15 @@ class ChIndex : public PathIndex {
         : heap(n), dist(n, 0), parent(n, kInvalidVertex), reached(n, 0) {}
   };
 
+  struct Context : QueryContext {
+    explicit Context(uint32_t n) : forward(n), backward(n) {}
+
+    SearchSide forward;
+    SearchSide backward;
+    uint32_t generation = 0;
+    size_t settled_count = 0;
+  };
+
   std::span<const UpArc> UpArcs(VertexId v) const {
     return {up_arcs_.data() + up_offsets_[v],
             up_offsets_[v + 1] - up_offsets_[v]};
@@ -87,14 +104,15 @@ class ChIndex : public PathIndex {
 
   // Runs the bidirectional upward search; returns the best meeting vertex
   // (kInvalidVertex if unreachable) and its distance in *out_dist.
-  VertexId Search(VertexId s, VertexId t, Distance* out_dist);
+  VertexId Search(Context* ctx, VertexId s, VertexId t,
+                  Distance* out_dist) const;
 
   // True if v's tentative distance in `side` is provably not the true
   // distance from the side's source (stall-on-demand).
-  bool IsStalled(const SearchSide& side, VertexId v, Distance dv) const;
+  bool IsStalled(const SearchSide& side, uint32_t generation, VertexId v,
+                 Distance dv) const;
 
-  // Deserialization constructor: scratch only; arrays filled by the
-  // factory.
+  // Deserialization constructor: arrays filled by the factory.
   struct DeserializeTag {};
   ChIndex(const Graph& g, DeserializeTag);
 
@@ -111,11 +129,6 @@ class ChIndex : public PathIndex {
   std::vector<UpArc> up_arcs_;
   size_t num_shortcuts_ = 0;
   bool stall_on_demand_ = true;
-
-  SearchSide forward_;
-  SearchSide backward_;
-  uint32_t generation_ = 0;
-  size_t settled_count_ = 0;
 };
 
 }  // namespace roadnet

@@ -4,27 +4,35 @@
 
 namespace roadnet {
 
-BidirectionalDijkstra::BidirectionalDijkstra(const Graph& g)
-    : graph_(g), forward_(g.NumVertices()), backward_(g.NumVertices()) {}
+BidirectionalDijkstra::BidirectionalDijkstra(const Graph& g) : graph_(g) {}
 
-void BidirectionalDijkstra::SettleOne(Side* side, const Side& other,
-                                      VertexId* best_meet,
-                                      Distance* best_dist) {
+std::unique_ptr<QueryContext> BidirectionalDijkstra::NewContext() const {
+  return std::make_unique<Context>(graph_.NumVertices());
+}
+
+size_t BidirectionalDijkstra::SettledCount() const {
+  auto* ctx = static_cast<const Context*>(default_context());
+  return ctx == nullptr ? 0 : ctx->settled_count;
+}
+
+void BidirectionalDijkstra::SettleOne(Context* ctx, Side* side,
+                                      const Side& other, VertexId* best_meet,
+                                      Distance* best_dist) const {
   VertexId u = side->heap.PopMin();
-  side->settled[u] = generation_;
-  ++settled_count_;
+  side->settled[u] = ctx->generation;
+  ++ctx->settled_count;
   const Distance du = side->dist[u];
   for (const Arc& a : graph_.Neighbors(u)) {
     const Distance cand = du + a.weight;
     bool improved = false;
-    if (!side->Reached(a.to, generation_)) {
-      side->reached[a.to] = generation_;
+    if (!side->Reached(a.to, ctx->generation)) {
+      side->reached[a.to] = ctx->generation;
       side->dist[a.to] = cand;
       side->parent[a.to] = u;
       side->heap.Push(a.to, cand);
       improved = true;
     } else if (cand < side->dist[a.to] &&
-               side->settled[a.to] != generation_) {
+               side->settled[a.to] != ctx->generation) {
       side->dist[a.to] = cand;
       side->parent[a.to] = u;
       side->heap.DecreaseKey(a.to, cand);
@@ -34,7 +42,7 @@ void BidirectionalDijkstra::SettleOne(Side* side, const Side& other,
     // checking on every improvement covers both the "meet at a vertex" and
     // the "cross an edge between the two settled sets" cases from the
     // paper's correctness argument.
-    if (improved && other.Reached(a.to, generation_)) {
+    if (improved && other.Reached(a.to, ctx->generation)) {
       const Distance total = cand + other.dist[a.to];
       if (total < *best_dist) {
         *best_dist = total;
@@ -44,22 +52,24 @@ void BidirectionalDijkstra::SettleOne(Side* side, const Side& other,
   }
 }
 
-VertexId BidirectionalDijkstra::Search(VertexId s, VertexId t,
-                                       Distance* out_dist) {
-  ++generation_;
-  settled_count_ = 0;
-  forward_.heap.Clear();
-  backward_.heap.Clear();
+VertexId BidirectionalDijkstra::Search(Context* ctx, VertexId s, VertexId t,
+                                       Distance* out_dist) const {
+  ++ctx->generation;
+  ctx->settled_count = 0;
+  Side& forward = ctx->forward;
+  Side& backward = ctx->backward;
+  forward.heap.Clear();
+  backward.heap.Clear();
 
-  forward_.dist[s] = 0;
-  forward_.parent[s] = kInvalidVertex;
-  forward_.reached[s] = generation_;
-  forward_.heap.Push(s, 0);
+  forward.dist[s] = 0;
+  forward.parent[s] = kInvalidVertex;
+  forward.reached[s] = ctx->generation;
+  forward.heap.Push(s, 0);
 
-  backward_.dist[t] = 0;
-  backward_.parent[t] = kInvalidVertex;
-  backward_.reached[t] = generation_;
-  backward_.heap.Push(t, 0);
+  backward.dist[t] = 0;
+  backward.parent[t] = kInvalidVertex;
+  backward.reached[t] = ctx->generation;
+  backward.heap.Push(t, 0);
 
   Distance best_dist = kInfDistance;
   VertexId best_meet = kInvalidVertex;
@@ -68,45 +78,48 @@ VertexId BidirectionalDijkstra::Search(VertexId s, VertexId t,
     return s;
   }
 
-  while (!forward_.heap.Empty() && !backward_.heap.Empty()) {
+  while (!forward.heap.Empty() && !backward.heap.Empty()) {
     // Termination: once the two frontier minima together cannot beat the
     // best meeting point, no unexplored vertex can improve the answer.
     if (best_dist != kInfDistance &&
-        forward_.heap.MinKey() + backward_.heap.MinKey() >= best_dist) {
+        forward.heap.MinKey() + backward.heap.MinKey() >= best_dist) {
       break;
     }
     // Balance the searches by expanding the smaller frontier key.
-    if (forward_.heap.MinKey() <= backward_.heap.MinKey()) {
-      SettleOne(&forward_, backward_, &best_meet, &best_dist);
+    if (forward.heap.MinKey() <= backward.heap.MinKey()) {
+      SettleOne(ctx, &forward, backward, &best_meet, &best_dist);
     } else {
-      SettleOne(&backward_, forward_, &best_meet, &best_dist);
+      SettleOne(ctx, &backward, forward, &best_meet, &best_dist);
     }
   }
   *out_dist = best_dist;
   return best_meet;
 }
 
-Distance BidirectionalDijkstra::DistanceQuery(VertexId s, VertexId t) {
+Distance BidirectionalDijkstra::DistanceQuery(QueryContext* ctx, VertexId s,
+                                              VertexId t) const {
   Distance d = kInfDistance;
-  Search(s, t, &d);
+  Search(static_cast<Context*>(ctx), s, t, &d);
   return d;
 }
 
-Path BidirectionalDijkstra::PathQuery(VertexId s, VertexId t) {
+Path BidirectionalDijkstra::PathQuery(QueryContext* raw_ctx, VertexId s,
+                                      VertexId t) const {
+  Context* ctx = static_cast<Context*>(raw_ctx);
   Distance d = kInfDistance;
-  VertexId meet = Search(s, t, &d);
+  VertexId meet = Search(ctx, s, t, &d);
   if (meet == kInvalidVertex) return {};
 
   // Forward half: meet back to s, reversed.
   Path path;
   for (VertexId cur = meet; cur != kInvalidVertex;
-       cur = forward_.parent[cur]) {
+       cur = ctx->forward.parent[cur]) {
     path.push_back(cur);
   }
   std::reverse(path.begin(), path.end());
   // Backward half: parents of the t-rooted tree lead from meet toward t.
-  for (VertexId cur = backward_.parent[meet]; cur != kInvalidVertex;
-       cur = backward_.parent[cur]) {
+  for (VertexId cur = ctx->backward.parent[meet]; cur != kInvalidVertex;
+       cur = ctx->backward.parent[cur]) {
     path.push_back(cur);
   }
   return path;

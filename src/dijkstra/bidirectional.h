@@ -2,6 +2,7 @@
 #define ROADNET_DIJKSTRA_BIDIRECTIONAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -18,19 +19,25 @@ namespace roadnet {
 // no better meeting point exists, and the answer is the best
 // dist(s, u) + dist(u, t) seen over all doubly-reached vertices u.
 //
-// Implements PathIndex with zero preprocessing and zero index space.
+// Implements PathIndex with zero preprocessing and zero index space; all
+// search state lives in the QueryContext, so one instance serves any
+// number of threads.
 class BidirectionalDijkstra : public PathIndex {
  public:
   explicit BidirectionalDijkstra(const Graph& g);
 
   std::string Name() const override { return "Dijkstra"; }
-  Distance DistanceQuery(VertexId s, VertexId t) override;
-  Path PathQuery(VertexId s, VertexId t) override;
+  std::unique_ptr<QueryContext> NewContext() const override;
+  Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                         VertexId t) const override;
+  Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const override;
+  using PathIndex::DistanceQuery;
+  using PathIndex::PathQuery;
   size_t IndexBytes() const override { return 0; }
 
-  // Vertices settled by both searches in the most recent query; the cost
-  // measure behind the paper's efficiency discussion.
-  size_t SettledCount() const { return settled_count_; }
+  // Vertices settled by both searches in the most recent default-context
+  // query; the cost measure behind the paper's efficiency discussion.
+  size_t SettledCount() const;
 
  private:
   // One of the two search directions; 0 = forward from s, 1 = backward
@@ -51,21 +58,27 @@ class BidirectionalDijkstra : public PathIndex {
     }
   };
 
+  struct Context : QueryContext {
+    explicit Context(uint32_t n) : forward(n), backward(n) {}
+
+    Side forward;
+    Side backward;
+    uint32_t generation = 0;
+    size_t settled_count = 0;
+  };
+
   // Runs the full bidirectional search; returns the meeting vertex with
   // the minimal combined distance (kInvalidVertex if unreachable) and the
   // distance in *out_dist.
-  VertexId Search(VertexId s, VertexId t, Distance* out_dist);
+  VertexId Search(Context* ctx, VertexId s, VertexId t,
+                  Distance* out_dist) const;
 
   // Settles the minimum of `side`, relaxing edges; updates the best
   // meeting vertex seen so far.
-  void SettleOne(Side* side, const Side& other, VertexId* best_meet,
-                 Distance* best_dist);
+  void SettleOne(Context* ctx, Side* side, const Side& other,
+                 VertexId* best_meet, Distance* best_dist) const;
 
   const Graph& graph_;
-  Side forward_;
-  Side backward_;
-  uint32_t generation_ = 0;
-  size_t settled_count_ = 0;
 };
 
 }  // namespace roadnet

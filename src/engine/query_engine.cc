@@ -1,0 +1,163 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace roadnet {
+
+QueryEngine::QueryEngine(const PathIndex& index, size_t num_threads)
+    : index_(index) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(Worker{std::thread(), index_.NewContext()});
+  }
+  // Threads start only after every context exists, so WorkerLoop never
+  // observes a partially built pool.
+  for (size_t i = 0; i < n; ++i) {
+    workers_[i].thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (Worker& w : workers_) w.thread.join();
+}
+
+void QueryEngine::WorkerLoop(size_t worker_id) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      batch = batch_;
+    }
+    DrainBatch(worker_id, batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void QueryEngine::RunChunk(size_t worker_id, Batch* batch, size_t begin,
+                           size_t end) {
+  QueryContext* ctx = workers_[worker_id].context.get();
+  const bool timed = batch->latency_micros != nullptr;
+  for (size_t i = begin; i < end; ++i) {
+    const auto [s, t] = batch->queries[i];
+    Timer timer;
+    (*batch->distances)[i] = index_.DistanceQuery(ctx, s, t);
+    if (batch->paths != nullptr) {
+      // A path batch answers both query types (Section 2's two queries);
+      // the reported latency covers the pair.
+      (*batch->paths)[i] = index_.PathQuery(ctx, s, t);
+    }
+    if (timed) (*batch->latency_micros)[i] = timer.ElapsedMicros();
+  }
+}
+
+void QueryEngine::DrainBatch(size_t worker_id, Batch* batch) {
+  const size_t chunk = batch->chunk_size;
+  const size_t num_segments = batch->segments.size();
+  // Own segment first (cache-friendly contiguous claims), then sweep the
+  // other segments for leftover chunks.
+  for (size_t offset = 0; offset < num_segments; ++offset) {
+    const size_t victim = (worker_id + offset) % num_segments;
+    Segment& seg = batch->segments[victim];
+    while (true) {
+      const size_t begin = seg.cursor.fetch_add(chunk);
+      if (begin >= seg.end) break;
+      const size_t end = std::min(begin + chunk, seg.end);
+      if (offset != 0) {
+        batch->stolen_chunks.fetch_add(1, std::memory_order_relaxed);
+      }
+      RunChunk(worker_id, batch, begin, end);
+    }
+  }
+}
+
+BatchResult QueryEngine::Run(
+    std::span<const std::pair<VertexId, VertexId>> queries,
+    const BatchOptions& options) {
+  BatchResult result;
+  result.distances.assign(queries.size(), kInfDistance);
+  if (options.collect_paths) result.paths.resize(queries.size());
+
+  std::vector<double> latencies;
+  if (options.record_latencies) latencies.assign(queries.size(), 0.0);
+
+  Batch batch;
+  batch.queries = queries;
+  batch.options = options;
+  batch.distances = &result.distances;
+  batch.paths = options.collect_paths ? &result.paths : nullptr;
+  batch.latency_micros = options.record_latencies ? &latencies : nullptr;
+
+  // Chunk size: aim for several claims per worker so stealing has
+  // something to steal, without making the atomic traffic measurable.
+  const size_t num_workers = workers_.size();
+  batch.chunk_size =
+      options.chunk_size > 0
+          ? options.chunk_size
+          : std::clamp<size_t>(queries.size() / (num_workers * 8), 1, 64);
+
+  // Static split into equal contiguous segments, one per worker.
+  batch.segments = std::vector<Segment>(num_workers);
+  const size_t per_worker = queries.size() / num_workers;
+  const size_t remainder = queries.size() % num_workers;
+  size_t pos = 0;
+  for (size_t i = 0; i < num_workers; ++i) {
+    const size_t len = per_worker + (i < remainder ? 1 : 0);
+    batch.segments[i].cursor.store(pos, std::memory_order_relaxed);
+    batch.segments[i].end = pos + len;
+    pos += len;
+  }
+
+  Timer wall;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    active_workers_ = num_workers;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    batch_ = nullptr;
+  }
+
+  BatchStats& stats = result.stats;
+  stats.num_queries = queries.size();
+  stats.num_threads = num_workers;
+  stats.chunk_size = batch.chunk_size;
+  stats.stolen_chunks = batch.stolen_chunks.load();
+  stats.wall_seconds = wall.ElapsedSeconds();
+  stats.queries_per_second =
+      stats.wall_seconds > 0 ? queries.size() / stats.wall_seconds : 0;
+
+  if (options.record_latencies && !latencies.empty()) {
+    auto percentile = [&](double q) {
+      const size_t k = static_cast<size_t>(q * (latencies.size() - 1));
+      std::nth_element(latencies.begin(), latencies.begin() + k,
+                       latencies.end());
+      return latencies[k];
+    };
+    stats.p50_micros = percentile(0.50);
+    stats.p99_micros = percentile(0.99);
+    stats.max_micros = *std::max_element(latencies.begin(), latencies.end());
+  }
+  return result;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,142 @@
+#ifndef ROADNET_ENGINE_QUERY_ENGINE_H_
+#define ROADNET_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "routing/path.h"
+#include "routing/path_index.h"
+
+namespace roadnet {
+
+// Per-batch execution metrics: the throughput view of the paper's
+// per-query latency numbers (queries/sec is what a production service
+// provisions by; p50/p99 are what its SLOs are written against).
+struct BatchStats {
+  size_t num_queries = 0;
+  size_t num_threads = 0;
+  size_t chunk_size = 0;
+  // Chunks a worker claimed from another worker's segment — nonzero when
+  // the static split was unbalanced and stealing actually engaged.
+  size_t stolen_chunks = 0;
+  double wall_seconds = 0;
+  double queries_per_second = 0;
+  // Per-query latency percentiles in microseconds; zero unless
+  // BatchOptions::record_latencies.
+  double p50_micros = 0;
+  double p99_micros = 0;
+  double max_micros = 0;
+};
+
+struct BatchOptions {
+  // Also materialize every shortest path (PathQuery) instead of distances
+  // only (DistanceQuery).
+  bool collect_paths = false;
+  // Time every query individually for the latency percentiles. Costs two
+  // clock reads per query; disable for pure-throughput runs.
+  bool record_latencies = true;
+  // Queries per stealable chunk; 0 picks a size from the batch and worker
+  // counts. Small chunks balance better, large chunks amortize the atomic
+  // claim.
+  size_t chunk_size = 0;
+};
+
+struct BatchResult {
+  // distances[i] answers queries[i] (kInfDistance if unreachable).
+  std::vector<Distance> distances;
+  // paths[i] answers queries[i]; empty unless BatchOptions::collect_paths.
+  std::vector<Path> paths;
+  BatchStats stats;
+};
+
+// Concurrent batch query executor over any PathIndex.
+//
+// A fixed pool of workers is spawned once per engine, each owning one
+// QueryContext of the target index; batches are executed by splitting the
+// query list into per-worker segments of cache-friendly contiguous
+// chunks. Workers drain their own segment first and then steal chunks
+// from the remaining segments of other workers, so a straggler (one
+// worker hitting the batch's hardest queries) cannot idle the rest of the
+// pool. Claiming is one fetch_add on the segment owner's cursor, making
+// every chunk executed exactly once.
+//
+// Run() is synchronous and must not be called from two threads at once;
+// the engine itself may be long-lived and reused across many batches.
+class QueryEngine {
+ public:
+  // Spawns `num_threads` workers (>= 1; 0 is clamped to 1) with one fresh
+  // context each. The index must outlive the engine and stay immutable
+  // while batches run.
+  QueryEngine(const PathIndex& index, size_t num_threads);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Executes the batch and blocks until every query is answered.
+  BatchResult Run(std::span<const std::pair<VertexId, VertexId>> queries,
+                  const BatchOptions& options = {});
+
+  size_t NumThreads() const { return workers_.size(); }
+
+ private:
+  // One worker's claimable segment of the current batch. The cursor is
+  // bumped by the owner and by thieves alike; claims past `end` are
+  // harmless no-ops.
+  struct alignas(64) Segment {
+    std::atomic<size_t> cursor{0};
+    size_t end = 0;
+  };
+
+  // The batch being executed, shared by all workers.
+  struct Batch {
+    std::span<const std::pair<VertexId, VertexId>> queries;
+    BatchOptions options;
+    size_t chunk_size = 1;
+    std::vector<Segment> segments;
+    std::atomic<size_t> stolen_chunks{0};
+    // Output slots; indexed by query position, so workers never write the
+    // same element and no synchronization is needed beyond the join.
+    std::vector<Distance>* distances = nullptr;
+    std::vector<Path>* paths = nullptr;
+    std::vector<double>* latency_micros = nullptr;
+  };
+
+  struct Worker {
+    std::thread thread;
+    std::unique_ptr<QueryContext> context;
+  };
+
+  // Worker main loop: wait for a batch epoch, drain it, report done.
+  void WorkerLoop(size_t worker_id);
+
+  // Executes chunks of `batch`, own segment first, then stealing.
+  void DrainBatch(size_t worker_id, Batch* batch);
+
+  // Runs queries [begin, end) of the batch on this worker's context.
+  void RunChunk(size_t worker_id, Batch* batch, size_t begin, size_t end);
+
+  const PathIndex& index_;
+  std::vector<Worker> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new batch epoch or stop
+  std::condition_variable done_cv_;   // signals workers finishing a batch
+  uint64_t epoch_ = 0;                // bumped once per Run()
+  size_t active_workers_ = 0;         // workers still draining the batch
+  Batch* batch_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_ENGINE_QUERY_ENGINE_H_

@@ -8,17 +8,7 @@ namespace roadnet {
 
 PartitionOverlayIndex::PartitionOverlayIndex(
     const Graph& g, const PartitionOverlayConfig& config)
-    : graph_(g),
-      heap_(g.NumVertices()),
-      dist_(g.NumVertices(), 0),
-      parent_(g.NumVertices(), kInvalidVertex),
-      via_clique_(g.NumVertices(), 0),
-      reached_(g.NumVertices(), 0),
-      settled_(g.NumVertices(), 0),
-      rheap_(g.NumVertices()),
-      rdist_(g.NumVertices(), 0),
-      rparent_(g.NumVertices(), kInvalidVertex),
-      rreached_(g.NumVertices(), 0) {
+    : graph_(g) {
   const uint32_t n = g.NumVertices();
 
   // Regions: dense ids over the non-empty cells of a coarse grid.
@@ -45,15 +35,19 @@ PartitionOverlayIndex::PartitionOverlayIndex(
   }
 
   // Boundary cliques: within-region shortest distances between boundary
-  // vertices (HEPV/HiTi's precomputed component distances).
+  // vertices (HEPV/HiTi's precomputed component distances). Uses a local
+  // context so preprocessing shares the query machinery.
+  Context scratch(n);
   std::vector<std::vector<CliqueArc>> clique(n);
   for (uint32_t r = 0; r < num_regions_; ++r) {
     for (VertexId b : region_boundary[r]) {
-      RestrictedSearch(b, kInvalidVertex, r, nullptr, nullptr);
+      RestrictedSearch(&scratch, b, kInvalidVertex, r);
       for (VertexId other : region_boundary[r]) {
-        if (other == b || rreached_[other] != rgeneration_) continue;
+        if (other == b || scratch.rreached[other] != scratch.rgeneration) {
+          continue;
+        }
         clique[b].push_back(
-            CliqueArc{other, static_cast<Weight>(rdist_[other])});
+            CliqueArc{other, static_cast<Weight>(scratch.rdist[other])});
       }
     }
   }
@@ -69,73 +63,83 @@ PartitionOverlayIndex::PartitionOverlayIndex(
   }
 }
 
-Distance PartitionOverlayIndex::RestrictedSearch(
-    VertexId source, VertexId target, uint32_t region,
-    std::vector<Distance>* dist, std::vector<VertexId>* parent) {
-  ++rgeneration_;
-  rheap_.Clear();
-  rdist_[source] = 0;
-  rparent_[source] = kInvalidVertex;
-  rreached_[source] = rgeneration_;
-  rheap_.Push(source, 0);
-  while (!rheap_.Empty()) {
-    const VertexId u = rheap_.PopMin();
+std::unique_ptr<QueryContext> PartitionOverlayIndex::NewContext() const {
+  return std::make_unique<Context>(graph_.NumVertices());
+}
+
+size_t PartitionOverlayIndex::SettledCount() const {
+  auto* ctx = static_cast<const Context*>(default_context());
+  return ctx == nullptr ? 0 : ctx->settled_count;
+}
+
+Distance PartitionOverlayIndex::RestrictedSearch(Context* ctx,
+                                                 VertexId source,
+                                                 VertexId target,
+                                                 uint32_t region) const {
+  ++ctx->rgeneration;
+  ctx->rheap.Clear();
+  ctx->rdist[source] = 0;
+  ctx->rparent[source] = kInvalidVertex;
+  ctx->rreached[source] = ctx->rgeneration;
+  ctx->rheap.Push(source, 0);
+  while (!ctx->rheap.Empty()) {
+    const VertexId u = ctx->rheap.PopMin();
     if (u == target) break;
-    const Distance du = rdist_[u];
+    const Distance du = ctx->rdist[u];
     for (const Arc& a : graph_.Neighbors(u)) {
       if (region_of_[a.to] != region) continue;  // stay inside the region
       const Distance cand = du + a.weight;
-      if (rreached_[a.to] != rgeneration_) {
-        rreached_[a.to] = rgeneration_;
-        rdist_[a.to] = cand;
-        rparent_[a.to] = u;
-        rheap_.Push(a.to, cand);
-      } else if (rheap_.Contains(a.to) && cand < rdist_[a.to]) {
-        rdist_[a.to] = cand;
-        rparent_[a.to] = u;
-        rheap_.DecreaseKey(a.to, cand);
+      if (ctx->rreached[a.to] != ctx->rgeneration) {
+        ctx->rreached[a.to] = ctx->rgeneration;
+        ctx->rdist[a.to] = cand;
+        ctx->rparent[a.to] = u;
+        ctx->rheap.Push(a.to, cand);
+      } else if (ctx->rheap.Contains(a.to) && cand < ctx->rdist[a.to]) {
+        ctx->rdist[a.to] = cand;
+        ctx->rparent[a.to] = u;
+        ctx->rheap.DecreaseKey(a.to, cand);
       }
     }
   }
-  if (dist != nullptr) *dist = rdist_;
-  if (parent != nullptr) *parent = rparent_;
   if (target == kInvalidVertex) return kInfDistance;
-  return rreached_[target] == rgeneration_ ? rdist_[target] : kInfDistance;
+  return ctx->rreached[target] == ctx->rgeneration ? ctx->rdist[target]
+                                                   : kInfDistance;
 }
 
-Distance PartitionOverlayIndex::Search(VertexId s, VertexId t) {
+Distance PartitionOverlayIndex::Search(Context* ctx, VertexId s,
+                                       VertexId t) const {
   const uint32_t rs = region_of_[s];
   const uint32_t rt = region_of_[t];
-  ++generation_;
-  heap_.Clear();
-  settled_count_ = 0;
-  dist_[s] = 0;
-  parent_[s] = kInvalidVertex;
-  via_clique_[s] = 0;
-  reached_[s] = generation_;
-  heap_.Push(s, 0);
+  ++ctx->generation;
+  ctx->heap.Clear();
+  ctx->settled_count = 0;
+  ctx->dist[s] = 0;
+  ctx->parent[s] = kInvalidVertex;
+  ctx->via_clique[s] = 0;
+  ctx->reached[s] = ctx->generation;
+  ctx->heap.Push(s, 0);
 
   auto relax = [&](VertexId from, VertexId to, Weight w, bool clique) {
-    const Distance cand = dist_[from] + w;
-    if (reached_[to] != generation_) {
-      reached_[to] = generation_;
-      dist_[to] = cand;
-      parent_[to] = from;
-      via_clique_[to] = clique ? 1 : 0;
-      heap_.Push(to, cand);
-    } else if (settled_[to] != generation_ && cand < dist_[to]) {
-      dist_[to] = cand;
-      parent_[to] = from;
-      via_clique_[to] = clique ? 1 : 0;
-      heap_.DecreaseKey(to, cand);
+    const Distance cand = ctx->dist[from] + w;
+    if (ctx->reached[to] != ctx->generation) {
+      ctx->reached[to] = ctx->generation;
+      ctx->dist[to] = cand;
+      ctx->parent[to] = from;
+      ctx->via_clique[to] = clique ? 1 : 0;
+      ctx->heap.Push(to, cand);
+    } else if (ctx->settled[to] != ctx->generation && cand < ctx->dist[to]) {
+      ctx->dist[to] = cand;
+      ctx->parent[to] = from;
+      ctx->via_clique[to] = clique ? 1 : 0;
+      ctx->heap.DecreaseKey(to, cand);
     }
   };
 
-  while (!heap_.Empty()) {
-    const VertexId u = heap_.PopMin();
-    settled_[u] = generation_;
-    ++settled_count_;
-    if (u == t) return dist_[t];
+  while (!ctx->heap.Empty()) {
+    const VertexId u = ctx->heap.PopMin();
+    ctx->settled[u] = ctx->generation;
+    ++ctx->settled_count;
+    if (u == t) return ctx->dist[t];
     const uint32_t ru = region_of_[u];
     if (ru == rs || ru == rt) {
       // Inside the source/target region: ordinary expansion.
@@ -163,19 +167,22 @@ Distance PartitionOverlayIndex::Search(VertexId s, VertexId t) {
   return kInfDistance;
 }
 
-Distance PartitionOverlayIndex::DistanceQuery(VertexId s, VertexId t) {
+Distance PartitionOverlayIndex::DistanceQuery(QueryContext* ctx, VertexId s,
+                                              VertexId t) const {
   if (s == t) return 0;
-  return Search(s, t);
+  return Search(static_cast<Context*>(ctx), s, t);
 }
 
-Path PartitionOverlayIndex::PathQuery(VertexId s, VertexId t) {
+Path PartitionOverlayIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
+                                      VertexId t) const {
+  Context* ctx = static_cast<Context*>(raw_ctx);
   if (s == t) return {s};
-  if (Search(s, t) == kInfDistance) return {};
+  if (Search(ctx, s, t) == kInfDistance) return {};
 
   // Overlay path (may contain clique hops), t back to s.
   std::vector<std::pair<VertexId, bool>> overlay;  // (vertex, via clique)
-  for (VertexId cur = t; cur != kInvalidVertex; cur = parent_[cur]) {
-    overlay.emplace_back(cur, via_clique_[cur] != 0);
+  for (VertexId cur = t; cur != kInvalidVertex; cur = ctx->parent[cur]) {
+    overlay.emplace_back(cur, ctx->via_clique[cur] != 0);
     if (cur == s) break;
   }
   std::reverse(overlay.begin(), overlay.end());
@@ -189,9 +196,9 @@ Path PartitionOverlayIndex::PathQuery(VertexId s, VertexId t) {
       continue;
     }
     // Unpack the clique hop with a restricted search inside the region.
-    RestrictedSearch(from, to, region_of_[to], nullptr, nullptr);
+    RestrictedSearch(ctx, from, to, region_of_[to]);
     Path segment;
-    for (VertexId cur = to; cur != kInvalidVertex; cur = rparent_[cur]) {
+    for (VertexId cur = to; cur != kInvalidVertex; cur = ctx->rparent[cur]) {
       segment.push_back(cur);
       if (cur == from) break;
     }

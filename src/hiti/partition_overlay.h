@@ -2,6 +2,7 @@
 #define ROADNET_HITI_PARTITION_OVERLAY_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -48,15 +49,19 @@ class PartitionOverlayIndex : public PathIndex {
       : PartitionOverlayIndex(g, PartitionOverlayConfig{}) {}
 
   std::string Name() const override { return "HiTi"; }
-  Distance DistanceQuery(VertexId s, VertexId t) override;
-  Path PathQuery(VertexId s, VertexId t) override;
+  std::unique_ptr<QueryContext> NewContext() const override;
+  Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                         VertexId t) const override;
+  Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const override;
+  using PathIndex::DistanceQuery;
+  using PathIndex::PathQuery;
   size_t IndexBytes() const override;
 
   uint32_t NumRegions() const { return num_regions_; }
   uint32_t RegionOf(VertexId v) const { return region_of_[v]; }
   bool IsBoundary(VertexId v) const { return is_boundary_[v]; }
 
-  size_t SettledCount() const { return settled_count_; }
+  size_t SettledCount() const;
 
  private:
   // Clique arc: within-region shortest distance between two boundary
@@ -66,21 +71,45 @@ class PartitionOverlayIndex : public PathIndex {
     Weight weight;
   };
 
+  struct Context : QueryContext {
+    explicit Context(uint32_t n)
+        : heap(n), dist(n, 0), parent(n, kInvalidVertex), via_clique(n, 0),
+          reached(n, 0), settled(n, 0), rheap(n), rdist(n, 0),
+          rparent(n, kInvalidVertex), rreached(n, 0) {}
+
+    // Overlay query scratch.
+    IndexedHeap<Distance> heap;
+    std::vector<Distance> dist;
+    std::vector<VertexId> parent;
+    std::vector<uint8_t> via_clique;
+    std::vector<uint32_t> reached;
+    std::vector<uint32_t> settled;
+    uint32_t generation = 0;
+    size_t settled_count = 0;
+
+    // Restricted-search scratch (separate generation; also used for
+    // clique-arc unpacking during path queries).
+    IndexedHeap<Distance> rheap;
+    std::vector<Distance> rdist;
+    std::vector<VertexId> rparent;
+    std::vector<uint32_t> rreached;
+    uint32_t rgeneration = 0;
+  };
+
   std::span<const CliqueArc> CliqueArcs(VertexId v) const {
     return {clique_arcs_.data() + clique_offsets_[v],
             clique_offsets_[v + 1] - clique_offsets_[v]};
   }
 
-  // Dijkstra restricted to one region; fills dist/parent scratch and
+  // Dijkstra restricted to one region, using the context's r-scratch;
   // returns the distance to `target` (kInfDistance if not reachable
   // inside the region).
-  Distance RestrictedSearch(VertexId source, VertexId target,
-                            uint32_t region, std::vector<Distance>* dist,
-                            std::vector<VertexId>* parent);
+  Distance RestrictedSearch(Context* ctx, VertexId source, VertexId target,
+                            uint32_t region) const;
 
   // The overlay query search. Parent entries tag arcs that were clique
   // arcs so paths can be unpacked.
-  Distance Search(VertexId s, VertexId t);
+  Distance Search(Context* ctx, VertexId s, VertexId t) const;
 
   const Graph& graph_;
   uint32_t num_regions_ = 0;
@@ -88,23 +117,6 @@ class PartitionOverlayIndex : public PathIndex {
   std::vector<bool> is_boundary_;
   std::vector<uint32_t> clique_offsets_;  // per vertex (CSR)
   std::vector<CliqueArc> clique_arcs_;
-
-  // Query scratch.
-  IndexedHeap<Distance> heap_;
-  std::vector<Distance> dist_;
-  std::vector<VertexId> parent_;
-  std::vector<uint8_t> via_clique_;
-  std::vector<uint32_t> reached_;
-  std::vector<uint32_t> settled_;
-  uint32_t generation_ = 0;
-  size_t settled_count_ = 0;
-
-  // Restricted-search scratch (separate generation).
-  IndexedHeap<Distance> rheap_;
-  std::vector<Distance> rdist_;
-  std::vector<VertexId> rparent_;
-  std::vector<uint32_t> rreached_;
-  uint32_t rgeneration_ = 0;
 };
 
 }  // namespace roadnet

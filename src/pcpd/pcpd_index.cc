@@ -238,18 +238,19 @@ void PcpdIndex::AppendPath(VertexId s, VertexId t, Path* out) const {
   AppendPath(psi.b, t, out);
 }
 
-Path PcpdIndex::PathQuery(VertexId s, VertexId t) {
+Path PcpdIndex::PathQuery(QueryContext*, VertexId s, VertexId t) const {
   Path path{s};
   if (s == t) return path;
   AppendPath(s, t, &path);
   return path;
 }
 
-Distance PcpdIndex::DistanceQuery(VertexId s, VertexId t) {
+Distance PcpdIndex::DistanceQuery(QueryContext* ctx, VertexId s,
+                                  VertexId t) const {
   if (s == t) return 0;
   // PCPD answers distance queries by materializing the path and summing
   // its edge weights (Section 3.5).
-  Path path = PathQuery(s, t);
+  Path path = PathQuery(ctx, s, t);
   if (path.empty()) return kInfDistance;
   Distance total = 0;
   for (size_t i = 0; i + 1 < path.size(); ++i) {

@@ -2,6 +2,7 @@
 #define ROADNET_PCPD_PCPD_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -35,8 +36,16 @@ class PcpdIndex : public PathIndex {
   explicit PcpdIndex(const Graph& g);
 
   std::string Name() const override { return "PCPD"; }
-  Distance DistanceQuery(VertexId s, VertexId t) override;
-  Path PathQuery(VertexId s, VertexId t) override;
+  // PCPD queries are pure reads over the pair map — no per-query scratch
+  // — so the context is stateless and queries are naturally concurrent.
+  std::unique_ptr<QueryContext> NewContext() const override {
+    return std::make_unique<QueryContext>();
+  }
+  Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                         VertexId t) const override;
+  Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const override;
+  using PathIndex::DistanceQuery;
+  using PathIndex::PathQuery;
   size_t IndexBytes() const override;
 
   // Number of stored path-coherent pairs |Spcp| (Appendix C's growth

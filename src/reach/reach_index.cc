@@ -8,10 +8,7 @@
 namespace roadnet {
 
 ReachIndex::ReachIndex(const Graph& g)
-    : graph_(g),
-      reach_(g.NumVertices(), 0),
-      forward_(g.NumVertices()),
-      backward_(g.NumVertices()) {
+    : graph_(g), reach_(g.NumVertices(), 0) {
   const uint32_t n = g.NumVertices();
   Dijkstra dijkstra(g);
   std::vector<std::pair<Distance, VertexId>> order;
@@ -44,18 +41,27 @@ ReachIndex::ReachIndex(const Graph& g)
   }
 }
 
-void ReachIndex::SettleOne(Side* side, const Side& other,
-                           VertexId* best_meet, Distance* best_dist) {
+std::unique_ptr<QueryContext> ReachIndex::NewContext() const {
+  return std::make_unique<Context>(graph_.NumVertices());
+}
+
+size_t ReachIndex::SettledCount() const {
+  auto* ctx = static_cast<const Context*>(default_context());
+  return ctx == nullptr ? 0 : ctx->settled_count;
+}
+
+void ReachIndex::SettleOne(Context* ctx, Side* side, const Side& other,
+                           VertexId* best_meet, Distance* best_dist) const {
   VertexId u = side->heap.PopMin();
-  side->settled[u] = generation_;
-  ++settled_count_;
+  side->settled[u] = ctx->generation;
+  ++ctx->settled_count;
   const Distance du = side->dist[u];
 
   // Reach pruning: if u sits deeper into this side than its reach allows,
   // any shortest path through u must end within reach(u) of the other
   // endpoint — and the other search has then already reached u. If it has
   // not, u is provably off every shortest path and its arcs are skipped.
-  if (reach_[u] < du && other.reached[u] != generation_ &&
+  if (reach_[u] < du && other.reached[u] != ctx->generation &&
       !other.heap.Empty() && reach_[u] < other.heap.MinKey()) {
     return;
   }
@@ -63,20 +69,20 @@ void ReachIndex::SettleOne(Side* side, const Side& other,
   for (const Arc& a : graph_.Neighbors(u)) {
     const Distance cand = du + a.weight;
     bool improved = false;
-    if (side->reached[a.to] != generation_) {
-      side->reached[a.to] = generation_;
+    if (side->reached[a.to] != ctx->generation) {
+      side->reached[a.to] = ctx->generation;
       side->dist[a.to] = cand;
       side->parent[a.to] = u;
       side->heap.Push(a.to, cand);
       improved = true;
     } else if (cand < side->dist[a.to] &&
-               side->settled[a.to] != generation_) {
+               side->settled[a.to] != ctx->generation) {
       side->dist[a.to] = cand;
       side->parent[a.to] = u;
       side->heap.DecreaseKey(a.to, cand);
       improved = true;
     }
-    if (improved && other.reached[a.to] == generation_) {
+    if (improved && other.reached[a.to] == ctx->generation) {
       const Distance total = cand + other.dist[a.to];
       if (total < *best_dist) {
         *best_dist = total;
@@ -86,20 +92,23 @@ void ReachIndex::SettleOne(Side* side, const Side& other,
   }
 }
 
-VertexId ReachIndex::Search(VertexId s, VertexId t, Distance* out_dist) {
-  ++generation_;
-  settled_count_ = 0;
-  forward_.heap.Clear();
-  backward_.heap.Clear();
+VertexId ReachIndex::Search(Context* ctx, VertexId s, VertexId t,
+                            Distance* out_dist) const {
+  ++ctx->generation;
+  ctx->settled_count = 0;
+  Side& forward = ctx->forward;
+  Side& backward = ctx->backward;
+  forward.heap.Clear();
+  backward.heap.Clear();
 
-  forward_.dist[s] = 0;
-  forward_.parent[s] = kInvalidVertex;
-  forward_.reached[s] = generation_;
-  forward_.heap.Push(s, 0);
-  backward_.dist[t] = 0;
-  backward_.parent[t] = kInvalidVertex;
-  backward_.reached[t] = generation_;
-  backward_.heap.Push(t, 0);
+  forward.dist[s] = 0;
+  forward.parent[s] = kInvalidVertex;
+  forward.reached[s] = ctx->generation;
+  forward.heap.Push(s, 0);
+  backward.dist[t] = 0;
+  backward.parent[t] = kInvalidVertex;
+  backward.reached[t] = ctx->generation;
+  backward.heap.Push(t, 0);
 
   if (s == t) {
     *out_dist = 0;
@@ -107,39 +116,42 @@ VertexId ReachIndex::Search(VertexId s, VertexId t, Distance* out_dist) {
   }
   Distance best_dist = kInfDistance;
   VertexId best_meet = kInvalidVertex;
-  while (!forward_.heap.Empty() && !backward_.heap.Empty()) {
+  while (!forward.heap.Empty() && !backward.heap.Empty()) {
     if (best_dist != kInfDistance &&
-        forward_.heap.MinKey() + backward_.heap.MinKey() >= best_dist) {
+        forward.heap.MinKey() + backward.heap.MinKey() >= best_dist) {
       break;
     }
-    if (forward_.heap.MinKey() <= backward_.heap.MinKey()) {
-      SettleOne(&forward_, backward_, &best_meet, &best_dist);
+    if (forward.heap.MinKey() <= backward.heap.MinKey()) {
+      SettleOne(ctx, &forward, backward, &best_meet, &best_dist);
     } else {
-      SettleOne(&backward_, forward_, &best_meet, &best_dist);
+      SettleOne(ctx, &backward, forward, &best_meet, &best_dist);
     }
   }
   *out_dist = best_dist;
   return best_meet;
 }
 
-Distance ReachIndex::DistanceQuery(VertexId s, VertexId t) {
+Distance ReachIndex::DistanceQuery(QueryContext* ctx, VertexId s,
+                                   VertexId t) const {
   Distance d = kInfDistance;
-  Search(s, t, &d);
+  Search(static_cast<Context*>(ctx), s, t, &d);
   return d;
 }
 
-Path ReachIndex::PathQuery(VertexId s, VertexId t) {
+Path ReachIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
+                           VertexId t) const {
+  Context* ctx = static_cast<Context*>(raw_ctx);
   Distance d = kInfDistance;
-  VertexId meet = Search(s, t, &d);
+  VertexId meet = Search(ctx, s, t, &d);
   if (meet == kInvalidVertex) return {};
   Path path;
   for (VertexId cur = meet; cur != kInvalidVertex;
-       cur = forward_.parent[cur]) {
+       cur = ctx->forward.parent[cur]) {
     path.push_back(cur);
   }
   std::reverse(path.begin(), path.end());
-  for (VertexId cur = backward_.parent[meet]; cur != kInvalidVertex;
-       cur = backward_.parent[cur]) {
+  for (VertexId cur = ctx->backward.parent[meet]; cur != kInvalidVertex;
+       cur = ctx->backward.parent[cur]) {
     path.push_back(cur);
   }
   return path;

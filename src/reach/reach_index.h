@@ -2,6 +2,7 @@
 #define ROADNET_REACH_REACH_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -32,13 +33,17 @@ class ReachIndex : public PathIndex {
   explicit ReachIndex(const Graph& g);
 
   std::string Name() const override { return "RE"; }
-  Distance DistanceQuery(VertexId s, VertexId t) override;
-  Path PathQuery(VertexId s, VertexId t) override;
+  std::unique_ptr<QueryContext> NewContext() const override;
+  Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                         VertexId t) const override;
+  Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const override;
+  using PathIndex::DistanceQuery;
+  using PathIndex::PathQuery;
   size_t IndexBytes() const override;
 
   Distance ReachOf(VertexId v) const { return reach_[v]; }
 
-  size_t SettledCount() const { return settled_count_; }
+  size_t SettledCount() const;
 
  private:
   struct Side {
@@ -53,17 +58,22 @@ class ReachIndex : public PathIndex {
           settled(n, 0) {}
   };
 
-  VertexId Search(VertexId s, VertexId t, Distance* out_dist);
-  void SettleOne(Side* side, const Side& other, VertexId* best_meet,
-                 Distance* best_dist);
+  struct Context : QueryContext {
+    explicit Context(uint32_t n) : forward(n), backward(n) {}
+
+    Side forward;
+    Side backward;
+    uint32_t generation = 0;
+    size_t settled_count = 0;
+  };
+
+  VertexId Search(Context* ctx, VertexId s, VertexId t,
+                  Distance* out_dist) const;
+  void SettleOne(Context* ctx, Side* side, const Side& other,
+                 VertexId* best_meet, Distance* best_dist) const;
 
   const Graph& graph_;
   std::vector<Distance> reach_;
-
-  Side forward_;
-  Side backward_;
-  uint32_t generation_ = 0;
-  size_t settled_count_ = 0;
 };
 
 }  // namespace roadnet

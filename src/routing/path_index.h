@@ -2,6 +2,7 @@
 #define ROADNET_ROUTING_PATH_INDEX_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "graph/types.h"
@@ -9,14 +10,30 @@
 
 namespace roadnet {
 
+// Per-thread mutable query state of a PathIndex. Every technique keeps
+// scratch sized by the graph (distance/parent/generation arrays, heaps)
+// so queries run allocation-free; a QueryContext owns that scratch so the
+// index itself can stay immutable after preprocessing and be shared by
+// any number of threads.
+//
+// A context belongs to exactly one index (the one whose NewContext()
+// created it) and may be used by at most one thread at a time. Contexts
+// are cheap relative to the index: O(n) memory, no preprocessing.
+class QueryContext {
+ public:
+  virtual ~QueryContext() = default;
+};
+
 // Common interface of every technique the paper evaluates (Section 3):
 // the bidirectional Dijkstra baseline, CH, TNR, SILC, and PCPD. Indexes
 // are constructed over a Graph (preprocessing happens in the constructor
 // or a factory) and then answer the paper's two query types.
 //
-// Implementations are not required to be thread-safe: like the paper's
-// code, each index keeps per-query scratch state sized by the graph so
-// queries run allocation-free.
+// Thread-safety contract: after construction the index is immutable, and
+// the context-taking overloads are safe to call concurrently as long as
+// each thread passes its own QueryContext. The context-free overloads
+// route through one internal default context and therefore stay
+// single-threaded, exactly like the paper's original code.
 class PathIndex {
  public:
   virtual ~PathIndex() = default;
@@ -24,17 +41,46 @@ class PathIndex {
   // Technique name as used in the paper's figures ("CH", "TNR", ...).
   virtual std::string Name() const = 0;
 
+  // Creates a fresh query context for this index. Thread-safe.
+  virtual std::unique_ptr<QueryContext> NewContext() const = 0;
+
   // Distance query (Section 2): length of the shortest path from s to t,
-  // or kInfDistance if t is unreachable.
-  virtual Distance DistanceQuery(VertexId s, VertexId t) = 0;
+  // or kInfDistance if t is unreachable. `ctx` must come from this
+  // index's NewContext().
+  virtual Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                                 VertexId t) const = 0;
 
   // Shortest path query (Section 2): the path as a vertex sequence
   // (empty if unreachable).
-  virtual Path PathQuery(VertexId s, VertexId t) = 0;
+  virtual Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const = 0;
+
+  // Single-threaded convenience overloads over the internal default
+  // context (the pre-context API every test and bench started from).
+  Distance DistanceQuery(VertexId s, VertexId t) {
+    return DistanceQuery(DefaultContext(), s, t);
+  }
+  Path PathQuery(VertexId s, VertexId t) {
+    return PathQuery(DefaultContext(), s, t);
+  }
 
   // Bytes of precomputed structures held beyond the input graph; the
-  // paper's "space consumption" metric (Figure 6a).
+  // paper's "space consumption" metric (Figure 6a). Excludes contexts.
   virtual size_t IndexBytes() const = 0;
+
+ protected:
+  // The lazily-created context behind the context-free overloads.
+  // Implementations use it for legacy per-query accessors (settled
+  // counts, routing stats).
+  QueryContext* DefaultContext() {
+    if (default_context_ == nullptr) default_context_ = NewContext();
+    return default_context_.get();
+  }
+  const QueryContext* default_context() const {
+    return default_context_.get();
+  }
+
+ private:
+  std::unique_ptr<QueryContext> default_context_;
 };
 
 }  // namespace roadnet

@@ -71,7 +71,7 @@ VertexId SilcIndex::NextHop(VertexId from, VertexId to) const {
   return graph_.Neighbors(from)[color].to;
 }
 
-Path SilcIndex::PathQuery(VertexId s, VertexId t) {
+Path SilcIndex::PathQuery(QueryContext*, VertexId s, VertexId t) const {
   Path path{s};
   if (s == t) return path;
   VertexId cur = s;
@@ -87,7 +87,8 @@ Path SilcIndex::PathQuery(VertexId s, VertexId t) {
   return {};
 }
 
-Distance SilcIndex::DistanceQuery(VertexId s, VertexId t) {
+Distance SilcIndex::DistanceQuery(QueryContext*, VertexId s,
+                                  VertexId t) const {
   if (s == t) return 0;
   Distance total = 0;
   VertexId cur = s;

@@ -2,6 +2,7 @@
 #define ROADNET_SILC_SILC_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -31,8 +32,17 @@ class SilcIndex : public PathIndex {
   explicit SilcIndex(const Graph& g);
 
   std::string Name() const override { return "SILC"; }
-  Distance DistanceQuery(VertexId s, VertexId t) override;
-  Path PathQuery(VertexId s, VertexId t) override;
+  // SILC queries are pure reads over the interval lists — no per-query
+  // scratch — so the context is stateless and queries are naturally
+  // concurrent.
+  std::unique_ptr<QueryContext> NewContext() const override {
+    return std::make_unique<QueryContext>();
+  }
+  Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                         VertexId t) const override;
+  Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const override;
+  using PathIndex::DistanceQuery;
+  using PathIndex::PathQuery;
   size_t IndexBytes() const override;
 
   // First vertex after `from` on the shortest path from `from` to `to`

@@ -141,6 +141,21 @@ TnrIndex::TnrIndex(const Graph& g, ChIndex* ch, const TnrConfig& config)
   }
 }
 
+std::unique_ptr<QueryContext> TnrIndex::NewContext() const {
+  auto ctx = std::make_unique<Context>();
+  ctx->fallback = fallback_->NewContext();
+  return ctx;
+}
+
+TnrStats TnrIndex::stats() const {
+  auto* ctx = static_cast<const Context*>(default_context());
+  return ctx == nullptr ? TnrStats{} : ctx->stats;
+}
+
+void TnrIndex::ResetStats() {
+  static_cast<Context*>(DefaultContext())->stats = TnrStats{};
+}
+
 bool TnrIndex::TableApplicable(VertexId s, VertexId t) const {
   return CellChebyshev(coarse_.grid.CellOf(s), coarse_.grid.CellOf(t)) >=
          kTableRadius;
@@ -185,42 +200,46 @@ Distance TnrIndex::FineDistance(VertexId s, VertexId t,
   return best;
 }
 
-Distance TnrIndex::RoutedDistance(VertexId s, VertexId t) {
+Distance TnrIndex::RoutedDistance(Context* ctx, VertexId s,
+                                  VertexId t) const {
   if (TableApplicable(s, t)) {
-    ++stats_.coarse_table_answered;
+    ++ctx->stats.coarse_table_answered;
     return CoarseDistance(s, t);
   }
   if (fine_ != nullptr) {
     bool answered = false;
     const Distance d = FineDistance(s, t, &answered);
     if (answered) {
-      ++stats_.fine_table_answered;
+      ++ctx->stats.fine_table_answered;
       return d;
     }
   }
-  ++stats_.fallback_answered;
-  return fallback_->DistanceQuery(s, t);
+  ++ctx->stats.fallback_answered;
+  return fallback_->DistanceQuery(ctx->fallback.get(), s, t);
 }
 
-Distance TnrIndex::DistanceQuery(VertexId s, VertexId t) {
+Distance TnrIndex::DistanceQuery(QueryContext* ctx, VertexId s,
+                                 VertexId t) const {
   if (s == t) return 0;
-  return RoutedDistance(s, t);
+  return RoutedDistance(static_cast<Context*>(ctx), s, t);
 }
 
-Path TnrIndex::PathQuery(VertexId s, VertexId t) {
+Path TnrIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
+                         VertexId t) const {
+  Context* ctx = static_cast<Context*>(raw_ctx);
   if (s == t) return {s};
   const int32_t cheb =
       CellChebyshev(coarse_.grid.CellOf(s), coarse_.grid.CellOf(t));
   if (cheb < kPathWalkRadius) {
-    ++stats_.fallback_answered;
-    return fallback_->PathQuery(s, t);
+    ++ctx->stats.fallback_answered;
+    return fallback_->PathQuery(ctx->fallback.get(), s, t);
   }
 
   // Greedy walk (Section 3.3): repeatedly step to the neighbour v of the
   // current vertex that minimizes w(cur, v) + dist(v, t), each dist served
   // by the table. Stop once the table no longer applies and splice the
   // remaining stretch from the fallback.
-  ++stats_.coarse_table_answered;
+  ++ctx->stats.coarse_table_answered;
   Path path{s};
   VertexId cur = s;
   const size_t step_limit = graph_.NumVertices();  // loop guard
@@ -252,7 +271,7 @@ Path TnrIndex::PathQuery(VertexId s, VertexId t) {
     cur = best_v;
   }
 
-  Path tail = fallback_->PathQuery(cur, t);
+  Path tail = fallback_->PathQuery(ctx->fallback.get(), cur, t);
   if (tail.empty()) return {};
   path.insert(path.end(), tail.begin() + 1, tail.end());
   return path;

@@ -74,15 +74,20 @@ class TnrIndex : public PathIndex {
   TnrIndex(const Graph& g, ChIndex* ch, const TnrConfig& config);
 
   std::string Name() const override { return "TNR"; }
-  Distance DistanceQuery(VertexId s, VertexId t) override;
-  Path PathQuery(VertexId s, VertexId t) override;
+  std::unique_ptr<QueryContext> NewContext() const override;
+  Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                         VertexId t) const override;
+  Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const override;
+  using PathIndex::DistanceQuery;
+  using PathIndex::PathQuery;
   size_t IndexBytes() const override;
 
   // True if the coarse locality filter lets the table answer (s, t).
   bool TableApplicable(VertexId s, VertexId t) const;
 
-  const TnrStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = TnrStats{}; }
+  // Routing counters of the default context (the context-free overloads).
+  TnrStats stats() const;
+  void ResetStats();
 
   // Distinct access nodes of the coarse level (reporting).
   size_t NumAccessNodes() const { return coarse_.access_vertices.size(); }
@@ -91,6 +96,14 @@ class TnrIndex : public PathIndex {
   std::span<const VertexId> CellAccessNodes(VertexId v) const;
 
  private:
+  // TNR itself needs no scratch — queries are table probes — but every
+  // fallback-routed query needs the fallback technique's scratch, so the
+  // context wraps one fallback context plus the routing counters.
+  struct Context : QueryContext {
+    TnrStats stats;
+    std::unique_ptr<QueryContext> fallback;
+  };
+
   // Per-vertex I2 entry: index into the level's access_vertices plus the
   // exact distance.
   struct I2Entry {
@@ -128,7 +141,7 @@ class TnrIndex : public PathIndex {
   // the filter or the sparse table cannot handle the pair.
   Distance FineDistance(VertexId s, VertexId t, bool* answered) const;
 
-  Distance RoutedDistance(VertexId s, VertexId t);
+  Distance RoutedDistance(Context* ctx, VertexId s, VertexId t) const;
 
   static uint64_t PairKey(uint32_t a, uint32_t b) {
     return (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
@@ -149,8 +162,6 @@ class TnrIndex : public PathIndex {
 
   std::unique_ptr<BidirectionalDijkstra> bidi_fallback_;
   PathIndex* fallback_ = nullptr;
-
-  TnrStats stats_;
 };
 
 }  // namespace roadnet

@@ -9,18 +9,25 @@
 //   roadnet_cli stats      --graph graph.bin [--index index.ch]
 //   roadnet_cli query      --graph graph.bin --index index.ch
 //                          --from S --to T [--path]
+//   roadnet_cli batch-query --graph graph.bin --index index.ch
+//                          (--queries FILE | --random N [--seed S])
+//                          [--threads T] [--paths]
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ch/ch_index.h"
+#include "engine/query_engine.h"
 #include "graph/connectivity.h"
 #include "graph/dimacs.h"
 #include "graph/generator.h"
 #include "io/serialize.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace {
@@ -48,7 +55,8 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: roadnet_cli <generate|convert|export|preprocess|stats|query>"
+      "usage: roadnet_cli"
+      " <generate|convert|export|preprocess|stats|query|batch-query>"
       " [flags]\n"
       "  generate   --vertices N [--seed S] --out graph.bin\n"
       "  convert    --gr FILE --co FILE --out graph.bin\n"
@@ -56,7 +64,11 @@ int Usage() {
       "  preprocess --graph graph.bin --out index.ch\n"
       "  stats      --graph graph.bin [--index index.ch]\n"
       "  query      --graph graph.bin --index index.ch --from S --to T"
-      " [--path]\n");
+      " [--path]\n"
+      "  batch-query --graph graph.bin --index index.ch"
+      " (--queries FILE | --random N [--seed S])\n"
+      "             [--threads T] [--paths]\n"
+      "    FILE holds one \"source target\" pair per line.\n");
   return 2;
 }
 
@@ -216,6 +228,94 @@ int Query(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int BatchQuery(const std::map<std::string, std::string>& flags) {
+  auto index_flag = flags.find("index");
+  if (index_flag == flags.end()) return Usage();
+  auto g = LoadGraph(flags);
+  if (!g.has_value()) return 1;
+  std::ifstream file(index_flag->second, std::ios::binary);
+  std::string error;
+  auto ch = ChIndex::Deserialize(*g, file, &error);
+  if (ch == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  // Queries: either a file of "source target" lines or N random pairs.
+  std::vector<std::pair<VertexId, VertexId>> queries;
+  if (auto it = flags.find("queries"); it != flags.end()) {
+    std::ifstream in(it->second);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", it->second.c_str());
+      return 1;
+    }
+    unsigned long s = 0, t = 0;
+    while (in >> s >> t) {
+      if (s >= g->NumVertices() || t >= g->NumVertices()) {
+        std::fprintf(stderr, "vertex ids must be < %u\n", g->NumVertices());
+        return 1;
+      }
+      queries.emplace_back(static_cast<VertexId>(s),
+                           static_cast<VertexId>(t));
+    }
+    if (!in.eof()) {
+      std::fprintf(stderr, "%s: malformed pair after %zu queries\n",
+                   it->second.c_str(), queries.size());
+      return 1;
+    }
+  } else if (auto rnd = flags.find("random"); rnd != flags.end()) {
+    uint64_t seed = 1;
+    if (auto sit = flags.find("seed"); sit != flags.end()) {
+      seed = std::stoull(sit->second);
+    }
+    Rng rng(seed);
+    const size_t count = std::stoul(rnd->second);
+    queries.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      queries.emplace_back(
+          static_cast<VertexId>(rng.NextBelow(g->NumVertices())),
+          static_cast<VertexId>(rng.NextBelow(g->NumVertices())));
+    }
+  } else {
+    return Usage();
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries\n");
+    return 1;
+  }
+
+  size_t threads = 1;
+  if (auto it = flags.find("threads"); it != flags.end()) {
+    threads = std::stoul(it->second);
+  }
+  BatchOptions options;
+  options.collect_paths = flags.count("paths") > 0;
+
+  QueryEngine engine(*ch, threads);
+  const BatchResult result = engine.Run(queries, options);
+
+  size_t reachable = 0;
+  for (Distance d : result.distances) reachable += (d != kInfDistance);
+  const BatchStats& stats = result.stats;
+  std::printf("queries:     %zu (%zu reachable)\n", stats.num_queries,
+              reachable);
+  std::printf("threads:     %zu (chunk %zu, %zu stolen)\n",
+              stats.num_threads, stats.chunk_size, stats.stolen_chunks);
+  std::printf("wall:        %.3f s\n", stats.wall_seconds);
+  std::printf("throughput:  %.0f queries/s\n", stats.queries_per_second);
+  std::printf("latency:     p50 %.1f us, p99 %.1f us, max %.1f us\n",
+              stats.p50_micros, stats.p99_micros, stats.max_micros);
+  if (options.collect_paths) {
+    size_t hops = 0;
+    for (const Path& p : result.paths) {
+      hops += p.empty() ? 0 : p.size() - 1;
+    }
+    std::printf("paths:       %zu edges total across %zu paths\n", hops,
+                result.paths.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,5 +328,6 @@ int main(int argc, char** argv) {
   if (command == "preprocess") return Preprocess(flags);
   if (command == "stats") return Stats(flags);
   if (command == "query") return Query(flags);
+  if (command == "batch-query") return BatchQuery(flags);
   return Usage();
 }
