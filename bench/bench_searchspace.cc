@@ -1,0 +1,170 @@
+// Search-space comparison across every technique: average vertices
+// settled, edges relaxed, heap traffic, and table/tree lookups per query
+// for each query set Q1..Q10, as one machine-readable CSV table.
+//
+// This is the operation-count companion to the latency figures: the
+// paper's Section 4 explains each technique's speed by how much of the
+// graph its query touches, and these counters make that argument directly
+// measurable. Expected ranking on average settled vertices:
+//
+//   Dijkstra >= Bidirectional >= CH,  and TNR's in-table queries settle
+//   nothing at all (pure table lookups).
+//
+// The process exits nonzero if that ranking is violated, so a smoke run
+// doubles as a regression check on the instrumentation.
+//
+// Usage: bench_searchspace [--out FILE]   (CSV always goes to stdout;
+// --out duplicates it to FILE). ROADNET_BENCH_FAST=1 shrinks the dataset
+// and query counts.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alt/alt_index.h"
+#include "arcflags/arc_flags.h"
+#include "bench/bench_util.h"
+#include "ch/ch_index.h"
+#include "dijkstra/bidirectional.h"
+#include "dijkstra/dijkstra.h"
+#include "hiti/partition_overlay.h"
+#include "pcpd/pcpd_index.h"
+#include "reach/reach_index.h"
+#include "silc/silc_index.h"
+#include "tnr/tnr_index.h"
+
+namespace {
+
+using namespace roadnet;
+
+// One CSV row: per-query averages of every counter over one (method, set).
+void AppendRow(std::string* csv, const std::string& dataset,
+               const std::string& method, const std::string& set,
+               size_t queries, const QueryCounters& totals) {
+  const double n = static_cast<double>(queries);
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "%s,%s,%s,%zu,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+                dataset.c_str(), method.c_str(), set.c_str(), queries,
+                totals.vertices_settled / n, totals.edges_relaxed / n,
+                totals.heap_pushes / n, totals.heap_pops / n,
+                totals.shortcuts_unpacked / n, totals.table_lookups / n,
+                totals.tree_lookups / n);
+  csv->append(line);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+
+  // Largest dataset every technique can preprocess (SILC/PCPD/RE need
+  // all-pairs work), so all ten methods appear in one table.
+  DatasetSpec spec = PaperDatasets().front();
+  for (const auto& candidate : PaperDatasets()) {
+    if (candidate.target_vertices <= bench::MaxVerticesForAllPairs() &&
+        candidate.target_vertices >= spec.target_vertices) {
+      spec = candidate;
+    }
+  }
+  Graph g = BuildDataset(spec);
+  const size_t per_set = bench::FastMode() ? 20 : 100;
+  const auto sets = GenerateLInfQuerySets(g, per_set, 4200 + spec.seed);
+
+  std::fprintf(stderr, "search space: dataset %s, n=%u, %zu queries/set\n",
+               spec.name.c_str(), g.NumVertices(), per_set);
+
+  Dijkstra dijkstra(g);
+  BidirectionalDijkstra bidi(g);
+  AltIndex alt(g);
+  ArcFlagsIndex arcflags(g);
+  ReachIndex reach(g);
+  PartitionOverlayIndex hiti(g);
+  ChIndex ch(g);
+  TnrConfig tnr_config;
+  tnr_config.grid_resolution = bench::PaperGridResolution();
+  TnrIndex tnr(g, &ch, tnr_config);
+  SilcIndex silc(g);
+  PcpdIndex pcpd(g);
+
+  const std::vector<std::pair<std::string, PathIndex*>> methods = {
+      {"Bidirectional", &bidi}, {"ALT", &alt},   {"ArcFlags", &arcflags},
+      {"RE", &reach},           {"HiTi", &hiti}, {"CH", &ch},
+      {"TNR", &tnr},            {"SILC", &silc}, {"PCPD", &pcpd}};
+
+  std::string csv =
+      "dataset,method,set,queries,avg_vertices_settled,avg_edges_relaxed,"
+      "avg_heap_pushes,avg_heap_pops,avg_shortcuts_unpacked,"
+      "avg_table_lookups,avg_tree_lookups\n";
+
+  // Whole-bench totals driving the ranking check.
+  QueryCounters dijkstra_total, bidi_total, ch_total;
+  size_t total_queries = 0;
+  size_t tnr_in_table = 0;           // queries TNR answered without a search
+  uint64_t tnr_in_table_settled = 0; // their settled total (expected 0)
+
+  for (const auto& set : sets) {
+    if (set.pairs.empty()) continue;
+    total_queries += set.pairs.size();
+
+    // Unidirectional Dijkstra is not a PathIndex; drive it directly.
+    QueryCounters dij;
+    for (const auto& [s, t] : set.pairs) {
+      dijkstra.Run(s, t);
+      dij += dijkstra.Counters();
+    }
+    AppendRow(&csv, spec.name, "Dijkstra", set.name, set.pairs.size(), dij);
+    dijkstra_total += dij;
+
+    for (const auto& [method, index] : methods) {
+      const std::unique_ptr<QueryContext> ctx = index->NewContext();
+      QueryCounters totals;
+      for (const auto& [s, t] : set.pairs) {
+        index->DistanceQuery(ctx.get(), s, t);
+        totals += ctx->counters;
+        if (index == &tnr && tnr.TableApplicable(s, t)) {
+          ++tnr_in_table;
+          tnr_in_table_settled += ctx->counters.vertices_settled;
+        }
+      }
+      AppendRow(&csv, spec.name, method, set.name, set.pairs.size(), totals);
+      if (index == &bidi) bidi_total += totals;
+      if (index == &ch) ch_total += totals;
+    }
+  }
+
+  std::fputs(csv.c_str(), stdout);
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fputs(csv.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path);
+  }
+
+  // Ranking check (Section 4's search-space argument).
+  const double n = static_cast<double>(total_queries);
+  const double dij_avg = dijkstra_total.vertices_settled / n;
+  const double bidi_avg = bidi_total.vertices_settled / n;
+  const double ch_avg = ch_total.vertices_settled / n;
+  std::fprintf(stderr,
+               "avg settled: Dijkstra %.1f, Bidirectional %.1f, CH %.1f; "
+               "TNR in-table %zu/%zu queries settling %llu vertices\n",
+               dij_avg, bidi_avg, ch_avg, tnr_in_table, total_queries,
+               static_cast<unsigned long long>(tnr_in_table_settled));
+  if (dij_avg < bidi_avg || bidi_avg < ch_avg || tnr_in_table_settled != 0) {
+    std::fprintf(stderr, "FAIL: settled-vertex ranking violated\n");
+    return 1;
+  }
+  std::fprintf(stderr, "ranking check: PASS\n");
+  return 0;
+}

@@ -20,6 +20,23 @@ else
   (cd build && ctest --output-on-failure -j"$(nproc)")
 fi
 
+echo "==> Metrics schema + search-space smoke (build/)"
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+build/tools/roadnet_cli generate --vertices 1500 --seed 5 \
+  --out "$SMOKE/g.bin" >/dev/null
+build/tools/roadnet_cli preprocess --graph "$SMOKE/g.bin" \
+  --out "$SMOKE/g.ch" >/dev/null
+build/tools/roadnet_cli batch-query --graph "$SMOKE/g.bin" \
+  --index "$SMOKE/g.ch" --random 500 --seed 7 --threads 2 \
+  --metrics-out "$SMOKE/metrics.jsonl" >/dev/null
+python3 scripts/validate_metrics.py "$SMOKE/metrics.jsonl"
+# The bench exits nonzero if the settled-vertex ranking (Dijkstra >= bidi
+# >= CH, TNR in-table == 0) is violated, so this doubles as a counter
+# regression check.
+ROADNET_BENCH_FAST=1 build/bench/bench_searchspace \
+  --out "$SMOKE/searchspace.csv" >/dev/null
+
 echo "==> ThreadSanitizer build + engine tests (build-tsan/)"
 cmake -B build-tsan -S . -DROADNET_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \

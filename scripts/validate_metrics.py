@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Schema check for --metrics-out JSONL files (stdlib only).
+
+Usage: validate_metrics.py FILE [FILE...]
+
+Each line must be a JSON object of the form
+
+    {"name": <non-empty string>,
+     "value": <number or null>,          # null = non-finite measurement
+     "labels": {<string>: <string>}}     # optional
+
+with no other keys. Exits 1 (listing every violation) if any file fails,
+which lets scripts/check.sh gate on the CLI's metrics output staying
+machine-readable.
+"""
+
+import json
+import sys
+
+ALLOWED_KEYS = {"name", "value", "labels"}
+
+
+def check_line(obj):
+    """Returns a list of violations for one parsed JSONL record."""
+    problems = []
+    if not isinstance(obj, dict):
+        return ["record is not a JSON object"]
+    unknown = set(obj) - ALLOWED_KEYS
+    if unknown:
+        problems.append("unknown keys: %s" % ", ".join(sorted(unknown)))
+    name = obj.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append("'name' must be a non-empty string")
+    if "value" not in obj:
+        problems.append("missing 'value'")
+    else:
+        value = obj["value"]
+        # bool is an int subclass; a true/false metric value is a bug.
+        if not (value is None or
+                (isinstance(value, (int, float)) and
+                 not isinstance(value, bool))):
+            problems.append("'value' must be a number or null")
+    if "labels" in obj:
+        labels = obj["labels"]
+        if not isinstance(labels, dict):
+            problems.append("'labels' must be an object")
+        elif not all(isinstance(k, str) and isinstance(v, str)
+                     for k, v in labels.items()):
+            problems.append("'labels' entries must map strings to strings")
+    return problems
+
+
+def validate_file(path):
+    """Prints violations for one file; returns the number found."""
+    violations = 0
+    records = 0
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print("%s: %s" % (path, e), file=sys.stderr)
+        return 1
+    for num, line in enumerate(lines, start=1):
+        if not line.strip():
+            print("%s:%d: blank line" % (path, num), file=sys.stderr)
+            violations += 1
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            print("%s:%d: invalid JSON: %s" % (path, num, e), file=sys.stderr)
+            violations += 1
+            continue
+        records += 1
+        for problem in check_line(obj):
+            print("%s:%d: %s" % (path, num, problem), file=sys.stderr)
+            violations += 1
+    if records == 0:
+        print("%s: no metric records" % path, file=sys.stderr)
+        violations += 1
+    if violations == 0:
+        print("%s: %d records OK" % (path, records))
+    return violations
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    total = sum(validate_file(path) for path in argv[1:])
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

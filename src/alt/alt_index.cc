@@ -58,34 +58,34 @@ std::unique_ptr<QueryContext> AltIndex::NewContext() const {
   return std::make_unique<Context>(graph_.NumVertices());
 }
 
-size_t AltIndex::SettledCount() const {
-  auto* ctx = static_cast<const Context*>(default_context());
-  return ctx == nullptr ? 0 : ctx->settled_count;
-}
-
 Distance AltIndex::Search(Context* ctx, VertexId s, VertexId t) const {
   ++ctx->generation;
   ctx->heap.Clear();
-  ctx->settled_count = 0;
   ctx->dist[s] = 0;
   ctx->parent[s] = kInvalidVertex;
   ctx->reached[s] = ctx->generation;
   ctx->heap.Push(s, LowerBound(s, t));
+  ctx->counters.HeapPush();
+  ctx->counters.TableLookup(landmarks_.size());
 
   while (!ctx->heap.Empty()) {
     const VertexId u = ctx->heap.PopMin();
+    ctx->counters.HeapPop();
     ctx->settled[u] = ctx->generation;
-    ++ctx->settled_count;
+    ctx->counters.Settle();
     if (u == t) return ctx->dist[t];
     const Distance du = ctx->dist[u];
     for (const Arc& a : graph_.Neighbors(u)) {
       if (ctx->settled[a.to] == ctx->generation) continue;
+      ctx->counters.RelaxEdge();
       const Distance cand = du + a.weight;
       if (ctx->reached[a.to] != ctx->generation) {
         ctx->reached[a.to] = ctx->generation;
         ctx->dist[a.to] = cand;
         ctx->parent[a.to] = u;
         ctx->heap.Push(a.to, cand + LowerBound(a.to, t));
+        ctx->counters.HeapPush();
+        ctx->counters.TableLookup(landmarks_.size());
       } else if (cand < ctx->dist[a.to]) {
         // The potential is consistent, so keys only ever decrease with
         // the tentative distance.
@@ -93,6 +93,8 @@ Distance AltIndex::Search(Context* ctx, VertexId s, VertexId t) const {
         ctx->dist[a.to] = cand;
         ctx->parent[a.to] = u;
         ctx->heap.DecreaseKey(a.to, key);
+        ctx->counters.HeapPush();
+        ctx->counters.TableLookup(landmarks_.size());
       }
     }
   }
@@ -101,6 +103,7 @@ Distance AltIndex::Search(Context* ctx, VertexId s, VertexId t) const {
 
 Distance AltIndex::DistanceQuery(QueryContext* ctx, VertexId s,
                                  VertexId t) const {
+  ctx->counters.Reset();
   if (s == t) return 0;
   return Search(static_cast<Context*>(ctx), s, t);
 }
@@ -108,6 +111,7 @@ Distance AltIndex::DistanceQuery(QueryContext* ctx, VertexId s,
 Path AltIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
                          VertexId t) const {
   Context* ctx = static_cast<Context*>(raw_ctx);
+  ctx->counters.Reset();
   if (s == t) return {s};
   if (Search(ctx, s, t) == kInfDistance) return {};
   Path path;

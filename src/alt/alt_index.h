@@ -56,7 +56,7 @@ class AltIndex : public PathIndex {
   // Vertices settled by the most recent default-context query
   // (goal-direction metric; A* should settle far fewer than plain
   // Dijkstra on directed queries).
-  size_t SettledCount() const;
+  size_t SettledCount() const { return ContextCounters().vertices_settled; }
 
  private:
   // Query scratch (generation-stamped).
@@ -71,7 +71,6 @@ class AltIndex : public PathIndex {
     std::vector<uint32_t> reached;
     std::vector<uint32_t> settled;
     uint32_t generation = 0;
-    size_t settled_count = 0;
   };
 
   // dist(landmarks_[i], v) at landmark_dist_[i * n + v].

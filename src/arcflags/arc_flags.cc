@@ -73,24 +73,20 @@ std::unique_ptr<QueryContext> ArcFlagsIndex::NewContext() const {
   return std::make_unique<Context>(graph_.NumVertices());
 }
 
-size_t ArcFlagsIndex::SettledCount() const {
-  auto* ctx = static_cast<const Context*>(default_context());
-  return ctx == nullptr ? 0 : ctx->settled_count;
-}
-
 Distance ArcFlagsIndex::Search(Context* ctx, VertexId s, VertexId t) const {
   const uint32_t target_region = region_of_[t];
   ++ctx->generation;
   ctx->heap.Clear();
-  ctx->settled_count = 0;
   ctx->dist[s] = 0;
   ctx->parent[s] = kInvalidVertex;
   ctx->reached[s] = ctx->generation;
   ctx->heap.Push(s, 0);
+  ctx->counters.HeapPush();
   while (!ctx->heap.Empty()) {
     const VertexId u = ctx->heap.PopMin();
+    ctx->counters.HeapPop();
     ctx->settled[u] = ctx->generation;
-    ++ctx->settled_count;
+    ctx->counters.Settle();
     if (u == t) return ctx->dist[t];
     const Distance du = ctx->dist[u];
     size_t idx = arc_offsets_[u];
@@ -98,16 +94,19 @@ Distance ArcFlagsIndex::Search(Context* ctx, VertexId s, VertexId t) const {
       const size_t arc_index = idx++;
       if (!ArcFlag(arc_index, target_region)) continue;  // pruned
       if (ctx->settled[a.to] == ctx->generation) continue;
+      ctx->counters.RelaxEdge();
       const Distance cand = du + a.weight;
       if (ctx->reached[a.to] != ctx->generation) {
         ctx->reached[a.to] = ctx->generation;
         ctx->dist[a.to] = cand;
         ctx->parent[a.to] = u;
         ctx->heap.Push(a.to, cand);
+        ctx->counters.HeapPush();
       } else if (cand < ctx->dist[a.to]) {
         ctx->dist[a.to] = cand;
         ctx->parent[a.to] = u;
         ctx->heap.DecreaseKey(a.to, cand);
+        ctx->counters.HeapPush();
       }
     }
   }
@@ -116,6 +115,7 @@ Distance ArcFlagsIndex::Search(Context* ctx, VertexId s, VertexId t) const {
 
 Distance ArcFlagsIndex::DistanceQuery(QueryContext* ctx, VertexId s,
                                       VertexId t) const {
+  ctx->counters.Reset();
   if (s == t) return 0;
   return Search(static_cast<Context*>(ctx), s, t);
 }
@@ -123,6 +123,7 @@ Distance ArcFlagsIndex::DistanceQuery(QueryContext* ctx, VertexId s,
 Path ArcFlagsIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
                               VertexId t) const {
   Context* ctx = static_cast<Context*>(raw_ctx);
+  ctx->counters.Reset();
   if (s == t) return {s};
   if (Search(ctx, s, t) == kInfDistance) return {};
   Path path;

@@ -61,7 +61,7 @@ class ArcFlagsIndex : public PathIndex {
            1;
   }
 
-  size_t SettledCount() const;
+  size_t SettledCount() const { return ContextCounters().vertices_settled; }
 
  private:
   // Query scratch.
@@ -76,7 +76,6 @@ class ArcFlagsIndex : public PathIndex {
     std::vector<uint32_t> reached;
     std::vector<uint32_t> settled;
     uint32_t generation = 0;
-    size_t settled_count = 0;
   };
 
   void SetFlag(size_t arc_index, uint32_t region) {

@@ -50,11 +50,6 @@ std::unique_ptr<QueryContext> ChIndex::NewContext() const {
   return std::make_unique<Context>(graph_.NumVertices());
 }
 
-size_t ChIndex::SettledCount() const {
-  auto* ctx = static_cast<const Context*>(default_context());
-  return ctx == nullptr ? 0 : ctx->settled_count;
-}
-
 void ChIndex::Serialize(std::ostream& out) const {
   WriteMagic(out, kChMagic);
   WriteScalar<uint32_t>(out, kChVersion);
@@ -136,7 +131,7 @@ bool ChIndex::IsStalled(const SearchSide& side, uint32_t generation,
 VertexId ChIndex::Search(Context* ctx, VertexId s, VertexId t,
                          Distance* out_dist) const {
   ++ctx->generation;
-  ctx->settled_count = 0;
+  ctx->counters.Reset();
   SearchSide& forward = ctx->forward;
   SearchSide& backward = ctx->backward;
   forward.heap.Clear();
@@ -151,6 +146,7 @@ VertexId ChIndex::Search(Context* ctx, VertexId s, VertexId t,
   backward.parent[t] = kInvalidVertex;
   backward.reached[t] = ctx->generation;
   backward.heap.Push(t, 0);
+  ctx->counters.HeapPush(2);
 
   Distance best = (s == t) ? 0 : kInfDistance;
   VertexId meet = (s == t) ? s : kInvalidVertex;
@@ -172,13 +168,15 @@ VertexId ChIndex::Search(Context* ctx, VertexId s, VertexId t,
     SearchSide* other = (side == &forward) ? &backward : &forward;
 
     VertexId u = side->heap.PopMin();
-    ++ctx->settled_count;
+    ctx->counters.HeapPop();
+    ctx->counters.Settle();
     const Distance du = side->dist[u];
     if (stall_on_demand_ && IsStalled(*side, ctx->generation, u, du)) {
       continue;
     }
 
     for (const UpArc& a : UpArcs(u)) {
+      ctx->counters.RelaxEdge();
       const Distance cand = du + a.weight;
       bool improved = false;
       if (side->reached[a.to] != ctx->generation) {
@@ -186,6 +184,7 @@ VertexId ChIndex::Search(Context* ctx, VertexId s, VertexId t,
         side->dist[a.to] = cand;
         side->parent[a.to] = u;
         side->heap.Push(a.to, cand);
+        ctx->counters.HeapPush();
         improved = true;
       } else if (cand < side->dist[a.to]) {
         side->dist[a.to] = cand;
@@ -197,6 +196,7 @@ VertexId ChIndex::Search(Context* ctx, VertexId s, VertexId t,
           // invariant explicit.
           side->heap.Push(a.to, cand);
         }
+        ctx->counters.HeapPush();
         improved = true;
       }
       if (improved && other->reached[a.to] == ctx->generation) {
@@ -229,15 +229,17 @@ const ChIndex::UpArc* ChIndex::FindEdge(VertexId a, VertexId b) const {
   return (it != arcs.end() && it->to == hi) ? &*it : nullptr;
 }
 
-void ChIndex::UnpackEdge(VertexId a, VertexId b, Path* out) const {
+void ChIndex::UnpackEdge(VertexId a, VertexId b, Path* out,
+                         QueryCounters* counters) const {
   const UpArc* e = FindEdge(a, b);
   // Every edge on an up-down path is an augmented edge by construction.
   if (e == nullptr || e->middle == kInvalidVertex) {
     out->push_back(b);
     return;
   }
-  UnpackEdge(a, e->middle, out);
-  UnpackEdge(e->middle, b, out);
+  counters->ShortcutUnpacked();
+  UnpackEdge(a, e->middle, out, counters);
+  UnpackEdge(e->middle, b, out, counters);
 }
 
 Path ChIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
@@ -266,7 +268,7 @@ Path ChIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
   Path path;
   path.push_back(up_path.front());
   for (size_t i = 0; i + 1 < up_path.size(); ++i) {
-    UnpackEdge(up_path[i], up_path[i + 1], &path);
+    UnpackEdge(up_path[i], up_path[i + 1], &path, &ctx->counters);
   }
   return path;
 }

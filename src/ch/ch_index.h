@@ -60,7 +60,7 @@ class ChIndex : public PathIndex {
 
   uint32_t RankOf(VertexId v) const { return rank_[v]; }
   size_t NumShortcuts() const { return num_shortcuts_; }
-  size_t SettledCount() const;
+  size_t SettledCount() const { return ContextCounters().vertices_settled; }
 
   // Forward upward search space of s: every vertex settled by the upward
   // Dijkstra, with its distance. The building block of the many-to-many
@@ -94,7 +94,6 @@ class ChIndex : public PathIndex {
     SearchSide forward;
     SearchSide backward;
     uint32_t generation = 0;
-    size_t settled_count = 0;
   };
 
   std::span<const UpArc> UpArcs(VertexId v) const {
@@ -120,8 +119,10 @@ class ChIndex : public PathIndex {
   const UpArc* FindEdge(VertexId a, VertexId b) const;
 
   // Appends the original-graph expansion of augmented edge (a, b) to
-  // *out, excluding vertex a itself.
-  void UnpackEdge(VertexId a, VertexId b, Path* out) const;
+  // *out, excluding vertex a itself. Counts each shortcut expansion into
+  // *counters.
+  void UnpackEdge(VertexId a, VertexId b, Path* out,
+                  QueryCounters* counters) const;
 
   const Graph& graph_;
   std::vector<uint32_t> rank_;

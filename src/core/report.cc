@@ -4,24 +4,6 @@
 
 namespace roadnet {
 
-std::string CsvEscape(const std::string& field) {
-  bool needs_quotes = false;
-  for (char c : field) {
-    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
-      needs_quotes = true;
-      break;
-    }
-  }
-  if (!needs_quotes) return field;
-  std::string out = "\"";
-  for (char c : field) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
 void WriteBuildCsv(const std::vector<BuildRow>& rows, std::ostream& out) {
   out << "dataset,n,method,preprocess_seconds,index_bytes\n";
   for (const BuildRow& r : rows) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/metrics.h"  // CsvEscape lives with the metrics writers
 
 namespace roadnet {
 
@@ -38,9 +39,6 @@ void WriteBuildCsv(const std::vector<BuildRow>& rows, std::ostream& out);
 
 // Writes "dataset,n,method,query_set,queries,distance_us,path_us" rows.
 void WriteQueryCsv(const std::vector<QueryRow>& rows, std::ostream& out);
-
-// CSV field quoting (doubles embedded quotes, wraps when needed).
-std::string CsvEscape(const std::string& field);
 
 }  // namespace roadnet
 

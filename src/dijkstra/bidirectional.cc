@@ -10,19 +10,16 @@ std::unique_ptr<QueryContext> BidirectionalDijkstra::NewContext() const {
   return std::make_unique<Context>(graph_.NumVertices());
 }
 
-size_t BidirectionalDijkstra::SettledCount() const {
-  auto* ctx = static_cast<const Context*>(default_context());
-  return ctx == nullptr ? 0 : ctx->settled_count;
-}
-
 void BidirectionalDijkstra::SettleOne(Context* ctx, Side* side,
                                       const Side& other, VertexId* best_meet,
                                       Distance* best_dist) const {
   VertexId u = side->heap.PopMin();
+  ctx->counters.HeapPop();
   side->settled[u] = ctx->generation;
-  ++ctx->settled_count;
+  ctx->counters.Settle();
   const Distance du = side->dist[u];
   for (const Arc& a : graph_.Neighbors(u)) {
+    ctx->counters.RelaxEdge();
     const Distance cand = du + a.weight;
     bool improved = false;
     if (!side->Reached(a.to, ctx->generation)) {
@@ -30,12 +27,14 @@ void BidirectionalDijkstra::SettleOne(Context* ctx, Side* side,
       side->dist[a.to] = cand;
       side->parent[a.to] = u;
       side->heap.Push(a.to, cand);
+      ctx->counters.HeapPush();
       improved = true;
     } else if (cand < side->dist[a.to] &&
                side->settled[a.to] != ctx->generation) {
       side->dist[a.to] = cand;
       side->parent[a.to] = u;
       side->heap.DecreaseKey(a.to, cand);
+      ctx->counters.HeapPush();
       improved = true;
     }
     // Any vertex reached by both searches is a candidate meeting point;
@@ -55,7 +54,7 @@ void BidirectionalDijkstra::SettleOne(Context* ctx, Side* side,
 VertexId BidirectionalDijkstra::Search(Context* ctx, VertexId s, VertexId t,
                                        Distance* out_dist) const {
   ++ctx->generation;
-  ctx->settled_count = 0;
+  ctx->counters.Reset();
   Side& forward = ctx->forward;
   Side& backward = ctx->backward;
   forward.heap.Clear();
@@ -70,6 +69,7 @@ VertexId BidirectionalDijkstra::Search(Context* ctx, VertexId s, VertexId t,
   backward.parent[t] = kInvalidVertex;
   backward.reached[t] = ctx->generation;
   backward.heap.Push(t, 0);
+  ctx->counters.HeapPush(2);
 
   Distance best_dist = kInfDistance;
   VertexId best_meet = kInvalidVertex;

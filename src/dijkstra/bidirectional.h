@@ -37,7 +37,9 @@ class BidirectionalDijkstra : public PathIndex {
 
   // Vertices settled by both searches in the most recent default-context
   // query; the cost measure behind the paper's efficiency discussion.
-  size_t SettledCount() const;
+  size_t SettledCount() const {
+    return ContextCounters().vertices_settled;
+  }
 
  private:
   // One of the two search directions; 0 = forward from s, 1 = backward
@@ -64,7 +66,6 @@ class BidirectionalDijkstra : public PathIndex {
     Side forward;
     Side backward;
     uint32_t generation = 0;
-    size_t settled_count = 0;
   };
 
   // Runs the full bidirectional search; returns the meeting vertex with

@@ -16,21 +16,24 @@ Dijkstra::Dijkstra(const Graph& g)
 void Dijkstra::Start(VertexId s) {
   ++generation_;
   heap_.Clear();
-  settled_count_ = 0;
+  counters_.Reset();
   source_ = s;
   dist_[s] = 0;
   parent_[s] = kInvalidVertex;
   first_hop_[s] = kInvalidVertex;
   reached_[s] = generation_;
   heap_.Push(s, 0);
+  counters_.HeapPush();
 }
 
 VertexId Dijkstra::SettleNext(bool track_first_hop) {
   VertexId u = heap_.PopMin();
+  counters_.HeapPop();
   settled_[u] = generation_;
-  ++settled_count_;
+  counters_.Settle();
   const Distance du = dist_[u];
   for (const Arc& a : graph_.Neighbors(u)) {
+    counters_.RelaxEdge();
     const Distance cand = du + a.weight;
     if (reached_[a.to] != generation_) {
       reached_[a.to] = generation_;
@@ -38,11 +41,13 @@ VertexId Dijkstra::SettleNext(bool track_first_hop) {
       parent_[a.to] = u;
       if (track_first_hop) first_hop_[a.to] = (u == source_) ? a.to : first_hop_[u];
       heap_.Push(a.to, cand);
+      counters_.HeapPush();
     } else if (cand < dist_[a.to] && settled_[a.to] != generation_) {
       dist_[a.to] = cand;
       parent_[a.to] = u;
       if (track_first_hop) first_hop_[a.to] = (u == source_) ? a.to : first_hop_[u];
       heap_.DecreaseKey(a.to, cand);
+      counters_.HeapPush();
     }
   }
   return u;

@@ -7,6 +7,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "obs/query_counters.h"
 #include "pq/indexed_heap.h"
 #include "routing/path.h"
 
@@ -69,7 +70,10 @@ class Dijkstra {
 
   // Number of vertices settled by the most recent run (the paper's
   // intuition for why bidirectional search wins).
-  size_t SettledCount() const { return settled_count_; }
+  size_t SettledCount() const { return counters_.vertices_settled; }
+
+  // Full operation counts of the most recent run.
+  const QueryCounters& Counters() const { return counters_; }
 
  private:
   bool Reached(VertexId v) const { return reached_[v] == generation_; }
@@ -88,7 +92,7 @@ class Dijkstra {
   std::vector<uint32_t> target_mark_;
   uint32_t generation_ = 0;
   uint32_t target_generation_ = 0;
-  size_t settled_count_ = 0;
+  QueryCounters counters_;
   VertexId source_ = kInvalidVertex;
 };
 

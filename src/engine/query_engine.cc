@@ -1,6 +1,7 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "util/timer.h"
 
@@ -11,7 +12,8 @@ QueryEngine::QueryEngine(const PathIndex& index, size_t num_threads)
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.push_back(Worker{std::thread(), index_.NewContext()});
+    workers_.push_back(
+        Worker{std::thread(), index_.NewContext(), Histogram(), QueryCounters()});
   }
   // Threads start only after every context exists, so WorkerLoop never
   // observes a partially built pool.
@@ -51,18 +53,22 @@ void QueryEngine::WorkerLoop(size_t worker_id) {
 
 void QueryEngine::RunChunk(size_t worker_id, Batch* batch, size_t begin,
                            size_t end) {
-  QueryContext* ctx = workers_[worker_id].context.get();
-  const bool timed = batch->latency_micros != nullptr;
+  Worker& worker = workers_[worker_id];
+  QueryContext* ctx = worker.context.get();
+  const bool timed = batch->options.record_latencies;
+  const bool counted = batch->options.record_counters;
   for (size_t i = begin; i < end; ++i) {
     const auto [s, t] = batch->queries[i];
     Timer timer;
     (*batch->distances)[i] = index_.DistanceQuery(ctx, s, t);
+    if (counted) worker.counters += ctx->counters;
     if (batch->paths != nullptr) {
       // A path batch answers both query types (Section 2's two queries);
       // the reported latency covers the pair.
       (*batch->paths)[i] = index_.PathQuery(ctx, s, t);
+      if (counted) worker.counters += ctx->counters;
     }
-    if (timed) (*batch->latency_micros)[i] = timer.ElapsedMicros();
+    if (timed) worker.histogram.Record(timer.ElapsedNanos());
   }
 }
 
@@ -89,19 +95,28 @@ void QueryEngine::DrainBatch(size_t worker_id, Batch* batch) {
 BatchResult QueryEngine::Run(
     std::span<const std::pair<VertexId, VertexId>> queries,
     const BatchOptions& options) {
+  // Loud failure on the classic misuse: Run() from two threads at once
+  // would hand the same worker contexts to overlapping batches.
+  const bool already_running = run_active_.exchange(true);
+  assert(!already_running &&
+         "QueryEngine::Run() entered concurrently from two threads");
+  (void)already_running;
+
   BatchResult result;
   result.distances.assign(queries.size(), kInfDistance);
   if (options.collect_paths) result.paths.resize(queries.size());
 
-  std::vector<double> latencies;
-  if (options.record_latencies) latencies.assign(queries.size(), 0.0);
+  // Reset the per-worker sinks before workers see the new epoch.
+  for (Worker& w : workers_) {
+    w.histogram.Reset();
+    w.counters.Reset();
+  }
 
   Batch batch;
   batch.queries = queries;
   batch.options = options;
   batch.distances = &result.distances;
   batch.paths = options.collect_paths ? &result.paths : nullptr;
-  batch.latency_micros = options.record_latencies ? &latencies : nullptr;
 
   // Chunk size: aim for several claims per worker so stealing has
   // something to steal, without making the atomic traffic measurable.
@@ -146,17 +161,22 @@ BatchResult QueryEngine::Run(
   stats.queries_per_second =
       stats.wall_seconds > 0 ? queries.size() / stats.wall_seconds : 0;
 
-  if (options.record_latencies && !latencies.empty()) {
-    auto percentile = [&](double q) {
-      const size_t k = static_cast<size_t>(q * (latencies.size() - 1));
-      std::nth_element(latencies.begin(), latencies.begin() + k,
-                       latencies.end());
-      return latencies[k];
-    };
-    stats.p50_micros = percentile(0.50);
-    stats.p99_micros = percentile(0.99);
-    stats.max_micros = *std::max_element(latencies.begin(), latencies.end());
+  // Merge the per-worker sinks: histograms add element-wise, so the
+  // result is identical to one thread having recorded every query.
+  for (const Worker& w : workers_) {
+    if (options.record_latencies) result.latency.Merge(w.histogram);
+    if (options.record_counters) stats.counters += w.counters;
   }
+  if (options.record_latencies && result.latency.Count() > 0) {
+    constexpr double kNanosToMicros = 1e-3;
+    stats.p50_micros = result.latency.ValueAtQuantile(0.50) * kNanosToMicros;
+    stats.p90_micros = result.latency.ValueAtQuantile(0.90) * kNanosToMicros;
+    stats.p99_micros = result.latency.ValueAtQuantile(0.99) * kNanosToMicros;
+    stats.p999_micros =
+        result.latency.ValueAtQuantile(0.999) * kNanosToMicros;
+    stats.max_micros = result.latency.Max() * kNanosToMicros;
+  }
+  run_active_.store(false);
   return result;
 }
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "obs/histogram.h"
+#include "obs/query_counters.h"
 #include "routing/path.h"
 #include "routing/path_index.h"
 
@@ -20,7 +22,7 @@ namespace roadnet {
 
 // Per-batch execution metrics: the throughput view of the paper's
 // per-query latency numbers (queries/sec is what a production service
-// provisions by; p50/p99 are what its SLOs are written against).
+// provisions by; the percentiles are what its SLOs are written against).
 struct BatchStats {
   size_t num_queries = 0;
   size_t num_threads = 0;
@@ -30,11 +32,17 @@ struct BatchStats {
   size_t stolen_chunks = 0;
   double wall_seconds = 0;
   double queries_per_second = 0;
-  // Per-query latency percentiles in microseconds; zero unless
-  // BatchOptions::record_latencies.
+  // Per-query latency percentiles in microseconds, derived from the
+  // merged per-worker histograms (<= 1.6% bucket error; min/max exact).
+  // Zero unless BatchOptions::record_latencies.
   double p50_micros = 0;
+  double p90_micros = 0;
   double p99_micros = 0;
+  double p999_micros = 0;
   double max_micros = 0;
+  // Operation counts summed over every query of the batch (all workers).
+  // Zero unless BatchOptions::record_counters.
+  QueryCounters counters;
 };
 
 struct BatchOptions {
@@ -42,8 +50,13 @@ struct BatchOptions {
   // only (DistanceQuery).
   bool collect_paths = false;
   // Time every query individually for the latency percentiles. Costs two
-  // clock reads per query; disable for pure-throughput runs.
+  // clock reads plus one histogram add per query; disable for
+  // pure-throughput runs.
   bool record_latencies = true;
+  // Aggregate the per-query operation counters into BatchStats::counters.
+  // One 7-field add per query on the worker's own context — cheap, but
+  // disable it to measure the raw query path alone.
+  bool record_counters = true;
   // Queries per stealable chunk; 0 picks a size from the batch and worker
   // counts. Small chunks balance better, large chunks amortize the atomic
   // claim.
@@ -55,6 +68,10 @@ struct BatchResult {
   std::vector<Distance> distances;
   // paths[i] answers queries[i]; empty unless BatchOptions::collect_paths.
   std::vector<Path> paths;
+  // Merged per-worker latency histogram in nanoseconds; empty unless
+  // BatchOptions::record_latencies. stats' percentiles derive from it,
+  // and histograms from successive batches can be merged further.
+  Histogram latency;
   BatchStats stats;
 };
 
@@ -69,8 +86,11 @@ struct BatchResult {
 // pool. Claiming is one fetch_add on the segment owner's cursor, making
 // every chunk executed exactly once.
 //
-// Run() is synchronous and must not be called from two threads at once;
-// the engine itself may be long-lived and reused across many batches.
+// Run() is synchronous and must not be called from two threads at once:
+// the engine asserts on concurrent entry (builds with asserts enabled,
+// which includes this repository's default Release flags, abort with a
+// diagnostic; NDEBUG builds remain undefined behavior). The engine itself
+// may be long-lived and reused across many batches.
 class QueryEngine {
  public:
   // Spawns `num_threads` workers (>= 1; 0 is clamped to 1) with one fresh
@@ -108,12 +128,16 @@ class QueryEngine {
     // same element and no synchronization is needed beyond the join.
     std::vector<Distance>* distances = nullptr;
     std::vector<Path>* paths = nullptr;
-    std::vector<double>* latency_micros = nullptr;
   };
 
   struct Worker {
     std::thread thread;
     std::unique_ptr<QueryContext> context;
+    // Per-worker observability sinks: only this worker writes them while
+    // a batch runs (lock-free by construction); Run() resets them at
+    // batch start and merges them after the join.
+    Histogram histogram;
+    QueryCounters counters;
   };
 
   // Worker main loop: wait for a batch epoch, drain it, report done.
@@ -135,6 +159,8 @@ class QueryEngine {
   size_t active_workers_ = 0;         // workers still draining the batch
   Batch* batch_ = nullptr;
   bool stop_ = false;
+  // Reentrancy guard for Run(); see the class comment.
+  std::atomic<bool> run_active_{false};
 };
 
 }  // namespace roadnet

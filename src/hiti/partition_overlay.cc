@@ -67,11 +67,6 @@ std::unique_ptr<QueryContext> PartitionOverlayIndex::NewContext() const {
   return std::make_unique<Context>(graph_.NumVertices());
 }
 
-size_t PartitionOverlayIndex::SettledCount() const {
-  auto* ctx = static_cast<const Context*>(default_context());
-  return ctx == nullptr ? 0 : ctx->settled_count;
-}
-
 Distance PartitionOverlayIndex::RestrictedSearch(Context* ctx,
                                                  VertexId source,
                                                  VertexId target,
@@ -82,22 +77,27 @@ Distance PartitionOverlayIndex::RestrictedSearch(Context* ctx,
   ctx->rparent[source] = kInvalidVertex;
   ctx->rreached[source] = ctx->rgeneration;
   ctx->rheap.Push(source, 0);
+  ctx->counters.HeapPush();
   while (!ctx->rheap.Empty()) {
     const VertexId u = ctx->rheap.PopMin();
+    ctx->counters.HeapPop();
     if (u == target) break;
     const Distance du = ctx->rdist[u];
     for (const Arc& a : graph_.Neighbors(u)) {
       if (region_of_[a.to] != region) continue;  // stay inside the region
+      ctx->counters.RelaxEdge();
       const Distance cand = du + a.weight;
       if (ctx->rreached[a.to] != ctx->rgeneration) {
         ctx->rreached[a.to] = ctx->rgeneration;
         ctx->rdist[a.to] = cand;
         ctx->rparent[a.to] = u;
         ctx->rheap.Push(a.to, cand);
+        ctx->counters.HeapPush();
       } else if (ctx->rheap.Contains(a.to) && cand < ctx->rdist[a.to]) {
         ctx->rdist[a.to] = cand;
         ctx->rparent[a.to] = u;
         ctx->rheap.DecreaseKey(a.to, cand);
+        ctx->counters.HeapPush();
       }
     }
   }
@@ -112,14 +112,15 @@ Distance PartitionOverlayIndex::Search(Context* ctx, VertexId s,
   const uint32_t rt = region_of_[t];
   ++ctx->generation;
   ctx->heap.Clear();
-  ctx->settled_count = 0;
   ctx->dist[s] = 0;
   ctx->parent[s] = kInvalidVertex;
   ctx->via_clique[s] = 0;
   ctx->reached[s] = ctx->generation;
   ctx->heap.Push(s, 0);
+  ctx->counters.HeapPush();
 
   auto relax = [&](VertexId from, VertexId to, Weight w, bool clique) {
+    ctx->counters.RelaxEdge();
     const Distance cand = ctx->dist[from] + w;
     if (ctx->reached[to] != ctx->generation) {
       ctx->reached[to] = ctx->generation;
@@ -127,18 +128,21 @@ Distance PartitionOverlayIndex::Search(Context* ctx, VertexId s,
       ctx->parent[to] = from;
       ctx->via_clique[to] = clique ? 1 : 0;
       ctx->heap.Push(to, cand);
+      ctx->counters.HeapPush();
     } else if (ctx->settled[to] != ctx->generation && cand < ctx->dist[to]) {
       ctx->dist[to] = cand;
       ctx->parent[to] = from;
       ctx->via_clique[to] = clique ? 1 : 0;
       ctx->heap.DecreaseKey(to, cand);
+      ctx->counters.HeapPush();
     }
   };
 
   while (!ctx->heap.Empty()) {
     const VertexId u = ctx->heap.PopMin();
+    ctx->counters.HeapPop();
     ctx->settled[u] = ctx->generation;
-    ++ctx->settled_count;
+    ctx->counters.Settle();
     if (u == t) return ctx->dist[t];
     const uint32_t ru = region_of_[u];
     if (ru == rs || ru == rt) {
@@ -169,6 +173,7 @@ Distance PartitionOverlayIndex::Search(Context* ctx, VertexId s,
 
 Distance PartitionOverlayIndex::DistanceQuery(QueryContext* ctx, VertexId s,
                                               VertexId t) const {
+  ctx->counters.Reset();
   if (s == t) return 0;
   return Search(static_cast<Context*>(ctx), s, t);
 }
@@ -176,6 +181,7 @@ Distance PartitionOverlayIndex::DistanceQuery(QueryContext* ctx, VertexId s,
 Path PartitionOverlayIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
                                       VertexId t) const {
   Context* ctx = static_cast<Context*>(raw_ctx);
+  ctx->counters.Reset();
   if (s == t) return {s};
   if (Search(ctx, s, t) == kInfDistance) return {};
 
@@ -196,6 +202,7 @@ Path PartitionOverlayIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
       continue;
     }
     // Unpack the clique hop with a restricted search inside the region.
+    ctx->counters.ShortcutUnpacked();
     RestrictedSearch(ctx, from, to, region_of_[to]);
     Path segment;
     for (VertexId cur = to; cur != kInvalidVertex; cur = ctx->rparent[cur]) {

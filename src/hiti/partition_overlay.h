@@ -61,7 +61,7 @@ class PartitionOverlayIndex : public PathIndex {
   uint32_t RegionOf(VertexId v) const { return region_of_[v]; }
   bool IsBoundary(VertexId v) const { return is_boundary_[v]; }
 
-  size_t SettledCount() const;
+  size_t SettledCount() const { return ContextCounters().vertices_settled; }
 
  private:
   // Clique arc: within-region shortest distance between two boundary
@@ -85,7 +85,6 @@ class PartitionOverlayIndex : public PathIndex {
     std::vector<uint32_t> reached;
     std::vector<uint32_t> settled;
     uint32_t generation = 0;
-    size_t settled_count = 0;
 
     // Restricted-search scratch (separate generation; also used for
     // clique-arc unpacking during path queries).

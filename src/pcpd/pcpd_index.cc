@@ -205,13 +205,15 @@ void PcpdIndex::Refine(uint64_t base_x, uint64_t base_y, uint32_t level) {
   }
 }
 
-const PcpdIndex::Psi& PcpdIndex::FindPair(VertexId s, VertexId t) const {
+const PcpdIndex::Psi& PcpdIndex::FindPair(VertexId s, VertexId t,
+                                          QueryCounters* counters) const {
   static constexpr Psi kMissing{kInvalidVertex, kInvalidVertex};
   const uint64_t cs = code_of_[s];
   const uint64_t ct = code_of_[t];
   for (uint32_t level = root_level_;; --level) {
     const uint64_t mask = (level >= 32) ? 0 : ~((uint64_t{1} << (2 * level)) - 1);
     const PairKey key{BlockId(cs & mask, level), BlockId(ct & mask, level)};
+    counters->TreeLookup();
     const auto it = pcp_.find(key);
     if (it != pcp_.end()) return it->second;
     if (level == 0) break;
@@ -219,34 +221,37 @@ const PcpdIndex::Psi& PcpdIndex::FindPair(VertexId s, VertexId t) const {
   return kMissing;
 }
 
-void PcpdIndex::AppendPath(VertexId s, VertexId t, Path* out) const {
+void PcpdIndex::AppendPath(VertexId s, VertexId t, Path* out,
+                           QueryCounters* counters) const {
   if (s == t) return;
-  const Psi& psi = FindPair(s, t);
+  const Psi& psi = FindPair(s, t, counters);
   if (psi.a == kInvalidVertex) {
     out->clear();  // unreachable or uncovered: signal failure upward
     return;
   }
   if (!psi.IsEdge()) {
-    AppendPath(s, psi.a, out);
+    AppendPath(s, psi.a, out, counters);
     if (out->empty()) return;
-    AppendPath(psi.a, t, out);
+    AppendPath(psi.a, t, out, counters);
     return;
   }
-  AppendPath(s, psi.a, out);
+  AppendPath(s, psi.a, out, counters);
   if (out->empty()) return;
   out->push_back(psi.b);
-  AppendPath(psi.b, t, out);
+  AppendPath(psi.b, t, out, counters);
 }
 
-Path PcpdIndex::PathQuery(QueryContext*, VertexId s, VertexId t) const {
+Path PcpdIndex::PathQuery(QueryContext* ctx, VertexId s, VertexId t) const {
+  ctx->counters.Reset();
   Path path{s};
   if (s == t) return path;
-  AppendPath(s, t, &path);
+  AppendPath(s, t, &path, &ctx->counters);
   return path;
 }
 
 Distance PcpdIndex::DistanceQuery(QueryContext* ctx, VertexId s,
                                   VertexId t) const {
+  ctx->counters.Reset();
   if (s == t) return 0;
   // PCPD answers distance queries by materializing the path and summing
   // its edge weights (Section 3.5).

@@ -103,11 +103,13 @@ class PcpdIndex : public PathIndex {
   // Walks the canonical shortest path s -> t via the first-hop matrix.
   void WalkPath(VertexId s, VertexId t, std::vector<VertexId>* out) const;
 
-  // Finds the covering PCP of (s, t) by synchronized descent.
-  const Psi& FindPair(VertexId s, VertexId t) const;
+  // Finds the covering PCP of (s, t) by synchronized descent, counting
+  // one tree_lookups per level probed into *counters.
+  const Psi& FindPair(VertexId s, VertexId t, QueryCounters* counters) const;
 
   // Appends the vertices after `s` up to and including `t` to *out.
-  void AppendPath(VertexId s, VertexId t, Path* out) const;
+  void AppendPath(VertexId s, VertexId t, Path* out,
+                  QueryCounters* counters) const;
 
   bool CodeInBlock(uint64_t code, uint64_t base, uint32_t level) const {
     return base <= code && code - base < (uint64_t{1} << (2 * level));

@@ -45,16 +45,12 @@ std::unique_ptr<QueryContext> ReachIndex::NewContext() const {
   return std::make_unique<Context>(graph_.NumVertices());
 }
 
-size_t ReachIndex::SettledCount() const {
-  auto* ctx = static_cast<const Context*>(default_context());
-  return ctx == nullptr ? 0 : ctx->settled_count;
-}
-
 void ReachIndex::SettleOne(Context* ctx, Side* side, const Side& other,
                            VertexId* best_meet, Distance* best_dist) const {
   VertexId u = side->heap.PopMin();
+  ctx->counters.HeapPop();
   side->settled[u] = ctx->generation;
-  ++ctx->settled_count;
+  ctx->counters.Settle();
   const Distance du = side->dist[u];
 
   // Reach pruning: if u sits deeper into this side than its reach allows,
@@ -67,6 +63,7 @@ void ReachIndex::SettleOne(Context* ctx, Side* side, const Side& other,
   }
 
   for (const Arc& a : graph_.Neighbors(u)) {
+    ctx->counters.RelaxEdge();
     const Distance cand = du + a.weight;
     bool improved = false;
     if (side->reached[a.to] != ctx->generation) {
@@ -74,12 +71,14 @@ void ReachIndex::SettleOne(Context* ctx, Side* side, const Side& other,
       side->dist[a.to] = cand;
       side->parent[a.to] = u;
       side->heap.Push(a.to, cand);
+      ctx->counters.HeapPush();
       improved = true;
     } else if (cand < side->dist[a.to] &&
                side->settled[a.to] != ctx->generation) {
       side->dist[a.to] = cand;
       side->parent[a.to] = u;
       side->heap.DecreaseKey(a.to, cand);
+      ctx->counters.HeapPush();
       improved = true;
     }
     if (improved && other.reached[a.to] == ctx->generation) {
@@ -95,7 +94,7 @@ void ReachIndex::SettleOne(Context* ctx, Side* side, const Side& other,
 VertexId ReachIndex::Search(Context* ctx, VertexId s, VertexId t,
                             Distance* out_dist) const {
   ++ctx->generation;
-  ctx->settled_count = 0;
+  ctx->counters.Reset();
   Side& forward = ctx->forward;
   Side& backward = ctx->backward;
   forward.heap.Clear();
@@ -109,6 +108,7 @@ VertexId ReachIndex::Search(Context* ctx, VertexId s, VertexId t,
   backward.parent[t] = kInvalidVertex;
   backward.reached[t] = ctx->generation;
   backward.heap.Push(t, 0);
+  ctx->counters.HeapPush(2);
 
   if (s == t) {
     *out_dist = 0;

@@ -43,7 +43,7 @@ class ReachIndex : public PathIndex {
 
   Distance ReachOf(VertexId v) const { return reach_[v]; }
 
-  size_t SettledCount() const;
+  size_t SettledCount() const { return ContextCounters().vertices_settled; }
 
  private:
   struct Side {
@@ -64,7 +64,6 @@ class ReachIndex : public PathIndex {
     Side forward;
     Side backward;
     uint32_t generation = 0;
-    size_t settled_count = 0;
   };
 
   VertexId Search(Context* ctx, VertexId s, VertexId t,

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "graph/types.h"
+#include "obs/query_counters.h"
 #include "routing/path.h"
 
 namespace roadnet {
@@ -22,6 +23,13 @@ namespace roadnet {
 class QueryContext {
  public:
   virtual ~QueryContext() = default;
+
+  // Operation counts of the most recent query run on this context. Every
+  // DistanceQuery/PathQuery resets these on entry and increments them on
+  // its hot path, so reading them after a query gives that query's exact
+  // search-space size (the paper's Section 4 explanation of the latency
+  // ordering). Batch callers accumulate across queries with operator+=.
+  QueryCounters counters;
 };
 
 // Common interface of every technique the paper evaluates (Section 3):
@@ -66,6 +74,14 @@ class PathIndex {
   // Bytes of precomputed structures held beyond the input graph; the
   // paper's "space consumption" metric (Figure 6a). Excludes contexts.
   virtual size_t IndexBytes() const = 0;
+
+  // Counters of the most recent context-free DistanceQuery/PathQuery
+  // (the single-threaded convenience API above). Zeros if no such query
+  // ran yet. For the context-taking API read ctx->counters directly.
+  QueryCounters ContextCounters() const {
+    const QueryContext* ctx = default_context();
+    return ctx == nullptr ? QueryCounters{} : ctx->counters;
+  }
 
  protected:
   // The lazily-created context behind the context-free overloads.

@@ -71,13 +71,15 @@ VertexId SilcIndex::NextHop(VertexId from, VertexId to) const {
   return graph_.Neighbors(from)[color].to;
 }
 
-Path SilcIndex::PathQuery(QueryContext*, VertexId s, VertexId t) const {
+Path SilcIndex::PathQuery(QueryContext* ctx, VertexId s, VertexId t) const {
+  ctx->counters.Reset();
   Path path{s};
   if (s == t) return path;
   VertexId cur = s;
   // Every hop strictly shrinks the remaining distance, so the walk ends
   // after at most n - 1 steps; the bound is a corruption guard.
   for (uint32_t step = 0; step < graph_.NumVertices(); ++step) {
+    ctx->counters.TreeLookup();
     const VertexId next = NextHop(cur, t);
     if (next == kInvalidVertex) return {};
     path.push_back(next);
@@ -87,12 +89,14 @@ Path SilcIndex::PathQuery(QueryContext*, VertexId s, VertexId t) const {
   return {};
 }
 
-Distance SilcIndex::DistanceQuery(QueryContext*, VertexId s,
+Distance SilcIndex::DistanceQuery(QueryContext* ctx, VertexId s,
                                   VertexId t) const {
+  ctx->counters.Reset();
   if (s == t) return 0;
   Distance total = 0;
   VertexId cur = s;
   for (uint32_t step = 0; step < graph_.NumVertices(); ++step) {
+    ctx->counters.TreeLookup();
     const VertexId next = NextHop(cur, t);
     if (next == kInvalidVertex) return kInfDistance;
     // The colour indexes cur's adjacency directly, so the hop's weight is

@@ -161,12 +161,14 @@ bool TnrIndex::TableApplicable(VertexId s, VertexId t) const {
          kTableRadius;
 }
 
-Distance TnrIndex::CoarseDistance(VertexId s, VertexId t) const {
+Distance TnrIndex::CoarseDistance(VertexId s, VertexId t,
+                                  QueryCounters* counters) const {
   const size_t num_access = coarse_.access_vertices.size();
   Distance best = kInfDistance;
   for (const I2Entry& es : coarse_.AccessOf(s)) {
     const uint32_t* table_row =
         coarse_table_.data() + static_cast<size_t>(es.access_index) * num_access;
+    counters->TableLookup(coarse_.AccessOf(t).size());
     for (const I2Entry& et : coarse_.AccessOf(t)) {
       const uint32_t mid = table_row[et.access_index];
       if (mid == kNoEntry) continue;
@@ -177,8 +179,8 @@ Distance TnrIndex::CoarseDistance(VertexId s, VertexId t) const {
   return best;
 }
 
-Distance TnrIndex::FineDistance(VertexId s, VertexId t,
-                                bool* answered) const {
+Distance TnrIndex::FineDistance(VertexId s, VertexId t, bool* answered,
+                                QueryCounters* counters) const {
   *answered = false;
   const int32_t cheb =
       CellChebyshev(fine_->grid.CellOf(s), fine_->grid.CellOf(t));
@@ -188,6 +190,7 @@ Distance TnrIndex::FineDistance(VertexId s, VertexId t,
   bool found_pair = false;
   for (const I2Entry& es : fine_->AccessOf(s)) {
     for (const I2Entry& et : fine_->AccessOf(t)) {
+      counters->TableLookup();
       auto it = fine_table_.find(PairKey(es.access_index, et.access_index));
       if (it == fine_table_.end()) continue;
       found_pair = true;
@@ -204,22 +207,27 @@ Distance TnrIndex::RoutedDistance(Context* ctx, VertexId s,
                                   VertexId t) const {
   if (TableApplicable(s, t)) {
     ++ctx->stats.coarse_table_answered;
-    return CoarseDistance(s, t);
+    return CoarseDistance(s, t, &ctx->counters);
   }
   if (fine_ != nullptr) {
     bool answered = false;
-    const Distance d = FineDistance(s, t, &answered);
+    const Distance d = FineDistance(s, t, &answered, &ctx->counters);
     if (answered) {
       ++ctx->stats.fine_table_answered;
       return d;
     }
   }
   ++ctx->stats.fallback_answered;
-  return fallback_->DistanceQuery(ctx->fallback.get(), s, t);
+  // The fallback query resets and fills its own context's counters; fold
+  // them into this query's totals so TNR reports its full search work.
+  const Distance d = fallback_->DistanceQuery(ctx->fallback.get(), s, t);
+  ctx->counters += ctx->fallback->counters;
+  return d;
 }
 
 Distance TnrIndex::DistanceQuery(QueryContext* ctx, VertexId s,
                                  VertexId t) const {
+  ctx->counters.Reset();
   if (s == t) return 0;
   return RoutedDistance(static_cast<Context*>(ctx), s, t);
 }
@@ -227,12 +235,15 @@ Distance TnrIndex::DistanceQuery(QueryContext* ctx, VertexId s,
 Path TnrIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
                          VertexId t) const {
   Context* ctx = static_cast<Context*>(raw_ctx);
+  ctx->counters.Reset();
   if (s == t) return {s};
   const int32_t cheb =
       CellChebyshev(coarse_.grid.CellOf(s), coarse_.grid.CellOf(t));
   if (cheb < kPathWalkRadius) {
     ++ctx->stats.fallback_answered;
-    return fallback_->PathQuery(ctx->fallback.get(), s, t);
+    Path p = fallback_->PathQuery(ctx->fallback.get(), s, t);
+    ctx->counters += ctx->fallback->counters;
+    return p;
   }
 
   // Greedy walk (Section 3.3): repeatedly step to the neighbour v of the
@@ -258,7 +269,7 @@ Path TnrIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
         all_applicable = false;
         break;
       }
-      const Distance d = CoarseDistance(a.to, t);
+      const Distance d = CoarseDistance(a.to, t, &ctx->counters);
       if (d == kInfDistance) continue;
       const Distance total = a.weight + d;
       if (total < best_total) {
@@ -272,6 +283,7 @@ Path TnrIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
   }
 
   Path tail = fallback_->PathQuery(ctx->fallback.get(), cur, t);
+  ctx->counters += ctx->fallback->counters;
   if (tail.empty()) return {};
   path.insert(path.end(), tail.begin() + 1, tail.end());
   return path;

@@ -134,12 +134,15 @@ class TnrIndex : public PathIndex {
   static void BuildLevelIndex(const Graph& g, AccessNodeSet&& raw,
                               Level* level);
 
-  // Equation 1 on the coarse level. Requires TableApplicable.
-  Distance CoarseDistance(VertexId s, VertexId t) const;
+  // Equation 1 on the coarse level. Requires TableApplicable. Counts one
+  // table_lookups per I1 cell probed into *counters.
+  Distance CoarseDistance(VertexId s, VertexId t,
+                          QueryCounters* counters) const;
 
   // Equation 1 on the fine level's sparse table. Sets *answered = false if
   // the filter or the sparse table cannot handle the pair.
-  Distance FineDistance(VertexId s, VertexId t, bool* answered) const;
+  Distance FineDistance(VertexId s, VertexId t, bool* answered,
+                        QueryCounters* counters) const;
 
   Distance RoutedDistance(Context* ctx, VertexId s, VertexId t) const;
 

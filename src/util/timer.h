@@ -23,6 +23,15 @@ class Timer {
   // Elapsed time in microseconds (the unit the paper reports query times in).
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
+  // Elapsed time in integer nanoseconds (the unit the latency histograms
+  // record, so sub-microsecond queries keep their resolution).
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -118,6 +118,53 @@ TEST(EngineEquivalence, EmptyBatchIsANoOp) {
   EXPECT_EQ(result.stats.num_queries, 0u);
 }
 
+TEST(EngineEquivalence, BatchStatsDeriveFromMergedHistogramAndCounters) {
+  EngineFixture f(/*seed=*/505);
+  const auto queries = RandomPairs(f.g, 300, /*seed=*/903);
+
+  // Single-threaded counter ground truth: the engine's per-worker sums
+  // must add up to exactly this, no matter how the batch was split.
+  QueryCounters expected;
+  auto ctx = f.ch.NewContext();
+  for (const auto& [s, t] : queries) {
+    f.ch.DistanceQuery(ctx.get(), s, t);
+    expected += ctx->counters;
+  }
+
+  for (size_t threads : {1u, 4u}) {
+    QueryEngine engine(f.ch, threads);
+    BatchResult result = engine.Run(queries);
+    const BatchStats& stats = result.stats;
+    EXPECT_EQ(stats.counters, expected) << "threads=" << threads;
+    // Percentiles come from the merged histogram: present, ordered, and
+    // bounded by the exact max.
+    EXPECT_EQ(result.latency.Count(), queries.size());
+    EXPECT_GT(stats.p50_micros, 0.0);
+    EXPECT_LE(stats.p50_micros, stats.p90_micros);
+    EXPECT_LE(stats.p90_micros, stats.p99_micros);
+    EXPECT_LE(stats.p99_micros, stats.p999_micros);
+    EXPECT_LE(stats.p999_micros, stats.max_micros);
+  }
+}
+
+TEST(EngineEquivalence, RecordingTogglesZeroTheStats) {
+  EngineFixture f(/*seed=*/606);
+  const auto queries = RandomPairs(f.g, 60, /*seed=*/904);
+  QueryEngine engine(f.ch, 2);
+  BatchOptions options;
+  options.record_latencies = false;
+  options.record_counters = false;
+  BatchResult result = engine.Run(queries, options);
+  // Answers are unaffected; only the observability outputs go dark.
+  EXPECT_EQ(result.distances.size(), queries.size());
+  EXPECT_EQ(result.latency.Count(), 0u);
+  EXPECT_EQ(result.stats.p50_micros, 0.0);
+  EXPECT_EQ(result.stats.p999_micros, 0.0);
+  EXPECT_EQ(result.stats.max_micros, 0.0);
+  EXPECT_EQ(result.stats.counters, QueryCounters{});
+  EXPECT_GT(result.stats.queries_per_second, 0.0);
+}
+
 TEST(EngineEquivalence, ExplicitContextsMatchLegacyApi) {
   // The per-context overloads and the legacy context-free API must agree:
   // the latter is now a wrapper over an internal default context.

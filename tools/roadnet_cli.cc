@@ -8,14 +8,19 @@
 //   roadnet_cli preprocess --graph graph.bin --out index.ch
 //   roadnet_cli stats      --graph graph.bin [--index index.ch]
 //   roadnet_cli query      --graph graph.bin --index index.ch
-//                          --from S --to T [--path]
+//                          --from S --to T [--path] [--metrics-out FILE]
 //   roadnet_cli batch-query --graph graph.bin --index index.ch
 //                          (--queries FILE | --random N [--seed S])
-//                          [--threads T] [--paths]
+//                          [--threads T] [--paths] [--metrics-out FILE]
+//
+// --metrics-out snapshots the run's metrics (latency percentiles,
+// operation counters) to FILE: JSONL by default, CSV if FILE ends in
+// ".csv". scripts/validate_metrics.py schema-checks the JSONL form.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <string>
 #include <utility>
@@ -27,6 +32,7 @@
 #include "graph/dimacs.h"
 #include "graph/generator.h"
 #include "io/serialize.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -35,17 +41,18 @@ namespace {
 using namespace roadnet;
 
 // Minimal --flag value parser; flags map to their following argument.
+// A flag whose next token is another flag (or the end of the line) is
+// boolean (e.g. --path) and maps to "1", so valued and boolean flags can
+// appear in any order.
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
                                               int first) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) break;
-    flags[argv[i] + 2] = argv[i + 1];
-  }
-  // Allow trailing boolean flags (e.g. --path) with no value.
   for (int i = first; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--", 2) == 0 &&
-        (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0)) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
       flags[argv[i] + 2] = "1";
     }
   }
@@ -64,11 +71,12 @@ int Usage() {
       "  preprocess --graph graph.bin --out index.ch\n"
       "  stats      --graph graph.bin [--index index.ch]\n"
       "  query      --graph graph.bin --index index.ch --from S --to T"
-      " [--path]\n"
+      " [--path] [--metrics-out FILE]\n"
       "  batch-query --graph graph.bin --index index.ch"
       " (--queries FILE | --random N [--seed S])\n"
-      "             [--threads T] [--paths]\n"
-      "    FILE holds one \"source target\" pair per line.\n");
+      "             [--threads T] [--paths] [--metrics-out FILE]\n"
+      "    FILE holds one \"source target\" pair per line.\n"
+      "    --metrics-out writes JSONL metrics (CSV if FILE ends in .csv).\n");
   return 2;
 }
 
@@ -212,18 +220,38 @@ int Query(const std::map<std::string, std::string>& flags) {
   }
   Timer timer;
   const Distance d = ch->DistanceQuery(s, t);
+  const double micros = timer.ElapsedMicros();
+  QueryCounters counters = ch->ContextCounters();
   std::printf("distance %u -> %u: ", s, t);
   if (d == kInfDistance) {
     std::printf("unreachable");
   } else {
     std::printf("%llu", static_cast<unsigned long long>(d));
   }
-  std::printf("  (%.1f us)\n", timer.ElapsedMicros());
+  std::printf("  (%.1f us)\n", micros);
   if (flags.count("path") && d != kInfDistance) {
     const Path path = ch->PathQuery(s, t);
+    counters += ch->ContextCounters();
     std::printf("path (%zu vertices):", path.size());
     for (VertexId v : path) std::printf(" %u", v);
     std::printf("\n");
+  }
+  if (auto it = flags.find("metrics-out"); it != flags.end()) {
+    MetricsRegistry metrics;
+    const std::vector<std::pair<std::string, std::string>> labels = {
+        {"command", "query"}, {"method", "CH"}};
+    metrics.Add("distance",
+                d == kInfDistance ? std::numeric_limits<double>::infinity()
+                                  : static_cast<double>(d),
+                labels);
+    metrics.Add("latency_micros", micros, labels);
+    metrics.AddCounters(counters, labels);
+    if (!metrics.WriteFile(it->second)) {
+      std::fprintf(stderr, "cannot write %s\n", it->second.c_str());
+      return 1;
+    }
+    std::printf("metrics:  wrote %zu points to %s\n", metrics.points().size(),
+                it->second.c_str());
   }
   return 0;
 }
@@ -303,8 +331,11 @@ int BatchQuery(const std::map<std::string, std::string>& flags) {
               stats.num_threads, stats.chunk_size, stats.stolen_chunks);
   std::printf("wall:        %.3f s\n", stats.wall_seconds);
   std::printf("throughput:  %.0f queries/s\n", stats.queries_per_second);
-  std::printf("latency:     p50 %.1f us, p99 %.1f us, max %.1f us\n",
-              stats.p50_micros, stats.p99_micros, stats.max_micros);
+  std::printf(
+      "latency:     p50 %.1f us, p90 %.1f us, p99 %.1f us, p999 %.1f us,"
+      " max %.1f us\n",
+      stats.p50_micros, stats.p90_micros, stats.p99_micros,
+      stats.p999_micros, stats.max_micros);
   if (options.collect_paths) {
     size_t hops = 0;
     for (const Path& p : result.paths) {
@@ -312,6 +343,24 @@ int BatchQuery(const std::map<std::string, std::string>& flags) {
     }
     std::printf("paths:       %zu edges total across %zu paths\n", hops,
                 result.paths.size());
+  }
+  if (auto it = flags.find("metrics-out"); it != flags.end()) {
+    MetricsRegistry metrics;
+    const std::vector<std::pair<std::string, std::string>> labels = {
+        {"command", "batch-query"}, {"method", "CH"}};
+    metrics.Add("num_queries", static_cast<double>(stats.num_queries), labels);
+    metrics.Add("num_threads", static_cast<double>(stats.num_threads), labels);
+    metrics.Add("reachable", static_cast<double>(reachable), labels);
+    metrics.Add("wall_seconds", stats.wall_seconds, labels);
+    metrics.Add("queries_per_second", stats.queries_per_second, labels);
+    metrics.AddHistogram("latency_micros", result.latency, 1e-3, labels);
+    metrics.AddCounters(stats.counters, labels);
+    if (!metrics.WriteFile(it->second)) {
+      std::fprintf(stderr, "cannot write %s\n", it->second.c_str());
+      return 1;
+    }
+    std::printf("metrics:     wrote %zu points to %s\n",
+                metrics.points().size(), it->second.c_str());
   }
   return 0;
 }
