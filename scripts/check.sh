@@ -37,10 +37,35 @@ python3 scripts/validate_metrics.py "$SMOKE/metrics.jsonl"
 ROADNET_BENCH_FAST=1 build/bench/bench_searchspace \
   --out "$SMOKE/searchspace.csv" >/dev/null
 
-echo "==> ThreadSanitizer build + engine tests (build-tsan/)"
+echo "==> Server smoke: serve + loadgen over loopback (build/)"
+# Ephemeral port; the server writes the bound port to a file the load
+# generator reads. The loadgen verifies EVERY answered distance against a
+# local Dijkstra oracle and sends the SHUTDOWN frame when done; the server
+# must drain and exit 0.
+build/tools/roadnet_cli serve --graph "$SMOKE/g.bin" --index "$SMOKE/g.ch" \
+  --technique ch --port 0 --port-file "$SMOKE/port" \
+  --metrics-out "$SMOKE/server_metrics.jsonl" >/dev/null &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$SMOKE/port" ]] && break
+  sleep 0.1
+done
+[[ -s "$SMOKE/port" ]] || { echo "server never wrote port file"; exit 1; }
+build/tools/roadnet_loadgen --port "$(cat "$SMOKE/port")" \
+  --graph "$SMOKE/g.bin" --connections 4 --queries 1000 \
+  --verify-every 1 --workload Q5 --shutdown >/dev/null
+wait "$SERVER_PID"
+python3 scripts/validate_metrics.py "$SMOKE/server_metrics.jsonl"
+
+echo "==> ThreadSanitizer build + engine/server tests (build-tsan/)"
 cmake -B build-tsan -S . -DROADNET_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
-  engine_equivalence_test engine_stress_test
-(cd build-tsan && ctest --output-on-failure -R 'Engine(Equivalence|Stress)')
+  engine_equivalence_test engine_stress_test engine_edge_test \
+  server_test bench_server
+(cd build-tsan && \
+  ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|QueryServer|Wire|BoundedQueue')
+# The serving bench under TSan covers the accept/handler/dispatcher/client
+# thread web end to end.
+ROADNET_BENCH_FAST=1 build-tsan/bench/bench_server >/dev/null
 
 echo "==> OK"

@@ -1,8 +1,10 @@
 #include "ch/ch_index.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "io/binary.h"
+#include "io/crc32.h"
 #include "util/bytes.h"
 
 namespace roadnet {
@@ -41,7 +43,10 @@ ChIndex::ChIndex(const Graph& g, const ChConfig& config) : graph_(g) {
 
 namespace {
 constexpr char kChMagic[8] = {'R', 'N', 'E', 'T', 'C', 'H', 'I', 'X'};
-constexpr uint32_t kChVersion = 1;
+// Version 2 wraps the payload in a length + CRC32 trailer (io/crc32.h);
+// a corrupted index file is rejected at load instead of serving wrong
+// distances.
+constexpr uint32_t kChVersion = 2;
 }  // namespace
 
 ChIndex::ChIndex(const Graph& g, DeserializeTag) : graph_(g) {}
@@ -53,11 +58,13 @@ std::unique_ptr<QueryContext> ChIndex::NewContext() const {
 void ChIndex::Serialize(std::ostream& out) const {
   WriteMagic(out, kChMagic);
   WriteScalar<uint32_t>(out, kChVersion);
-  WriteScalar<uint32_t>(out, graph_.NumVertices());
-  WriteScalar<uint64_t>(out, num_shortcuts_);
-  WriteVector(out, rank_);
-  WriteVector(out, up_offsets_);
-  WriteVector(out, up_arcs_);
+  std::ostringstream payload;
+  WriteScalar<uint32_t>(payload, graph_.NumVertices());
+  WriteScalar<uint64_t>(payload, num_shortcuts_);
+  WriteVector(payload, rank_);
+  WriteVector(payload, up_offsets_);
+  WriteVector(payload, up_arcs_);
+  WriteChecksummedPayload(out, payload.view());
 }
 
 std::unique_ptr<ChIndex> ChIndex::Deserialize(const Graph& g,
@@ -70,24 +77,27 @@ std::unique_ptr<ChIndex> ChIndex::Deserialize(const Graph& g,
   if (!CheckMagic(in, kChMagic)) return fail("ch: bad magic");
   uint32_t version = 0;
   if (!ReadScalar(in, &version) || version != kChVersion) {
-    return fail("ch: unsupported version");
+    return fail("ch: unsupported version (re-run preprocess with this build)");
   }
+  std::string buffer;
+  if (!ReadChecksummedPayload(in, &buffer, "ch", error)) return nullptr;
+  std::istringstream body(buffer);
   uint32_t n = 0;
-  if (!ReadScalar(in, &n) || n != g.NumVertices()) {
+  if (!ReadScalar(body, &n) || n != g.NumVertices()) {
     return fail("ch: vertex count does not match the graph");
   }
   std::unique_ptr<ChIndex> index(new ChIndex(g, DeserializeTag{}));
   uint64_t shortcuts = 0;
-  if (!ReadScalar(in, &shortcuts)) return fail("ch: truncated header");
+  if (!ReadScalar(body, &shortcuts)) return fail("ch: truncated header");
   index->num_shortcuts_ = shortcuts;
-  if (!ReadVector(in, &index->rank_) || index->rank_.size() != n) {
+  if (!ReadVector(body, &index->rank_) || index->rank_.size() != n) {
     return fail("ch: bad rank block");
   }
-  if (!ReadVector(in, &index->up_offsets_) ||
+  if (!ReadVector(body, &index->up_offsets_) ||
       index->up_offsets_.size() != n + 1) {
     return fail("ch: bad offset block");
   }
-  if (!ReadVector(in, &index->up_arcs_) ||
+  if (!ReadVector(body, &index->up_arcs_) ||
       index->up_arcs_.size() != index->up_offsets_[n]) {
     return fail("ch: bad arc block");
   }

@@ -1,15 +1,19 @@
 #include "io/serialize.h"
 
 #include <fstream>
+#include <sstream>
 
 #include "io/binary.h"
+#include "io/crc32.h"
 
 namespace roadnet {
 
 namespace {
 
 constexpr char kGraphMagic[8] = {'R', 'N', 'E', 'T', 'G', 'R', 'P', 'H'};
-constexpr uint32_t kGraphVersion = 1;
+// Version 2 wraps the payload in a length + CRC32 trailer (io/crc32.h)
+// so truncated or bit-flipped files fail at load time.
+constexpr uint32_t kGraphVersion = 2;
 
 void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
@@ -20,9 +24,10 @@ void SetError(std::string* error, const std::string& message) {
 void WriteGraph(const Graph& g, std::ostream& out) {
   WriteMagic(out, kGraphMagic);
   WriteScalar<uint32_t>(out, kGraphVersion);
-  WriteScalar<uint32_t>(out, g.NumVertices());
+  std::ostringstream payload;
+  WriteScalar<uint32_t>(payload, g.NumVertices());
   // Coordinates.
-  WriteVector(out, g.Coords());
+  WriteVector(payload, g.Coords());
   // Edges, one record per undirected edge.
   struct EdgeRecord {
     VertexId u;
@@ -36,7 +41,8 @@ void WriteGraph(const Graph& g, std::ostream& out) {
       if (u < a.to) edges.push_back(EdgeRecord{u, a.to, a.weight});
     }
   }
-  WriteVector(out, edges);
+  WriteVector(payload, edges);
+  WriteChecksummedPayload(out, payload.view());
 }
 
 std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
@@ -46,16 +52,24 @@ std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
   }
   uint32_t version = 0;
   if (!ReadScalar(in, &version) || version != kGraphVersion) {
-    SetError(error, "graph: unsupported version");
+    SetError(error,
+             "graph: unsupported version (re-run generate/convert with this "
+             "build)");
     return std::nullopt;
   }
+  std::string buffer;
+  if (!ReadChecksummedPayload(in, &buffer, "graph", error)) {
+    return std::nullopt;
+  }
+  std::istringstream payload(buffer);
+  std::istream& body = payload;
   uint32_t n = 0;
-  if (!ReadScalar(in, &n)) {
+  if (!ReadScalar(body, &n)) {
     SetError(error, "graph: truncated header");
     return std::nullopt;
   }
   std::vector<Point> coords;
-  if (!ReadVector(in, &coords) || coords.size() != n) {
+  if (!ReadVector(body, &coords) || coords.size() != n) {
     SetError(error, "graph: bad coordinate block");
     return std::nullopt;
   }
@@ -65,7 +79,7 @@ std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
     Weight w;
   };
   std::vector<EdgeRecord> edges;
-  if (!ReadVector(in, &edges)) {
+  if (!ReadVector(body, &edges)) {
     SetError(error, "graph: bad edge block");
     return std::nullopt;
   }

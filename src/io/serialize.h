@@ -15,8 +15,11 @@ namespace roadnet {
 // the paper 30 minutes) and ship the index to query servers.
 //
 // Format: 8-byte magic ("RNETxxxx" per payload kind), u32 version, then
-// payload. All integers little-endian, lengths prefixed. Readers return
-// nullopt on malformed input and describe the problem in *error.
+// a checksummed payload block (u64 length, payload bytes, u32 CRC32 of
+// the payload — io/crc32.h). All integers little-endian, lengths
+// prefixed. Readers verify the checksum before parsing, so truncated or
+// bit-flipped files are rejected with a descriptive *error instead of
+// constructing a corrupt graph or index.
 
 // --- Graph ---
 void WriteGraph(const Graph& g, std::ostream& out);

@@ -1,0 +1,77 @@
+#ifndef ROADNET_SERVER_BOUNDED_QUEUE_H_
+#define ROADNET_SERVER_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace roadnet {
+
+// Bounded multi-producer queue behind the query server's admission
+// control: connection handlers TryPush (a full queue is an immediate
+// OVERLOADED response — explicit load shedding, not silent buffering)
+// and the dispatcher drains batches. Closing the queue wakes the
+// consumer once the backlog is empty, which is what makes drain-then-
+// shutdown work: requests admitted before Close() are always dispatched.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Enqueues unless the queue is full or closed; never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until at least one item is available, then moves up to
+  // `max_items` into *out (cleared first). Returns false only when the
+  // queue is closed and fully drained — the consumer's exit condition.
+  bool PopBatch(std::vector<T>* out, size_t max_items) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    const size_t take = std::min(max_items, items_.size());
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return true;
+  }
+
+  // Rejects future pushes; the consumer keeps draining what is queued.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_cv_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t Capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_SERVER_BOUNDED_QUEUE_H_

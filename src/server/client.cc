@@ -1,0 +1,64 @@
+#include "server/client.h"
+
+namespace roadnet {
+
+std::unique_ptr<BlockingClient> BlockingClient::Connect(
+    const std::string& host, uint16_t port, std::string* error) {
+  ScopedFd fd = ConnectTcp(host, port, error);
+  if (!fd.valid()) return nullptr;
+  return std::unique_ptr<BlockingClient>(new BlockingClient(std::move(fd)));
+}
+
+bool BlockingClient::RoundTrip(const std::string& request,
+                               std::string* reply_body, std::string* error) {
+  auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!fd_.valid()) return fail("connection already closed");
+  if (!WriteFrame(fd_.get(), request)) return fail("write failed");
+  bool clean_eof = false;
+  if (!ReadFrame(fd_.get(), reply_body, wire::kMaxFrameBytes, &clean_eof)) {
+    return fail(clean_eof ? "server closed the connection"
+                          : "read failed");
+  }
+  return true;
+}
+
+bool BlockingClient::Query(const wire::QueryRequest& req,
+                           wire::QueryResponse* resp, std::string* error) {
+  std::string body;
+  if (!RoundTrip(wire::EncodeQueryRequest(req), &body, error)) return false;
+  auto decoded = wire::DecodeQueryResponse(body);
+  if (!decoded.has_value()) {
+    if (error != nullptr) *error = "malformed QUERY_REPLY frame";
+    return false;
+  }
+  *resp = std::move(*decoded);
+  return true;
+}
+
+bool BlockingClient::GetStats(wire::StatsResponse* stats,
+                              std::string* error) {
+  std::string body;
+  if (!RoundTrip(wire::EncodeStatsRequest(), &body, error)) return false;
+  auto decoded = wire::DecodeStatsResponse(body);
+  if (!decoded.has_value()) {
+    if (error != nullptr) *error = "malformed STATS_REPLY frame";
+    return false;
+  }
+  *stats = *decoded;
+  return true;
+}
+
+bool BlockingClient::SendShutdown(std::string* error) {
+  std::string body;
+  if (!RoundTrip(wire::EncodeShutdownRequest(), &body, error)) return false;
+  if (wire::PeekType(body) != wire::kShutdownReply) {
+    if (error != nullptr) *error = "malformed SHUTDOWN_REPLY frame";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,51 @@
+#ifndef ROADNET_SERVER_CLIENT_H_
+#define ROADNET_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/socket.h"
+#include "server/wire.h"
+
+namespace roadnet {
+
+// Blocking request-reply client for the query service's wire protocol
+// (server/wire.h). One connection, one request in flight — the building
+// block of the closed-loop load generator and the tests. Not
+// thread-safe; use one client per thread.
+class BlockingClient {
+ public:
+  // Connects to host:port; nullptr + *error on failure.
+  static std::unique_ptr<BlockingClient> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 std::string* error);
+
+  // Sends a QUERY frame and reads its reply. False on transport or
+  // protocol failure (*error set); server-side rejections (OVERLOADED,
+  // DEADLINE_EXCEEDED, ...) are successful round-trips reported in
+  // resp->status.
+  bool Query(const wire::QueryRequest& req, wire::QueryResponse* resp,
+             std::string* error);
+
+  // Fetches the server's STATS snapshot.
+  bool GetStats(wire::StatsResponse* stats, std::string* error);
+
+  // Sends the admin SHUTDOWN frame and waits for the ack. The server
+  // then drains: this and every other connection will be closed once
+  // in-flight requests are answered.
+  bool SendShutdown(std::string* error);
+
+ private:
+  explicit BlockingClient(ScopedFd fd) : fd_(std::move(fd)) {}
+
+  // One request-reply round trip.
+  bool RoundTrip(const std::string& request, std::string* reply_body,
+                 std::string* error);
+
+  ScopedFd fd_;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_SERVER_CLIENT_H_

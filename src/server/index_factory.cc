@@ -1,0 +1,41 @@
+#include "server/index_factory.h"
+
+#include <fstream>
+
+#include "alt/alt_index.h"
+#include "ch/ch_index.h"
+#include "dijkstra/bidirectional.h"
+
+namespace roadnet {
+namespace server {
+
+std::unique_ptr<PathIndex> MakeIndex(const std::string& technique,
+                                     const Graph& graph,
+                                     const std::string& ch_index_path,
+                                     std::string* error) {
+  if (technique == "bidi") {
+    return std::make_unique<BidirectionalDijkstra>(graph);
+  }
+  if (technique == "alt") {
+    return std::make_unique<AltIndex>(graph);
+  }
+  if (technique == "ch") {
+    if (ch_index_path.empty()) {
+      return std::make_unique<ChIndex>(graph);
+    }
+    std::ifstream file(ch_index_path, std::ios::binary);
+    if (!file) {
+      if (error != nullptr) *error = "cannot open " + ch_index_path;
+      return nullptr;
+    }
+    return ChIndex::Deserialize(graph, file, error);
+  }
+  if (error != nullptr) {
+    *error = "unknown technique '" + technique +
+             "' (expected bidi, ch, or alt)";
+  }
+  return nullptr;
+}
+
+}  // namespace server
+}  // namespace roadnet

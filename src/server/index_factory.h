@@ -1,0 +1,34 @@
+#ifndef ROADNET_SERVER_INDEX_FACTORY_H_
+#define ROADNET_SERVER_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "routing/path_index.h"
+
+namespace roadnet {
+namespace server {
+
+// Builds the index a `roadnet_cli serve` instance hosts. Supported
+// technique names (and their wire ids — wire::TechniqueId):
+//   "bidi"  bidirectional Dijkstra, no preprocessing
+//   "ch"    contraction hierarchies; loads `ch_index_path` if non-empty
+//           (a file written by `roadnet_cli preprocess`), else contracts
+//           the graph in-process
+//   "alt"   ALT landmarks
+// Techniques with multi-minute preprocessing on serving-scale graphs
+// (TNR, SILC, PCPD) are deliberately not offered here: build them
+// offline first if they gain a serialized form.
+//
+// Returns nullptr + *error on an unknown name or a bad index file. The
+// graph must outlive the returned index.
+std::unique_ptr<PathIndex> MakeIndex(const std::string& technique,
+                                     const Graph& graph,
+                                     const std::string& ch_index_path,
+                                     std::string* error);
+
+}  // namespace server
+}  // namespace roadnet
+
+#endif  // ROADNET_SERVER_INDEX_FACTORY_H_

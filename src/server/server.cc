@@ -1,0 +1,323 @@
+#include "server/server.h"
+
+#include <cerrno>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace roadnet {
+
+namespace {
+
+uint64_t ElapsedNanos(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const PathIndex& index, uint8_t technique_id,
+                         uint32_t num_vertices, const ServerOptions& options)
+    : index_(index),
+      technique_id_(technique_id),
+      num_vertices_(num_vertices),
+      options_(options),
+      engine_(index, options.engine_threads),
+      queue_(options.queue_capacity) {}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+bool QueryServer::Start(std::string* error) {
+  listen_fd_ = ListenTcp(options_.port, &port_, error);
+  if (!listen_fd_.valid()) return false;
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return true;
+}
+
+void QueryServer::RequestShutdown() {
+  draining_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+bool QueryServer::WaitForShutdownRequest(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  return shutdown_cv_.wait_for(lock, timeout,
+                               [&] { return shutdown_requested_; });
+}
+
+void QueryServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shutdown_done_) return;
+    shutdown_done_ = true;
+  }
+  draining_.store(true);
+
+  // 1. Stop accepting: shutdown() unblocks accept(), then join.
+  if (started_) {
+    ::shutdown(listen_fd_.get(), SHUT_RDWR);
+    accept_thread_.join();
+  }
+
+  // 2. Hang up the read side of every connection. Handlers finish the
+  // request they are on (the dispatcher is still running and will
+  // complete it), write the response, then see EOF and exit.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (Connection& c : conns_) {
+      if (c.fd.valid()) ::shutdown(c.fd.get(), SHUT_RD);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (Connection& c : conns_) {
+      if (c.thread.joinable()) c.thread.join();
+    }
+    conns_.clear();
+  }
+
+  // 3. With every producer gone, close the queue; the dispatcher drains
+  // whatever is still admitted and exits.
+  queue_.Close();
+  if (started_) dispatch_thread_.join();
+  listen_fd_.Close();
+}
+
+void QueryServer::AcceptLoop() {
+  while (!draining_.load(std::memory_order_relaxed)) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int raw =
+        ::accept(listen_fd_.get(), reinterpret_cast<sockaddr*>(&peer),
+                 &peer_len);
+    if (raw < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (drain) or fatal
+    }
+    ScopedFd fd(raw);
+    if (draining_.load(std::memory_order_relaxed)) break;
+
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    // Reap handlers that already finished so long-lived servers do not
+    // accumulate dead threads.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (it->finished.load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Connection cap: close immediately. The client sees EOF on its
+    // first read — connection-level shedding, distinct from the
+    // per-request OVERLOADED status.
+    if (conns_.size() >= options_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // ScopedFd closes raw
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conns_.emplace_back();
+    Connection& conn = conns_.back();  // std::list: address is stable
+    conn.fd = std::move(fd);
+    conn.thread = std::thread([this, &conn] { HandleConnection(&conn); });
+  }
+}
+
+void QueryServer::Complete(Pending* p, wire::Status status) {
+  // Notify while still holding the mutex: the Pending lives on the
+  // handler's stack and is destroyed the moment the handler observes
+  // done, so an after-unlock notify could touch a dead condvar.
+  std::lock_guard<std::mutex> lock(p->mu);
+  p->resp.status = status;
+  p->resp.server_latency_ns = ElapsedNanos(p->received);
+  p->done = true;
+  p->cv.notify_one();
+}
+
+void QueryServer::HandleConnection(Connection* conn) {
+  const int fd = conn->fd.get();
+  std::string body;
+  // Requests are tiny fixed-size frames; cap far below response sizes.
+  constexpr uint32_t kMaxRequestBytes = 1024;
+  while (ReadFrame(fd, &body, kMaxRequestBytes)) {
+    const auto type = wire::PeekType(body);
+    if (!type.has_value()) break;  // garbage: hang up
+
+    if (*type == wire::kStats) {
+      if (!WriteFrame(fd, wire::EncodeStatsResponse(Stats()))) break;
+      continue;
+    }
+    if (*type == wire::kShutdown) {
+      // Ack first so the admin client gets a reply, then flag the drain;
+      // the owner thread (WaitForShutdownRequest) runs Shutdown().
+      WriteFrame(fd, wire::EncodeShutdownResponse());
+      RequestShutdown();
+      continue;  // drain will SHUT_RD this socket
+    }
+    if (*type != wire::kQuery) break;
+
+    const auto req = wire::DecodeQueryRequest(body);
+    Pending pending;
+    pending.received = std::chrono::steady_clock::now();
+    if (!req.has_value() || req->source >= num_vertices_ ||
+        req->target >= num_vertices_ ||
+        (req->technique != wire::kAnyTechnique &&
+         req->technique != technique_id_)) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      pending.resp.status = wire::Status::kBadRequest;
+      pending.resp.server_latency_ns = ElapsedNanos(pending.received);
+      if (!WriteFrame(fd, wire::EncodeQueryResponse(pending.resp))) break;
+      continue;
+    }
+    pending.req = *req;
+
+    wire::Status shed = wire::Status::kOk;
+    if (draining_.load(std::memory_order_relaxed)) {
+      shed = wire::Status::kShuttingDown;
+      shed_draining_.fetch_add(1, std::memory_order_relaxed);
+    } else if (!queue_.TryPush(&pending)) {
+      shed = wire::Status::kOverloaded;
+      shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (shed != wire::Status::kOk) {
+      pending.resp.status = shed;
+      pending.resp.server_latency_ns = ElapsedNanos(pending.received);
+      if (!WriteFrame(fd, wire::EncodeQueryResponse(pending.resp))) break;
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(pending.mu);
+      pending.cv.wait(lock, [&] { return pending.done; });
+    }
+    if (!WriteFrame(fd, wire::EncodeQueryResponse(pending.resp))) break;
+  }
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void QueryServer::RunSubBatch(std::vector<Pending*>& reqs, bool paths) {
+  if (reqs.empty()) return;
+  std::vector<std::pair<VertexId, VertexId>> queries;
+  queries.reserve(reqs.size());
+  for (const Pending* p : reqs) {
+    queries.emplace_back(p->req.source, p->req.target);
+  }
+  BatchOptions options;
+  options.collect_paths = paths;
+  // The engine's per-query histogram would only cover index time; the
+  // server reports receipt-to-completion latency instead (recorded
+  // below), so skip the double measurement.
+  options.record_latencies = false;
+  BatchResult result = engine_.Run(queries, options);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    Histogram& latency = paths ? path_latency_ : distance_latency_;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      Pending* p = reqs[i];
+      p->resp.distance = result.distances[i];
+      if (paths) p->resp.path = std::move(result.paths[i]);
+      latency.Record(ElapsedNanos(p->received));
+    }
+    counters_ += result.stats.counters;
+  }
+  served_.fetch_add(reqs.size(), std::memory_order_relaxed);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    Complete(reqs[i], result.distances[i] == kInfDistance
+                          ? wire::Status::kUnreachable
+                          : wire::Status::kOk);
+  }
+}
+
+void QueryServer::DispatchLoop() {
+  std::vector<Pending*> batch;
+  std::vector<Pending*> distance_reqs;
+  std::vector<Pending*> path_reqs;
+  while (queue_.PopBatch(&batch, options_.max_dispatch_batch)) {
+    distance_reqs.clear();
+    path_reqs.clear();
+    const auto now = std::chrono::steady_clock::now();
+    for (Pending* p : batch) {
+      // Deadline enforcement happens at dispatch: a request that already
+      // waited past its budget is shed without occupying a worker.
+      if (p->req.deadline_micros > 0) {
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - p->received)
+                .count();
+        if (waited > static_cast<int64_t>(p->req.deadline_micros)) {
+          shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+          Complete(p, wire::Status::kDeadlineExceeded);
+          continue;
+        }
+      }
+      (p->req.kind == wire::QueryKind::kPath ? path_reqs : distance_reqs)
+          .push_back(p);
+    }
+    RunSubBatch(distance_reqs, /*paths=*/false);
+    RunSubBatch(path_reqs, /*paths=*/true);
+  }
+}
+
+wire::StatsResponse QueryServer::Stats() const {
+  wire::StatsResponse s;
+  s.served = served_.load(std::memory_order_relaxed);
+  s.shed_overloaded = shed_overloaded_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.shed_draining = shed_draining_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  s.distance_count = distance_latency_.Count();
+  s.distance_p50_ns = distance_latency_.ValueAtQuantile(0.50);
+  s.distance_p99_ns = distance_latency_.ValueAtQuantile(0.99);
+  s.path_count = path_latency_.Count();
+  s.path_p50_ns = path_latency_.ValueAtQuantile(0.50);
+  s.path_p99_ns = path_latency_.ValueAtQuantile(0.99);
+  return s;
+}
+
+void QueryServer::ExportMetrics(MetricsRegistry* registry) const {
+  const wire::StatsResponse s = Stats();
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"command", "serve"}, {"method", index_.Name()}};
+  registry->Add("served", static_cast<double>(s.served), labels);
+  registry->Add("shed_overloaded", static_cast<double>(s.shed_overloaded),
+                labels);
+  registry->Add("shed_deadline", static_cast<double>(s.shed_deadline),
+                labels);
+  registry->Add("shed_draining", static_cast<double>(s.shed_draining),
+                labels);
+  registry->Add("bad_requests", static_cast<double>(s.bad_requests), labels);
+  registry->Add("connections_accepted",
+                static_cast<double>(s.connections_accepted), labels);
+  registry->Add("connections_rejected",
+                static_cast<double>(s.connections_rejected), labels);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  auto with_endpoint = [&labels](const char* endpoint) {
+    auto l = labels;
+    l.emplace_back("endpoint", endpoint);
+    return l;
+  };
+  registry->AddHistogram("latency_micros", distance_latency_, 1e-3,
+                         with_endpoint("distance"));
+  registry->AddHistogram("latency_micros", path_latency_, 1e-3,
+                         with_endpoint("path"));
+  registry->AddCounters(counters_, labels);
+}
+
+}  // namespace roadnet

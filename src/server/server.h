@@ -1,0 +1,163 @@
+#ifndef ROADNET_SERVER_SERVER_H_
+#define ROADNET_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "routing/path_index.h"
+#include "server/bounded_queue.h"
+#include "server/socket.h"
+#include "server/wire.h"
+
+namespace roadnet {
+
+struct ServerOptions {
+  uint16_t port = 0;             // 0 = ephemeral (read back via Port())
+  size_t max_connections = 64;   // accept cap; excess conns closed at once
+  size_t queue_capacity = 256;   // admission queue; full => OVERLOADED
+  size_t engine_threads = 4;     // QueryEngine worker pool size
+  size_t max_dispatch_batch = 64;  // requests per engine batch
+};
+
+// Long-running TCP front-end over one immutable PathIndex.
+//
+// Threading model (see DESIGN.md "Serving"):
+//   - one accept thread, thread-per-connection handlers (blocking reads;
+//     closed-loop clients have one request in flight per connection);
+//   - handlers validate, stamp a receipt time, and TryPush the request
+//     into a bounded queue — a full queue is answered OVERLOADED
+//     immediately (explicit load shedding, never silent buffering);
+//   - one dispatcher thread drains the queue in batches, sheds requests
+//     whose deadline already passed (DEADLINE_EXCEEDED), and feeds the
+//     rest to the QueryEngine worker pool, completing each handler's
+//     wait when its response is filled.
+//
+// Shutdown (SIGINT via RequestShutdown(), or a client SHUTDOWN frame)
+// drains: no new connections or requests are admitted (late requests get
+// SHUTTING_DOWN), everything already queued is answered, then threads
+// join. Shutdown() is idempotent and safe after a failed Start().
+class QueryServer {
+ public:
+  // The index (and the graph it was built on) must outlive the server.
+  // `technique_id` is the wire id clients must send (or kAnyTechnique);
+  // `num_vertices` bounds request validation.
+  QueryServer(const PathIndex& index, uint8_t technique_id,
+              uint32_t num_vertices, const ServerOptions& options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Binds and spawns the accept + dispatcher threads. False + *error on
+  // failure (e.g. port in use).
+  bool Start(std::string* error);
+
+  // Port actually bound (resolves port 0). Valid after Start().
+  uint16_t Port() const { return port_; }
+
+  // Marks the server draining and wakes WaitForShutdownRequest(). Called
+  // by the SHUTDOWN frame handler; safe from any thread, including the
+  // SIGINT path in roadnet_cli.
+  void RequestShutdown();
+
+  // Blocks until RequestShutdown() (or a SHUTDOWN frame) fires, at most
+  // `timeout`. Returns true once shutdown was requested. The caller —
+  // not a connection thread — then runs Shutdown().
+  bool WaitForShutdownRequest(std::chrono::milliseconds timeout);
+
+  // Drain-then-stop: stop accepting, answer everything admitted, join
+  // all threads. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  // Snapshot of the serving counters and per-endpoint latency
+  // percentiles (the STATS frame's payload). Thread-safe.
+  wire::StatsResponse Stats() const;
+
+  // Exports the snapshot plus full per-endpoint histograms into a
+  // MetricsRegistry (labels: endpoint=distance|path).
+  void ExportMetrics(MetricsRegistry* registry) const;
+
+ private:
+  // One admitted request waiting for the dispatcher. Lives on the
+  // connection handler's stack; the handler blocks on `cv` until the
+  // dispatcher fills `resp` and flips `done`.
+  struct Pending {
+    wire::QueryRequest req;
+    std::chrono::steady_clock::time_point received;
+    wire::QueryResponse resp;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  struct Connection {
+    ScopedFd fd;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* conn);
+  void DispatchLoop();
+
+  // Runs one homogeneous sub-batch (all-distance or all-path) through
+  // the engine and fills the responses.
+  void RunSubBatch(std::vector<Pending*>& reqs, bool paths);
+
+  static void Complete(Pending* p, wire::Status status);
+
+  const PathIndex& index_;
+  const uint8_t technique_id_;
+  const uint32_t num_vertices_;
+  const ServerOptions options_;
+
+  QueryEngine engine_;
+  BoundedQueue<Pending*> queue_;
+
+  ScopedFd listen_fd_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  bool started_ = false;
+
+  std::mutex conns_mu_;
+  std::list<Connection> conns_;
+
+  // Lifecycle. draining_ gates admission (connections and requests);
+  // shutdown_cv_ wakes WaitForShutdownRequest().
+  std::atomic<bool> draining_{false};
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool shutdown_done_ = false;
+
+  // Serving counters (atomics: bumped from handler threads) and
+  // per-endpoint latency histograms (dispatcher-written, mutex-guarded
+  // for STATS snapshots).
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> shed_overloaded_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> shed_draining_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  mutable std::mutex stats_mu_;
+  Histogram distance_latency_;
+  Histogram path_latency_;
+  QueryCounters counters_;  // summed over every served batch
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_SERVER_SERVER_H_

@@ -1,0 +1,66 @@
+#ifndef ROADNET_SERVER_SOCKET_H_
+#define ROADNET_SERVER_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace roadnet {
+
+// Thin RAII + framing layer over POSIX TCP sockets — just enough for the
+// query service's blocking thread-per-connection model; no event loop.
+
+// Owns a file descriptor; closes it on destruction.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Close(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a listening TCP socket bound to `port` on all interfaces
+// (port 0 picks an ephemeral port; *actual_port reports the choice).
+// Invalid ScopedFd + *error on failure.
+ScopedFd ListenTcp(uint16_t port, uint16_t* actual_port, std::string* error);
+
+// Blocking connect to host:port. Invalid ScopedFd + *error on failure.
+ScopedFd ConnectTcp(const std::string& host, uint16_t port,
+                    std::string* error);
+
+// Blocking exact-count read/write (retries on EINTR and partial
+// transfers; writes suppress SIGPIPE). ReadFull returns false on EOF or
+// error; ReadFullOrEof additionally distinguishes a clean EOF before the
+// first byte (*clean_eof), which is how a peer hangs up between frames.
+bool WriteFull(int fd, const void* data, size_t size);
+bool ReadFull(int fd, void* data, size_t size);
+bool ReadFullOrEof(int fd, void* data, size_t size, bool* clean_eof);
+
+// Frame transport: [u32 length][body] with bodies capped at `max_body`.
+// ReadFrame returns false on EOF, error, or an oversized length;
+// *clean_eof (optional) reports a clean between-frames hangup.
+bool WriteFrame(int fd, const std::string& body);
+bool ReadFrame(int fd, std::string* body, uint32_t max_body,
+               bool* clean_eof = nullptr);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_SERVER_SOCKET_H_

@@ -1,0 +1,197 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace roadnet {
+namespace wire {
+
+namespace {
+
+// Append/read little-endian scalars on a std::string buffer. The wire
+// format shares io/binary.h's little-endian-only contract.
+template <typename T>
+void Append(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+// Cursor-based reader; Take() fails (returns false) on short input.
+struct Reader {
+  const std::string& body;
+  size_t pos = 0;
+  bool ok = true;
+
+  template <typename T>
+  bool Take(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!ok || pos + sizeof(T) > body.size()) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(value, body.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+
+  // Whole body consumed, nothing trailing.
+  bool Done() const { return ok && pos == body.size(); }
+};
+
+}  // namespace
+
+// Keep in sync with server::MakeIndex (index_factory.cc): these are the
+// techniques the serve command can host.
+uint8_t TechniqueId(const std::string& name) {
+  if (name == "any") return kAnyTechnique;
+  if (name == "bidi") return 1;
+  if (name == "ch") return 2;
+  if (name == "alt") return 3;
+  return 0;
+}
+
+std::string TechniqueName(uint8_t id) {
+  switch (id) {
+    case kAnyTechnique: return "any";
+    case 1: return "bidi";
+    case 2: return "ch";
+    case 3: return "alt";
+    default: return "?";
+  }
+}
+
+const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kUnreachable: return "UNREACHABLE";
+    case Status::kBadRequest: return "BAD_REQUEST";
+    case Status::kOverloaded: return "OVERLOADED";
+    case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case Status::kShuttingDown: return "SHUTTING_DOWN";
+  }
+  return "?";
+}
+
+std::string EncodeQueryRequest(const QueryRequest& req) {
+  std::string body;
+  body.reserve(1 + 1 + 1 + 4 + 4 + 8);
+  Append<uint8_t>(&body, kQuery);
+  Append<uint8_t>(&body, req.technique);
+  Append<uint8_t>(&body, static_cast<uint8_t>(req.kind));
+  Append<uint32_t>(&body, req.source);
+  Append<uint32_t>(&body, req.target);
+  Append<uint64_t>(&body, req.deadline_micros);
+  return body;
+}
+
+std::optional<QueryRequest> DecodeQueryRequest(const std::string& body) {
+  Reader r{body};
+  uint8_t type = 0, kind = 0;
+  QueryRequest req;
+  r.Take(&type);
+  r.Take(&req.technique);
+  r.Take(&kind);
+  r.Take(&req.source);
+  r.Take(&req.target);
+  r.Take(&req.deadline_micros);
+  if (!r.Done() || type != kQuery || kind > 1) return std::nullopt;
+  req.kind = static_cast<QueryKind>(kind);
+  return req;
+}
+
+std::string EncodeQueryResponse(const QueryResponse& resp) {
+  std::string body;
+  body.reserve(1 + 1 + 8 + 8 + 4 + resp.path.size() * sizeof(VertexId));
+  Append<uint8_t>(&body, kQueryReply);
+  Append<uint8_t>(&body, static_cast<uint8_t>(resp.status));
+  Append<uint64_t>(&body, resp.distance);
+  Append<uint64_t>(&body, resp.server_latency_ns);
+  Append<uint32_t>(&body, static_cast<uint32_t>(resp.path.size()));
+  for (VertexId v : resp.path) Append<uint32_t>(&body, v);
+  return body;
+}
+
+std::optional<QueryResponse> DecodeQueryResponse(const std::string& body) {
+  Reader r{body};
+  uint8_t type = 0, status = 0;
+  QueryResponse resp;
+  uint32_t path_len = 0;
+  r.Take(&type);
+  r.Take(&status);
+  r.Take(&resp.distance);
+  r.Take(&resp.server_latency_ns);
+  r.Take(&path_len);
+  if (!r.ok || type != kQueryReply ||
+      status > static_cast<uint8_t>(Status::kShuttingDown)) {
+    return std::nullopt;
+  }
+  // The remaining bytes must be exactly the declared path.
+  if (body.size() - r.pos != size_t{path_len} * sizeof(uint32_t)) {
+    return std::nullopt;
+  }
+  resp.status = static_cast<Status>(status);
+  resp.path.resize(path_len);
+  for (uint32_t i = 0; i < path_len; ++i) r.Take(&resp.path[i]);
+  if (!r.Done()) return std::nullopt;
+  return resp;
+}
+
+std::string EncodeStatsRequest() { return std::string(1, char(kStats)); }
+
+std::string EncodeStatsResponse(const StatsResponse& stats) {
+  std::string body;
+  Append<uint8_t>(&body, kStatsReply);
+  Append<uint64_t>(&body, stats.served);
+  Append<uint64_t>(&body, stats.shed_overloaded);
+  Append<uint64_t>(&body, stats.shed_deadline);
+  Append<uint64_t>(&body, stats.shed_draining);
+  Append<uint64_t>(&body, stats.bad_requests);
+  Append<uint64_t>(&body, stats.connections_accepted);
+  Append<uint64_t>(&body, stats.connections_rejected);
+  Append<uint64_t>(&body, stats.distance_count);
+  Append<uint64_t>(&body, stats.distance_p50_ns);
+  Append<uint64_t>(&body, stats.distance_p99_ns);
+  Append<uint64_t>(&body, stats.path_count);
+  Append<uint64_t>(&body, stats.path_p50_ns);
+  Append<uint64_t>(&body, stats.path_p99_ns);
+  return body;
+}
+
+std::optional<StatsResponse> DecodeStatsResponse(const std::string& body) {
+  Reader r{body};
+  uint8_t type = 0;
+  StatsResponse s;
+  r.Take(&type);
+  r.Take(&s.served);
+  r.Take(&s.shed_overloaded);
+  r.Take(&s.shed_deadline);
+  r.Take(&s.shed_draining);
+  r.Take(&s.bad_requests);
+  r.Take(&s.connections_accepted);
+  r.Take(&s.connections_rejected);
+  r.Take(&s.distance_count);
+  r.Take(&s.distance_p50_ns);
+  r.Take(&s.distance_p99_ns);
+  r.Take(&s.path_count);
+  r.Take(&s.path_p50_ns);
+  r.Take(&s.path_p99_ns);
+  if (!r.Done() || type != kStatsReply) return std::nullopt;
+  return s;
+}
+
+std::string EncodeShutdownRequest() {
+  return std::string(1, char(kShutdown));
+}
+
+std::string EncodeShutdownResponse() {
+  return std::string(1, char(kShutdownReply));
+}
+
+std::optional<MessageType> PeekType(const std::string& body) {
+  if (body.empty()) return std::nullopt;
+  const uint8_t t = static_cast<uint8_t>(body[0]);
+  if (t < kQuery || t > kShutdownReply) return std::nullopt;
+  return static_cast<MessageType>(t);
+}
+
+}  // namespace wire
+}  // namespace roadnet

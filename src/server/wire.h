@@ -1,0 +1,132 @@
+#ifndef ROADNET_SERVER_WIRE_H_
+#define ROADNET_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace roadnet {
+namespace wire {
+
+// Compact length-prefixed binary wire protocol of the query service.
+//
+// Every frame is [u32 body_length][body]; the body starts with a u8
+// message type followed by the type's fixed layout (all integers
+// little-endian, matching io/binary.h). The protocol is strict
+// request-reply: a client sends QUERY / STATS / SHUTDOWN frames and
+// reads exactly one reply frame per request.
+//
+//   QUERY          u8 technique, u8 kind, u32 source, u32 target,
+//                  u64 deadline_micros (0 = none, measured from receipt)
+//   QUERY_REPLY    u8 status, u64 distance, u64 server_latency_ns,
+//                  u32 path_len, u32 vertex * path_len
+//   STATS          (empty)
+//   STATS_REPLY    ServerStatsWire (fixed u64 fields, see below)
+//   SHUTDOWN       (empty; admin request: ack, then drain the server)
+//   SHUTDOWN_REPLY (empty)
+//
+// Frame bodies are capped (kMaxFrameBytes) so a corrupt or hostile
+// length prefix cannot trigger an unbounded allocation.
+
+enum MessageType : uint8_t {
+  kQuery = 1,
+  kStats = 2,
+  kShutdown = 3,
+  kQueryReply = 4,
+  kStatsReply = 5,
+  kShutdownReply = 6,
+};
+
+enum class QueryKind : uint8_t {
+  kDistance = 0,
+  kPath = 1,
+};
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kUnreachable = 1,
+  // Malformed request: vertex id out of range, bad kind, or a technique
+  // id the server does not serve.
+  kBadRequest = 2,
+  // Load shed at admission: the bounded request queue was full.
+  kOverloaded = 3,
+  // Load shed at dispatch: the request waited in the queue past its
+  // deadline and was dropped without running.
+  kDeadlineExceeded = 4,
+  // The server is draining; this request was not admitted.
+  kShuttingDown = 5,
+};
+
+// Technique ids carried in QUERY frames. kAnyTechnique matches whatever
+// index the server was started with; a specific id is validated against
+// it so a client cannot silently read answers from the wrong index.
+inline constexpr uint8_t kAnyTechnique = 0;
+uint8_t TechniqueId(const std::string& name);    // 0 = unknown
+std::string TechniqueName(uint8_t id);           // "?" = unknown
+
+const char* StatusName(Status s);
+
+struct QueryRequest {
+  uint8_t technique = kAnyTechnique;
+  QueryKind kind = QueryKind::kDistance;
+  VertexId source = 0;
+  VertexId target = 0;
+  uint64_t deadline_micros = 0;
+};
+
+struct QueryResponse {
+  Status status = Status::kOk;
+  Distance distance = 0;
+  // Receipt-to-completion time on the server (includes queueing).
+  uint64_t server_latency_ns = 0;
+  std::vector<VertexId> path;  // filled for kPath queries that succeed
+};
+
+// STATS_REPLY payload: the server's lifetime counters and latency
+// percentiles, all u64 (percentiles in nanoseconds).
+struct StatsResponse {
+  uint64_t served = 0;            // queries answered kOk / kUnreachable
+  uint64_t shed_overloaded = 0;   // rejected with kOverloaded
+  uint64_t shed_deadline = 0;     // rejected with kDeadlineExceeded
+  uint64_t shed_draining = 0;     // rejected with kShuttingDown
+  uint64_t bad_requests = 0;      // rejected with kBadRequest
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;  // closed at the connection cap
+  uint64_t distance_count = 0;
+  uint64_t distance_p50_ns = 0;
+  uint64_t distance_p99_ns = 0;
+  uint64_t path_count = 0;
+  uint64_t path_p50_ns = 0;
+  uint64_t path_p99_ns = 0;
+};
+
+// Upper bound on a frame body. Large enough for a path response over
+// any graph this repo handles (16M vertices * 4 bytes), small enough to
+// bound a malicious length prefix.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// --- Body encoding (the returned string excludes the length prefix) ---
+
+std::string EncodeQueryRequest(const QueryRequest& req);
+std::string EncodeQueryResponse(const QueryResponse& resp);
+std::string EncodeStatsRequest();
+std::string EncodeStatsResponse(const StatsResponse& stats);
+std::string EncodeShutdownRequest();
+std::string EncodeShutdownResponse();
+
+// --- Body decoding. nullopt on short/trailing bytes or a bad type. ---
+
+// Peeks the message type of a body (nullopt when empty).
+std::optional<MessageType> PeekType(const std::string& body);
+
+std::optional<QueryRequest> DecodeQueryRequest(const std::string& body);
+std::optional<QueryResponse> DecodeQueryResponse(const std::string& body);
+std::optional<StatsResponse> DecodeStatsResponse(const std::string& body);
+
+}  // namespace wire
+}  // namespace roadnet
+
+#endif  // ROADNET_SERVER_WIRE_H_

@@ -1,0 +1,121 @@
+// Edge cases of QueryEngine batch shapes that the network query service
+// exercises constantly: empty batches, micro-batches far smaller than the
+// worker pool, and single-worker pools. Each must complete without
+// deadlock and produce the same answers and merged stats a sequential
+// loop over one context would.
+
+#include "engine/query_engine.h"
+
+#include <utility>
+#include <vector>
+
+#include "dijkstra/bidirectional.h"
+#include "dijkstra/dijkstra.h"
+#include "tests/test_util.h"
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+TEST(EngineEdge, EmptyBatchCompletes) {
+  const Graph g = TestNetwork(200, 3);
+  BidirectionalDijkstra index(g);
+  QueryEngine engine(index, 4);
+  const std::vector<std::pair<VertexId, VertexId>> queries;
+  const BatchResult result = engine.Run(queries);
+  EXPECT_TRUE(result.distances.empty());
+  EXPECT_TRUE(result.paths.empty());
+  EXPECT_EQ(result.stats.num_queries, 0u);
+  EXPECT_EQ(result.stats.counters.vertices_settled, 0u);
+  EXPECT_EQ(result.latency.Count(), 0u);
+  // The engine must stay usable after an empty batch.
+  const auto follow_up = RandomPairs(g, 10, 5);
+  EXPECT_EQ(engine.Run(follow_up).distances.size(), follow_up.size());
+}
+
+TEST(EngineEdge, BatchSmallerThanWorkerPool) {
+  const Graph g = TestNetwork(300, 7);
+  BidirectionalDijkstra index(g);
+  QueryEngine engine(index, 8);  // 8 workers, 3 queries
+  const auto queries = RandomPairs(g, 3, 11);
+  const BatchResult result = engine.Run(queries);
+  ASSERT_EQ(result.distances.size(), 3u);
+  Dijkstra oracle(g);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(result.distances[i],
+              oracle.Run(queries[i].first, queries[i].second));
+  }
+  EXPECT_EQ(result.stats.num_queries, 3u);
+  EXPECT_EQ(result.latency.Count(), 3u);
+}
+
+TEST(EngineEdge, SingleQuerySingleWorker) {
+  const Graph g = TestNetwork(200, 9);
+  BidirectionalDijkstra index(g);
+  QueryEngine engine(index, 1);
+  const auto queries = RandomPairs(g, 1, 13);
+  const BatchResult result = engine.Run(queries);
+  ASSERT_EQ(result.distances.size(), 1u);
+  Dijkstra oracle(g);
+  EXPECT_EQ(result.distances[0],
+            oracle.Run(queries[0].first, queries[0].second));
+}
+
+// A single-worker engine's merged stats must equal what a sequential
+// loop over one context accumulates — the pool adds concurrency, never
+// different work.
+TEST(EngineEdge, SingleWorkerStatsMatchSequentialLoop) {
+  const Graph g = TestNetwork(400, 17);
+  BidirectionalDijkstra index(g);
+  const auto queries = RandomPairs(g, 100, 19);
+
+  QueryEngine engine(index, 1);
+  const BatchResult result = engine.Run(queries);
+  ASSERT_EQ(result.distances.size(), queries.size());
+  EXPECT_EQ(result.stats.num_threads, 1u);
+  EXPECT_EQ(result.stats.stolen_chunks, 0u);  // nobody to steal from
+  EXPECT_EQ(result.latency.Count(), queries.size());
+
+  QueryCounters sequential;
+  auto ctx = index.NewContext();
+  for (auto [s, t] : queries) {
+    const Distance d = index.DistanceQuery(ctx.get(), s, t);
+    sequential += ctx->counters;
+    (void)d;
+  }
+  EXPECT_EQ(result.stats.counters.vertices_settled, sequential.vertices_settled);
+  EXPECT_EQ(result.stats.counters.edges_relaxed, sequential.edges_relaxed);
+  EXPECT_EQ(result.stats.counters.heap_pushes, sequential.heap_pushes);
+}
+
+// Stats merging across many workers: per-query counter sums must be
+// independent of the worker count and chunking.
+TEST(EngineEdge, MergedCountersIndependentOfWorkerCount) {
+  const Graph g = TestNetwork(400, 21);
+  BidirectionalDijkstra index(g);
+  const auto queries = RandomPairs(g, 64, 23);
+
+  QueryEngine one(index, 1);
+  QueryEngine many(index, 8);
+  const BatchResult a = one.Run(queries);
+  const BatchResult b = many.Run(queries);
+  EXPECT_EQ(a.distances, b.distances);
+  EXPECT_EQ(a.stats.counters.vertices_settled, b.stats.counters.vertices_settled);
+  EXPECT_EQ(a.stats.counters.edges_relaxed, b.stats.counters.edges_relaxed);
+  EXPECT_EQ(a.stats.counters.heap_pushes, b.stats.counters.heap_pushes);
+  EXPECT_EQ(b.latency.Count(), queries.size());
+}
+
+TEST(EngineEdge, RepeatedSmallBatchesDoNotDeadlock) {
+  const Graph g = TestNetwork(200, 25);
+  BidirectionalDijkstra index(g);
+  QueryEngine engine(index, 4);
+  for (int round = 0; round < 50; ++round) {
+    const auto queries = RandomPairs(g, round % 3, 31 + round);
+    const BatchResult result = engine.Run(queries);
+    EXPECT_EQ(result.distances.size(), queries.size());
+  }
+}
+
+}  // namespace
+}  // namespace roadnet

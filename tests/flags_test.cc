@@ -1,0 +1,84 @@
+#include "util/flags.h"
+
+#include <array>
+
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+// argv helper: builds a mutable char* array from string literals.
+template <size_t N>
+std::optional<FlagMap> Parse(std::array<const char*, N> args,
+                             const FlagSpec& spec, std::string* error) {
+  return ParseFlags(static_cast<int>(N),
+                    const_cast<char* const*>(args.data()), 0, spec, error);
+}
+
+const FlagSpec kSpec{{"graph", "out", "metrics-out", "seed"}, {"path", "v"}};
+
+TEST(Flags, ParsesValuedAndBooleanInAnyOrder) {
+  std::string error;
+  auto flags = Parse(std::array{"--graph", "g.bin", "--path", "--seed", "7"},
+                     kSpec, &error);
+  ASSERT_TRUE(flags.has_value()) << error;
+  EXPECT_EQ((*flags)["graph"], "g.bin");
+  EXPECT_EQ((*flags)["path"], "1");
+  EXPECT_EQ((*flags)["seed"], "7");
+  EXPECT_EQ(flags->count("out"), 0u);
+
+  flags = Parse(std::array{"--path", "--graph", "g.bin"}, kSpec, &error);
+  ASSERT_TRUE(flags.has_value()) << error;
+  EXPECT_EQ((*flags)["graph"], "g.bin");
+}
+
+TEST(Flags, RejectsUnknownFlag) {
+  std::string error;
+  // The motivating typo: --metrics-ouT used to be silently ignored.
+  auto flags = Parse(std::array{"--graph", "g.bin", "--metrics-ouT", "m.csv"},
+                     kSpec, &error);
+  EXPECT_FALSE(flags.has_value());
+  EXPECT_NE(error.find("--metrics-ouT"), std::string::npos) << error;
+}
+
+TEST(Flags, RejectsMissingValue) {
+  std::string error;
+  auto flags = Parse(std::array{"--path", "--graph"}, kSpec, &error);
+  EXPECT_FALSE(flags.has_value());
+  EXPECT_NE(error.find("--graph"), std::string::npos) << error;
+  EXPECT_NE(error.find("value"), std::string::npos) << error;
+}
+
+TEST(Flags, RejectsStrayPositional) {
+  std::string error;
+  auto flags = Parse(std::array{"--graph", "g.bin", "oops"}, kSpec, &error);
+  EXPECT_FALSE(flags.has_value());
+  EXPECT_NE(error.find("oops"), std::string::npos) << error;
+}
+
+TEST(Flags, RejectsDuplicateFlag) {
+  std::string error;
+  auto flags =
+      Parse(std::array{"--graph", "a", "--graph", "b"}, kSpec, &error);
+  EXPECT_FALSE(flags.has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(Flags, ValuedFlagMayConsumeDashValue) {
+  // A valued flag always consumes the next token, even if it looks like
+  // a flag — the spec, not a lookahead heuristic, decides arity.
+  std::string error;
+  auto flags = Parse(std::array{"--out", "--weird-name"}, kSpec, &error);
+  ASSERT_TRUE(flags.has_value()) << error;
+  EXPECT_EQ((*flags)["out"], "--weird-name");
+}
+
+TEST(Flags, EmptyLineParsesToEmptyMap) {
+  std::string error;
+  auto flags = ParseFlags(0, nullptr, 0, kSpec, &error);
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_TRUE(flags->empty());
+}
+
+}  // namespace
+}  // namespace roadnet

@@ -61,6 +61,60 @@ TEST(GraphSerialization, RejectsTruncation) {
   }
 }
 
+TEST(GraphSerialization, RejectsEverySingleByteFlip) {
+  Graph g = TestNetwork(120, 17);
+  std::stringstream buffer;
+  WriteGraph(g, buffer);
+  const std::string full = buffer.str();
+  // A flip anywhere — magic, version, length, payload, or the CRC32
+  // trailer itself — must be rejected, never parsed into a graph.
+  for (size_t i = 0; i < full.size(); ++i) {
+    std::string corrupt = full;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    std::stringstream in(corrupt);
+    std::string error;
+    EXPECT_FALSE(ReadGraph(in, &error).has_value()) << "flip at byte " << i;
+    EXPECT_FALSE(error.empty()) << "flip at byte " << i;
+  }
+}
+
+TEST(GraphSerialization, ChecksumErrorIsDescriptive) {
+  Graph g = TestNetwork(120, 18);
+  std::stringstream buffer;
+  WriteGraph(g, buffer);
+  std::string corrupt = buffer.str();
+  corrupt[corrupt.size() / 2] ^= 0x01;  // one bit, mid-payload
+  std::stringstream in(corrupt);
+  std::string error;
+  EXPECT_FALSE(ReadGraph(in, &error).has_value());
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(ChSerialization, RejectsEverySingleByteFlip) {
+  Graph g = TestNetwork(150, 19);
+  ChIndex ch(g);
+  std::stringstream buffer;
+  ch.Serialize(buffer);
+  const std::string full = buffer.str();
+  // Stride through the file (it is larger than a graph file); every
+  // sampled flip plus the first and last 64 bytes must be rejected.
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < full.size(); i += 13) positions.push_back(i);
+  for (size_t i = 0; i < 64 && i < full.size(); ++i) {
+    positions.push_back(i);
+    positions.push_back(full.size() - 1 - i);
+  }
+  for (size_t i : positions) {
+    std::string corrupt = full;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    std::stringstream in(corrupt);
+    std::string error;
+    EXPECT_EQ(ChIndex::Deserialize(g, in, &error), nullptr)
+        << "flip at byte " << i;
+    EXPECT_FALSE(error.empty()) << "flip at byte " << i;
+  }
+}
+
 TEST(ChSerialization, RoundTripPreservesAnswers) {
   Graph g = TestNetwork(700, 13);
   ChIndex original(g);

@@ -1,0 +1,439 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ch/ch_index.h"
+#include "dijkstra/bidirectional.h"
+#include "server/bounded_queue.h"
+#include "server/client.h"
+#include "server/wire.h"
+#include "tests/test_util.h"
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+// --- Wire protocol round trips ---
+
+TEST(Wire, QueryRequestRoundTrips) {
+  wire::QueryRequest req;
+  req.technique = wire::TechniqueId("ch");
+  req.kind = wire::QueryKind::kPath;
+  req.source = 12345;
+  req.target = 67890;
+  req.deadline_micros = 2500;
+  const std::string body = wire::EncodeQueryRequest(req);
+  EXPECT_EQ(wire::PeekType(body), wire::kQuery);
+  const auto decoded = wire::DecodeQueryRequest(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->technique, req.technique);
+  EXPECT_EQ(decoded->kind, req.kind);
+  EXPECT_EQ(decoded->source, req.source);
+  EXPECT_EQ(decoded->target, req.target);
+  EXPECT_EQ(decoded->deadline_micros, req.deadline_micros);
+}
+
+TEST(Wire, QueryResponseRoundTripsWithPath) {
+  wire::QueryResponse resp;
+  resp.status = wire::Status::kOk;
+  resp.distance = 424242;
+  resp.server_latency_ns = 987654321;
+  resp.path = {1, 5, 9, 2};
+  const std::string body = wire::EncodeQueryResponse(resp);
+  const auto decoded = wire::DecodeQueryResponse(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, resp.status);
+  EXPECT_EQ(decoded->distance, resp.distance);
+  EXPECT_EQ(decoded->server_latency_ns, resp.server_latency_ns);
+  EXPECT_EQ(decoded->path, resp.path);
+}
+
+TEST(Wire, StatsResponseRoundTrips) {
+  wire::StatsResponse stats;
+  stats.served = 10;
+  stats.shed_overloaded = 2;
+  stats.shed_deadline = 3;
+  stats.distance_count = 9;
+  stats.distance_p99_ns = 123456;
+  stats.path_p50_ns = 789;
+  const std::string body = wire::EncodeStatsResponse(stats);
+  const auto decoded = wire::DecodeStatsResponse(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->served, stats.served);
+  EXPECT_EQ(decoded->shed_overloaded, stats.shed_overloaded);
+  EXPECT_EQ(decoded->shed_deadline, stats.shed_deadline);
+  EXPECT_EQ(decoded->distance_count, stats.distance_count);
+  EXPECT_EQ(decoded->distance_p99_ns, stats.distance_p99_ns);
+  EXPECT_EQ(decoded->path_p50_ns, stats.path_p50_ns);
+}
+
+TEST(Wire, RejectsTruncatedAndTrailingBytes) {
+  wire::QueryRequest req;
+  std::string body = wire::EncodeQueryRequest(req);
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(
+        wire::DecodeQueryRequest(body.substr(0, cut)).has_value())
+        << "cut " << cut;
+  }
+  EXPECT_FALSE(wire::DecodeQueryRequest(body + "x").has_value());
+
+  wire::QueryResponse resp;
+  resp.path = {1, 2, 3};
+  std::string rbody = wire::EncodeQueryResponse(resp);
+  // Declared path length no longer matches the remaining bytes.
+  EXPECT_FALSE(
+      wire::DecodeQueryResponse(rbody.substr(0, rbody.size() - 4))
+          .has_value());
+  EXPECT_FALSE(wire::DecodeQueryResponse(rbody + "zzzz").has_value());
+}
+
+TEST(Wire, TechniqueIdsRoundTrip) {
+  for (const char* name : {"any", "bidi", "ch", "alt"}) {
+    EXPECT_EQ(wire::TechniqueName(wire::TechniqueId(name)), name);
+  }
+  EXPECT_EQ(wire::TechniqueId("no-such-technique"), wire::kAnyTechnique);
+}
+
+// --- Bounded queue semantics ---
+
+TEST(BoundedQueue, ShedsWhenFullAndDrainsAfterClose) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full => immediate shed
+  std::vector<int> batch;
+  EXPECT_TRUE(q.PopBatch(&batch, 10));
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.TryPush(4));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(5));  // closed => rejected
+  EXPECT_TRUE(q.PopBatch(&batch, 10));  // admitted before Close: drained
+  EXPECT_EQ(batch, (std::vector<int>{4}));
+  EXPECT_FALSE(q.PopBatch(&batch, 10));  // closed + empty: consumer exits
+}
+
+TEST(BoundedQueue, PopBatchRespectsLimit) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.TryPush(i));
+  std::vector<int> batch;
+  EXPECT_TRUE(q.PopBatch(&batch, 3));
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(q.PopBatch(&batch, 3));
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+// --- End-to-end over loopback ---
+
+// An index whose every query takes a configurable wall time: makes
+// queue-full, deadline, and drain interleavings deterministic.
+class SlowIndex : public PathIndex {
+ public:
+  SlowIndex(const Graph& g, std::chrono::milliseconds delay)
+      : inner_(g), delay_(delay) {}
+
+  std::string Name() const override { return "SlowBiDi"; }
+  std::unique_ptr<QueryContext> NewContext() const override {
+    return inner_.NewContext();
+  }
+  Distance DistanceQuery(QueryContext* ctx, VertexId s,
+                         VertexId t) const override {
+    std::this_thread::sleep_for(delay_);
+    return inner_.DistanceQuery(ctx, s, t);
+  }
+  Path PathQuery(QueryContext* ctx, VertexId s, VertexId t) const override {
+    std::this_thread::sleep_for(delay_);
+    return inner_.PathQuery(ctx, s, t);
+  }
+  size_t IndexBytes() const override { return inner_.IndexBytes(); }
+
+ private:
+  BidirectionalDijkstra inner_;
+  std::chrono::milliseconds delay_;
+};
+
+std::unique_ptr<BlockingClient> MustConnect(uint16_t port) {
+  std::string error;
+  auto client = BlockingClient::Connect("127.0.0.1", port, &error);
+  EXPECT_NE(client, nullptr) << error;
+  return client;
+}
+
+TEST(QueryServer, AnswersDistanceAndPathQueriesCorrectly) {
+  const Graph g = TestNetwork(400, 3);
+  ChIndex ch(g);
+  QueryServer server(ch, wire::TechniqueId("ch"), g.NumVertices(), {});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  auto client = MustConnect(server.Port());
+  ASSERT_NE(client, nullptr);
+  Dijkstra oracle(g);
+  for (auto [s, t] : RandomPairs(g, 50, 23)) {
+    const Distance truth = oracle.Run(s, t);
+    wire::QueryRequest req;
+    req.source = s;
+    req.target = t;
+    wire::QueryResponse resp;
+    ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+    if (truth == kInfDistance) {
+      EXPECT_EQ(resp.status, wire::Status::kUnreachable);
+    } else {
+      EXPECT_EQ(resp.status, wire::Status::kOk);
+      EXPECT_EQ(resp.distance, truth);
+      EXPECT_TRUE(resp.path.empty());  // distance queries carry no path
+    }
+
+    req.kind = wire::QueryKind::kPath;
+    ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+    if (truth != kInfDistance) {
+      ASSERT_EQ(resp.status, wire::Status::kOk);
+      ASSERT_FALSE(resp.path.empty());
+      EXPECT_EQ(resp.path.front(), s);
+      EXPECT_EQ(resp.path.back(), t);
+      EXPECT_TRUE(IsValidPath(g, resp.path));
+      EXPECT_EQ(PathWeight(g, resp.path), truth);
+    }
+  }
+  server.Shutdown();
+}
+
+TEST(QueryServer, RejectsBadRequests) {
+  const Graph g = TestNetwork(200, 5);
+  BidirectionalDijkstra index(g);
+  QueryServer server(index, wire::TechniqueId("bidi"), g.NumVertices(), {});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto client = MustConnect(server.Port());
+  ASSERT_NE(client, nullptr);
+
+  wire::QueryRequest req;
+  req.source = g.NumVertices();  // out of range
+  req.target = 0;
+  wire::QueryResponse resp;
+  ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kBadRequest);
+
+  req.source = 0;
+  req.technique = wire::TechniqueId("ch");  // server hosts bidi
+  ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kBadRequest);
+
+  // kAnyTechnique matches whatever the server hosts.
+  req.technique = wire::kAnyTechnique;
+  ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+  EXPECT_NE(resp.status, wire::Status::kBadRequest);
+
+  const wire::StatsResponse stats = server.Stats();
+  EXPECT_EQ(stats.bad_requests, 2u);
+  server.Shutdown();
+}
+
+TEST(QueryServer, ShedsWithOverloadedWhenQueueFull) {
+  const Graph g = TestNetwork(100, 7);
+  SlowIndex slow(g, std::chrono::milliseconds(300));
+  ServerOptions options;
+  options.queue_capacity = 1;
+  options.engine_threads = 1;
+  options.max_dispatch_batch = 1;
+  QueryServer server(slow, wire::kAnyTechnique, g.NumVertices(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const uint16_t port = server.Port();
+
+  // First query occupies the engine; the dispatcher pops it almost
+  // immediately, leaving the queue empty for the second.
+  std::thread first([&] {
+    auto c = MustConnect(port);
+    if (c == nullptr) return;
+    wire::QueryRequest req;
+    wire::QueryResponse resp;
+    std::string err;
+    EXPECT_TRUE(c->Query(req, &resp, &err)) << err;
+    EXPECT_EQ(resp.status, wire::Status::kOk);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Second query sits in the queue (capacity 1) while the engine sleeps.
+  std::thread second([&] {
+    auto c = MustConnect(port);
+    if (c == nullptr) return;
+    wire::QueryRequest req;
+    wire::QueryResponse resp;
+    std::string err;
+    EXPECT_TRUE(c->Query(req, &resp, &err)) << err;
+    EXPECT_EQ(resp.status, wire::Status::kOk);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Third arrives with the queue full: explicit OVERLOADED, immediately.
+  auto c3 = MustConnect(port);
+  ASSERT_NE(c3, nullptr);
+  wire::QueryRequest req;
+  wire::QueryResponse resp;
+  ASSERT_TRUE(c3->Query(req, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kOverloaded);
+
+  first.join();
+  second.join();
+  EXPECT_GE(server.Stats().shed_overloaded, 1u);
+  server.Shutdown();
+}
+
+TEST(QueryServer, ShedsQueuedRequestsPastTheirDeadline) {
+  const Graph g = TestNetwork(100, 9);
+  SlowIndex slow(g, std::chrono::milliseconds(300));
+  ServerOptions options;
+  options.engine_threads = 1;
+  options.max_dispatch_batch = 1;
+  QueryServer server(slow, wire::kAnyTechnique, g.NumVertices(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const uint16_t port = server.Port();
+
+  // Occupy the engine for 300ms.
+  std::thread occupant([&] {
+    auto c = MustConnect(port);
+    if (c == nullptr) return;
+    wire::QueryRequest req;
+    wire::QueryResponse resp;
+    std::string err;
+    EXPECT_TRUE(c->Query(req, &resp, &err)) << err;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // This request waits ~200ms in the queue but only budgets 10ms: the
+  // dispatcher sheds it without running it.
+  auto c2 = MustConnect(port);
+  ASSERT_NE(c2, nullptr);
+  wire::QueryRequest req;
+  req.deadline_micros = 10000;
+  wire::QueryResponse resp;
+  ASSERT_TRUE(c2->Query(req, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kDeadlineExceeded);
+
+  occupant.join();
+  EXPECT_GE(server.Stats().shed_deadline, 1u);
+  server.Shutdown();
+}
+
+TEST(QueryServer, DrainsInFlightRequestsOnShutdown) {
+  const Graph g = TestNetwork(100, 11);
+  SlowIndex slow(g, std::chrono::milliseconds(200));
+  ServerOptions options;
+  options.engine_threads = 1;
+  QueryServer server(slow, wire::kAnyTechnique, g.NumVertices(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const uint16_t port = server.Port();
+
+  // A request that will still be running when the drain starts.
+  std::thread in_flight([&] {
+    auto c = MustConnect(port);
+    if (c == nullptr) return;
+    wire::QueryRequest req;
+    wire::QueryResponse resp;
+    std::string err;
+    // Drain must answer this, not drop it.
+    EXPECT_TRUE(c->Query(req, &resp, &err)) << err;
+    EXPECT_TRUE(resp.status == wire::Status::kOk ||
+                resp.status == wire::Status::kUnreachable)
+        << wire::StatusName(resp.status);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Admin hangs up the server mid-query.
+  auto admin = MustConnect(port);
+  ASSERT_NE(admin, nullptr);
+  ASSERT_TRUE(admin->SendShutdown(&error)) << error;
+  EXPECT_TRUE(
+      server.WaitForShutdownRequest(std::chrono::milliseconds(2000)));
+
+  // New requests on the draining server are refused explicitly (until
+  // Shutdown() closes the connections).
+  wire::QueryRequest req;
+  wire::QueryResponse resp;
+  if (admin->Query(req, &resp, &error)) {
+    EXPECT_EQ(resp.status, wire::Status::kShuttingDown);
+  }
+
+  server.Shutdown();
+  in_flight.join();
+}
+
+TEST(QueryServer, StatsCountServedQueries) {
+  const Graph g = TestNetwork(200, 13);
+  BidirectionalDijkstra index(g);
+  QueryServer server(index, wire::kAnyTechnique, g.NumVertices(), {});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto client = MustConnect(server.Port());
+  ASSERT_NE(client, nullptr);
+  for (auto [s, t] : RandomPairs(g, 20, 31)) {
+    wire::QueryRequest req;
+    req.source = s;
+    req.target = t;
+    wire::QueryResponse resp;
+    ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+  }
+  wire::StatsResponse stats;
+  ASSERT_TRUE(client->GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.served, 20u);
+  EXPECT_EQ(stats.distance_count, 20u);
+  EXPECT_EQ(stats.path_count, 0u);
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  server.Shutdown();
+}
+
+TEST(QueryServer, EnforcesConnectionCap) {
+  const Graph g = TestNetwork(100, 17);
+  BidirectionalDijkstra index(g);
+  ServerOptions options;
+  options.max_connections = 2;
+  QueryServer server(index, wire::kAnyTechnique, g.NumVertices(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  auto c1 = MustConnect(server.Port());
+  auto c2 = MustConnect(server.Port());
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c2, nullptr);
+  // Keep both counted: run one query each so the handlers are live.
+  wire::QueryRequest req;
+  wire::QueryResponse resp;
+  ASSERT_TRUE(c1->Query(req, &resp, &error)) << error;
+  ASSERT_TRUE(c2->Query(req, &resp, &error)) << error;
+
+  // The third connection is accepted by the kernel but closed by the
+  // server at the cap: its first round trip fails.
+  auto c3 = BlockingClient::Connect("127.0.0.1", server.Port(), &error);
+  bool rejected = c3 == nullptr;
+  if (!rejected) {
+    rejected = !c3->Query(req, &resp, &error);
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_GE(server.Stats().connections_rejected, 1u);
+  server.Shutdown();
+}
+
+TEST(QueryServer, ShutdownIsIdempotentAndSafeWithoutStart) {
+  const Graph g = TestNetwork(100, 19);
+  BidirectionalDijkstra index(g);
+  {
+    QueryServer server(index, wire::kAnyTechnique, g.NumVertices(), {});
+    server.Shutdown();  // never started
+    server.Shutdown();
+  }
+  {
+    QueryServer server(index, wire::kAnyTechnique, g.NumVertices(), {});
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    server.Shutdown();
+    server.Shutdown();  // idempotent
+  }  // destructor runs Shutdown() again
+}
+
+}  // namespace
+}  // namespace roadnet

@@ -12,11 +12,21 @@
 //   roadnet_cli batch-query --graph graph.bin --index index.ch
 //                          (--queries FILE | --random N [--seed S])
 //                          [--threads T] [--paths] [--metrics-out FILE]
+//   roadnet_cli serve      --graph graph.bin [--index index.ch]
+//                          [--technique bidi|ch|alt] [--port P]
+//                          [--port-file FILE] [--threads T]
+//                          [--queue-cap N] [--max-conns N]
+//                          [--metrics-out FILE]
+//
+// Unknown flags are errors (util/flags.h), so typos fail loudly instead
+// of being silently ignored.
 //
 // --metrics-out snapshots the run's metrics (latency percentiles,
 // operation counters) to FILE: JSONL by default, CSV if FILE ends in
 // ".csv". scripts/validate_metrics.py schema-checks the JSONL form.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +43,10 @@
 #include "graph/generator.h"
 #include "io/serialize.h"
 #include "obs/metrics.h"
+#include "server/index_factory.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -40,30 +54,11 @@ namespace {
 
 using namespace roadnet;
 
-// Minimal --flag value parser; flags map to their following argument.
-// A flag whose next token is another flag (or the end of the line) is
-// boolean (e.g. --path) and maps to "1", so valued and boolean flags can
-// appear in any order.
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int first) {
-  std::map<std::string, std::string> flags;
-  for (int i = first; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--", 2) != 0) continue;
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      flags[argv[i] + 2] = argv[i + 1];
-      ++i;
-    } else {
-      flags[argv[i] + 2] = "1";
-    }
-  }
-  return flags;
-}
-
 int Usage() {
   std::fprintf(
       stderr,
       "usage: roadnet_cli"
-      " <generate|convert|export|preprocess|stats|query|batch-query>"
+      " <generate|convert|export|preprocess|stats|query|batch-query|serve>"
       " [flags]\n"
       "  generate   --vertices N [--seed S] --out graph.bin\n"
       "  convert    --gr FILE --co FILE --out graph.bin\n"
@@ -76,6 +71,12 @@ int Usage() {
       " (--queries FILE | --random N [--seed S])\n"
       "             [--threads T] [--paths] [--metrics-out FILE]\n"
       "    FILE holds one \"source target\" pair per line.\n"
+      "  serve      --graph graph.bin [--index index.ch]"
+      " [--technique bidi|ch|alt]\n"
+      "             [--port P] [--port-file FILE] [--threads T]\n"
+      "             [--queue-cap N] [--max-conns N] [--metrics-out FILE]\n"
+      "    Runs the TCP query service until SIGINT or a SHUTDOWN frame,\n"
+      "    then drains in-flight requests and exits.\n"
       "    --metrics-out writes JSONL metrics (CSV if FILE ends in .csv).\n");
   return 2;
 }
@@ -365,18 +366,144 @@ int BatchQuery(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// SIGINT flips this; the serve loop polls it and drains. A signal
+// handler may only touch sig_atomic_t.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleSigint(int) { g_interrupted = 1; }
+
+uint64_t FlagOr(const FlagMap& flags, const std::string& name,
+                uint64_t fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::stoull(it->second);
+}
+
+int Serve(const FlagMap& flags) {
+  auto g = LoadGraph(flags);
+  if (!g.has_value()) return 1;
+  std::string technique = "ch";
+  if (auto it = flags.find("technique"); it != flags.end()) {
+    technique = it->second;
+  }
+  std::string index_path;
+  if (auto it = flags.find("index"); it != flags.end()) {
+    index_path = it->second;
+  }
+  std::string error;
+  Timer build_timer;
+  auto index = server::MakeIndex(technique, *g, index_path, &error);
+  if (index == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("index:     %s ready in %.2f s (%.1f MiB)\n",
+              index->Name().c_str(), build_timer.ElapsedSeconds(),
+              index->IndexBytes() / (1024.0 * 1024.0));
+
+  ServerOptions options;
+  options.port = static_cast<uint16_t>(FlagOr(flags, "port", 0));
+  options.engine_threads = FlagOr(flags, "threads", 4);
+  options.queue_capacity = FlagOr(flags, "queue-cap", 256);
+  options.max_connections = FlagOr(flags, "max-conns", 64);
+  QueryServer server(*index, wire::TechniqueId(technique), g->NumVertices(),
+                     options);
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("serving:   port %u, %zu workers, queue %zu, max %zu conns\n",
+              server.Port(), options.engine_threads, options.queue_capacity,
+              options.max_connections);
+  std::fflush(stdout);
+  if (auto it = flags.find("port-file"); it != flags.end()) {
+    // Written after the bind succeeds: scripts poll this file to learn
+    // an ephemeral port.
+    std::ofstream port_file(it->second);
+    port_file << server.Port() << "\n";
+    if (!port_file) {
+      std::fprintf(stderr, "cannot write %s\n", it->second.c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  while (!server.WaitForShutdownRequest(std::chrono::milliseconds(100))) {
+    if (g_interrupted) break;
+  }
+  std::printf("draining:  answering in-flight requests...\n");
+  server.Shutdown();
+
+  const wire::StatsResponse stats = server.Stats();
+  std::printf("served:    %llu queries (%llu distance, %llu path)\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.distance_count),
+              static_cast<unsigned long long>(stats.path_count));
+  std::printf("shed:      %llu overloaded, %llu deadline, %llu draining,"
+              " %llu bad\n",
+              static_cast<unsigned long long>(stats.shed_overloaded),
+              static_cast<unsigned long long>(stats.shed_deadline),
+              static_cast<unsigned long long>(stats.shed_draining),
+              static_cast<unsigned long long>(stats.bad_requests));
+  std::printf("latency:   distance p50 %.1f us p99 %.1f us,"
+              " path p50 %.1f us p99 %.1f us\n",
+              stats.distance_p50_ns * 1e-3, stats.distance_p99_ns * 1e-3,
+              stats.path_p50_ns * 1e-3, stats.path_p99_ns * 1e-3);
+  if (auto it = flags.find("metrics-out"); it != flags.end()) {
+    MetricsRegistry metrics;
+    server.ExportMetrics(&metrics);
+    if (!metrics.WriteFile(it->second)) {
+      std::fprintf(stderr, "cannot write %s\n", it->second.c_str());
+      return 1;
+    }
+    std::printf("metrics:   wrote %zu points to %s\n",
+                metrics.points().size(), it->second.c_str());
+  }
+  return 0;
+}
+
+// Per-command flag specs: the strict parser rejects anything not listed
+// here, so a typo like --metrics-ouT is an error, not a silent no-op.
+const std::map<std::string, FlagSpec>& CommandSpecs() {
+  static const std::map<std::string, FlagSpec> specs = {
+      {"generate", {{"vertices", "seed", "out"}, {}}},
+      {"convert", {{"gr", "co", "out"}, {}}},
+      {"export", {{"gr", "co", "graph"}, {}}},
+      {"preprocess", {{"graph", "out"}, {}}},
+      {"stats", {{"graph", "index"}, {}}},
+      {"query", {{"graph", "index", "from", "to", "metrics-out"}, {"path"}}},
+      {"batch-query",
+       {{"graph", "index", "queries", "random", "seed", "threads",
+         "metrics-out"},
+        {"paths"}}},
+      {"serve",
+       {{"graph", "index", "technique", "port", "port-file", "threads",
+         "queue-cap", "max-conns", "metrics-out"},
+        {}}},
+  };
+  return specs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const auto flags = ParseFlags(argc, argv, 2);
-  if (command == "generate") return Generate(flags);
-  if (command == "convert") return Convert(flags);
-  if (command == "export") return Export(flags);
-  if (command == "preprocess") return Preprocess(flags);
-  if (command == "stats") return Stats(flags);
-  if (command == "query") return Query(flags);
-  if (command == "batch-query") return BatchQuery(flags);
+  const auto spec = CommandSpecs().find(command);
+  if (spec == CommandSpecs().end()) return Usage();
+  std::string parse_error;
+  const auto flags = ParseFlags(argc, argv, 2, spec->second, &parse_error);
+  if (!flags.has_value()) {
+    std::fprintf(stderr, "%s: %s\n", command.c_str(), parse_error.c_str());
+    return Usage();
+  }
+  if (command == "generate") return Generate(*flags);
+  if (command == "convert") return Convert(*flags);
+  if (command == "export") return Export(*flags);
+  if (command == "preprocess") return Preprocess(*flags);
+  if (command == "stats") return Stats(*flags);
+  if (command == "query") return Query(*flags);
+  if (command == "batch-query") return BatchQuery(*flags);
+  if (command == "serve") return Serve(*flags);
   return Usage();
 }

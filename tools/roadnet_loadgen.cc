@@ -1,0 +1,309 @@
+// Closed-loop load generator for the roadnet query service.
+//
+//   roadnet_loadgen --port P --graph graph.bin
+//                   [--host 127.0.0.1] [--connections N] [--queries N]
+//                   [--workload random|Q1..Q10] [--seed S] [--paths]
+//                   [--deadline-us D] [--verify-every K]
+//                   [--technique any|bidi|ch|alt] [--stats] [--shutdown]
+//
+// Opens N concurrent connections and drives them closed-loop (each
+// connection keeps exactly one request in flight), replaying either
+// random pairs or one of the paper's Q1..Q10 L-infinity workloads
+// (Section 4.2). Every K-th response is verified against a local
+// Dijkstra oracle — distances must match exactly, and path responses
+// must be real paths of the right weight. Reports achieved qps and
+// client-observed p50/p99, which include the server's queueing — the
+// end-to-end numbers a capacity plan is written against.
+//
+// Exit status: 0 on success, 1 on any oracle mismatch or transport
+// error, 2 on usage errors.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dijkstra/dijkstra.h"
+#include "graph/graph.h"
+#include "io/serialize.h"
+#include "obs/histogram.h"
+#include "routing/path.h"
+#include "server/client.h"
+#include "server/wire.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/query_gen.h"
+
+namespace {
+
+using namespace roadnet;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: roadnet_loadgen --port P --graph graph.bin\n"
+      "  [--host 127.0.0.1] [--connections N] [--queries N]\n"
+      "  [--workload random|Q1..Q10] [--seed S] [--paths]\n"
+      "  [--deadline-us D] [--verify-every K (0=off)]\n"
+      "  [--technique any|bidi|ch|alt] [--stats] [--shutdown]\n");
+  return 2;
+}
+
+// One connection thread's tallies, merged after the join.
+struct WorkerResult {
+  Histogram latency;  // client-observed, nanoseconds
+  uint64_t ok = 0;
+  uint64_t unreachable = 0;
+  uint64_t overloaded = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t draining = 0;
+  uint64_t bad_request = 0;
+  uint64_t transport_errors = 0;
+  uint64_t verified = 0;
+  uint64_t mismatches = 0;
+  std::string first_problem;
+
+  void CountStatus(wire::Status s) {
+    switch (s) {
+      case wire::Status::kOk: ++ok; break;
+      case wire::Status::kUnreachable: ++unreachable; break;
+      case wire::Status::kOverloaded: ++overloaded; break;
+      case wire::Status::kDeadlineExceeded: ++deadline_exceeded; break;
+      case wire::Status::kShuttingDown: ++draining; break;
+      case wire::Status::kBadRequest: ++bad_request; break;
+    }
+  }
+};
+
+uint64_t FlagOr(const FlagMap& flags, const std::string& name,
+                uint64_t fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::stoull(it->second);
+}
+
+std::string FlagOr(const FlagMap& flags, const std::string& name,
+                   const std::string& fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagSpec spec{{"host", "port", "graph", "connections", "queries",
+                       "workload", "seed", "deadline-us", "verify-every",
+                       "technique"},
+                      {"paths", "stats", "shutdown"}};
+  std::string parse_error;
+  const auto flags = ParseFlags(argc, argv, 1, spec, &parse_error);
+  if (!flags.has_value()) {
+    std::fprintf(stderr, "roadnet_loadgen: %s\n", parse_error.c_str());
+    return Usage();
+  }
+  if (flags->count("port") == 0 || flags->count("graph") == 0) {
+    return Usage();
+  }
+  const std::string host = FlagOr(*flags, "host", "127.0.0.1");
+  const uint16_t port =
+      static_cast<uint16_t>(std::stoul(flags->at("port")));
+  const size_t connections = FlagOr(*flags, "connections", 4);
+  const size_t total_queries = FlagOr(*flags, "queries", 1000);
+  const std::string workload = FlagOr(*flags, "workload", "random");
+  const uint64_t seed = FlagOr(*flags, "seed", 1);
+  const uint64_t deadline_us = FlagOr(*flags, "deadline-us", 0);
+  const uint64_t verify_every = FlagOr(*flags, "verify-every", 10);
+  const std::string technique = FlagOr(*flags, "technique", "any");
+  const bool use_paths = flags->count("paths") > 0;
+  if (connections == 0 || total_queries == 0) return Usage();
+  if (technique != "any" && wire::TechniqueId(technique) == 0) {
+    std::fprintf(stderr, "unknown --technique %s\n", technique.c_str());
+    return Usage();
+  }
+
+  std::string error;
+  auto g = ReadGraphFile(flags->at("graph"), &error);
+  if (!g.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  // The replayed query stream: random pairs or one of the paper's
+  // L-infinity buckets. A short bucket is cycled to fill the run.
+  std::vector<std::pair<VertexId, VertexId>> queries;
+  if (workload == "random") {
+    Rng rng(seed);
+    queries.reserve(total_queries);
+    for (size_t i = 0; i < total_queries; ++i) {
+      queries.emplace_back(
+          static_cast<VertexId>(rng.NextBelow(g->NumVertices())),
+          static_cast<VertexId>(rng.NextBelow(g->NumVertices())));
+    }
+  } else {
+    const auto sets = GenerateLInfQuerySets(*g, total_queries, seed);
+    const QuerySet* found = nullptr;
+    for (const QuerySet& s : sets) {
+      if (s.name == workload) found = &s;
+    }
+    if (found == nullptr || found->pairs.empty()) {
+      std::fprintf(stderr,
+                   "workload %s is unknown or empty on this graph"
+                   " (expected random or Q1..Q10)\n",
+                   workload.c_str());
+      return 1;
+    }
+    queries.reserve(total_queries);
+    for (size_t i = 0; i < total_queries; ++i) {
+      queries.push_back(found->pairs[i % found->pairs.size()]);
+    }
+  }
+
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  Timer wall;
+  for (size_t tid = 0; tid < connections; ++tid) {
+    threads.emplace_back([&, tid] {
+      WorkerResult& r = results[tid];
+      std::string err;
+      auto client = BlockingClient::Connect(host, port, &err);
+      if (client == nullptr) {
+        ++r.transport_errors;
+        r.first_problem = "connect: " + err;
+        return;
+      }
+      // Each thread owns its oracle: Dijkstra scratch is per-instance.
+      std::unique_ptr<Dijkstra> oracle;
+      if (verify_every > 0) oracle = std::make_unique<Dijkstra>(*g);
+
+      for (size_t i = tid; i < queries.size(); i += connections) {
+        wire::QueryRequest req;
+        req.technique = wire::TechniqueId(technique);
+        req.kind = use_paths ? wire::QueryKind::kPath
+                             : wire::QueryKind::kDistance;
+        req.source = queries[i].first;
+        req.target = queries[i].second;
+        req.deadline_micros = deadline_us;
+        wire::QueryResponse resp;
+        Timer timer;
+        if (!client->Query(req, &resp, &err)) {
+          ++r.transport_errors;
+          if (r.first_problem.empty()) r.first_problem = "query: " + err;
+          return;  // connection is gone (e.g. server drained)
+        }
+        r.latency.Record(timer.ElapsedNanos());
+        r.CountStatus(resp.status);
+
+        const bool answered = resp.status == wire::Status::kOk ||
+                              resp.status == wire::Status::kUnreachable;
+        if (oracle != nullptr && answered && i % verify_every == 0) {
+          ++r.verified;
+          const Distance truth = oracle->Run(req.source, req.target);
+          const Distance got = resp.status == wire::Status::kOk
+                                   ? resp.distance
+                                   : kInfDistance;
+          bool bad = got != truth;
+          if (!bad && use_paths && resp.status == wire::Status::kOk) {
+            const Path& p = resp.path;
+            bad = p.empty() || p.front() != req.source ||
+                  p.back() != req.target || !IsValidPath(*g, p) ||
+                  PathWeight(*g, p) != truth;
+          }
+          if (bad) {
+            ++r.mismatches;
+            if (r.first_problem.empty()) {
+              r.first_problem =
+                  "oracle mismatch for " + std::to_string(req.source) +
+                  " -> " + std::to_string(req.target) + ": server " +
+                  std::to_string(got) + ", oracle " + std::to_string(truth);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.latency.Merge(r.latency);
+    total.ok += r.ok;
+    total.unreachable += r.unreachable;
+    total.overloaded += r.overloaded;
+    total.deadline_exceeded += r.deadline_exceeded;
+    total.draining += r.draining;
+    total.bad_request += r.bad_request;
+    total.transport_errors += r.transport_errors;
+    total.verified += r.verified;
+    total.mismatches += r.mismatches;
+    if (total.first_problem.empty()) total.first_problem = r.first_problem;
+  }
+  const uint64_t completed = total.latency.Count();
+
+  std::printf("workload:    %s, %zu queries over %zu connections, kind %s\n",
+              workload.c_str(), queries.size(), connections,
+              use_paths ? "path" : "distance");
+  std::printf("completed:   %llu (%llu ok, %llu unreachable)\n",
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.unreachable));
+  std::printf("shed:        %llu overloaded, %llu deadline, %llu draining,"
+              " %llu bad, %llu transport errors\n",
+              static_cast<unsigned long long>(total.overloaded),
+              static_cast<unsigned long long>(total.deadline_exceeded),
+              static_cast<unsigned long long>(total.draining),
+              static_cast<unsigned long long>(total.bad_request),
+              static_cast<unsigned long long>(total.transport_errors));
+  std::printf("verified:    %llu against the Dijkstra oracle,"
+              " %llu mismatches\n",
+              static_cast<unsigned long long>(total.verified),
+              static_cast<unsigned long long>(total.mismatches));
+  std::printf("throughput:  %.0f queries/s (wall %.3f s)\n",
+              wall_seconds > 0 ? completed / wall_seconds : 0.0,
+              wall_seconds);
+  std::printf("latency:     client p50 %.1f us, p99 %.1f us, max %.1f us\n",
+              total.latency.ValueAtQuantile(0.50) * 1e-3,
+              total.latency.ValueAtQuantile(0.99) * 1e-3,
+              total.latency.Max() * 1e-3);
+  if (!total.first_problem.empty()) {
+    std::fprintf(stderr, "problem:     %s\n", total.first_problem.c_str());
+  }
+
+  if (flags->count("stats") > 0 || flags->count("shutdown") > 0) {
+    auto admin = BlockingClient::Connect(host, port, &error);
+    if (admin == nullptr) {
+      std::fprintf(stderr, "admin connect: %s\n", error.c_str());
+      return 1;
+    }
+    if (flags->count("stats") > 0) {
+      wire::StatsResponse s;
+      if (!admin->GetStats(&s, &error)) {
+        std::fprintf(stderr, "stats: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("server:      served %llu, shed %llu/%llu/%llu, bad %llu,"
+                  " conns %llu accepted %llu rejected\n",
+                  static_cast<unsigned long long>(s.served),
+                  static_cast<unsigned long long>(s.shed_overloaded),
+                  static_cast<unsigned long long>(s.shed_deadline),
+                  static_cast<unsigned long long>(s.shed_draining),
+                  static_cast<unsigned long long>(s.bad_requests),
+                  static_cast<unsigned long long>(s.connections_accepted),
+                  static_cast<unsigned long long>(s.connections_rejected));
+      std::printf("server lat:  distance p50 %.1f us p99 %.1f us,"
+                  " path p50 %.1f us p99 %.1f us\n",
+                  s.distance_p50_ns * 1e-3, s.distance_p99_ns * 1e-3,
+                  s.path_p50_ns * 1e-3, s.path_p99_ns * 1e-3);
+    }
+    if (flags->count("shutdown") > 0) {
+      if (!admin->SendShutdown(&error)) {
+        std::fprintf(stderr, "shutdown: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("shutdown:    acknowledged, server draining\n");
+    }
+  }
+
+  return (total.mismatches > 0 || total.transport_errors > 0) ? 1 : 0;
+}
