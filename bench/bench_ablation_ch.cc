@@ -53,13 +53,17 @@ int main() {
       BuildResult build = Experiment::MeasureBuild(
           "CH", [&] { return std::make_unique<ChIndex>(g, config); });
       auto* ch = static_cast<ChIndex*>(build.index.get());
-      ch->SetStallOnDemand(true);
       const double dist_stall =
           Experiment::MeasureDistanceQueries(ch, mixed);
       const double path_us = Experiment::MeasurePathQueries(ch, mixed);
-      ch->SetStallOnDemand(false);
+      // Stall-on-demand is a build-time option (the index is immutable),
+      // so the ablation builds a second index; the contraction is
+      // deterministic, only the query flag differs.
+      ChConfig nostall_config = config;
+      nostall_config.stall_on_demand = false;
+      ChIndex ch_nostall(g, nostall_config);
       const double dist_nostall =
-          Experiment::MeasureDistanceQueries(ch, mixed);
+          Experiment::MeasureDistanceQueries(&ch_nostall, mixed);
       std::printf("%-20s %10zu %10.2f %10.2f %12.2f %12.2f %12.2f\n",
                   variant.name, ch->NumShortcuts(), build.preprocess_seconds,
                   BytesToMiB(build.index_bytes), dist_stall, dist_nostall,

@@ -37,6 +37,14 @@ python3 scripts/validate_metrics.py "$SMOKE/metrics.jsonl"
 ROADNET_BENCH_FAST=1 build/bench/bench_searchspace \
   --out "$SMOKE/searchspace.csv" >/dev/null
 
+echo "==> CH layout bench: rank-permuted SoA vs legacy AoS (quick gate)"
+# Exits nonzero if the two layouts disagree on any distance or if the
+# rank-permuted SoA core is slower than the pre-split AoS baseline
+# compiled into the bench; the JSONL output must stay schema-valid.
+build/bench/bench_ch_layout --quick --out "$SMOKE/BENCH_ch_layout.json" \
+  >/dev/null
+python3 scripts/validate_metrics.py "$SMOKE/BENCH_ch_layout.json"
+
 echo "==> Server smoke: serve + loadgen over loopback (build/)"
 # Ephemeral port; the server writes the bound port to a file the load
 # generator reads. The loadgen verifies EVERY answered distance against a
@@ -61,9 +69,9 @@ echo "==> ThreadSanitizer build + engine/server tests (build-tsan/)"
 cmake -B build-tsan -S . -DROADNET_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target \
   engine_equivalence_test engine_stress_test engine_edge_test \
-  server_test bench_server
+  ch_layout_test server_test bench_server
 (cd build-tsan && \
-  ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|QueryServer|Wire|BoundedQueue')
+  ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|ChLayout|QueryServer|Wire|BoundedQueue')
 # The serving bench under TSan covers the accept/handler/dispatcher/client
 # thread web end to end.
 ROADNET_BENCH_FAST=1 build-tsan/bench/bench_server >/dev/null

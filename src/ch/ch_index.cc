@@ -1,52 +1,119 @@
 #include "ch/ch_index.h"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 
 #include "io/binary.h"
 #include "io/crc32.h"
 #include "util/bytes.h"
 
+// The relaxation loop prefetches the next frontier vertex's arc block one
+// pop ahead; a no-op on compilers without the intrinsic.
+#if defined(__GNUC__) || defined(__clang__)
+#define ROADNET_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define ROADNET_PREFETCH(addr) ((void)0)
+#endif
+
 namespace roadnet {
 
-ChIndex::ChIndex(const Graph& g, const ChConfig& config) : graph_(g) {
-  ContractionResult result = ContractGraph(g, config);
+ChIndex::ChIndex(const Graph& g, const ChConfig& config)
+    : ChIndex(g, ContractGraph(g, config), config) {}
+
+ChIndex::ChIndex(const Graph& g, ContractionResult result,
+                 const ChConfig& config)
+    : graph_(g), stall_on_demand_(config.stall_on_demand) {
+  BuildFrom(std::move(result));
+}
+
+void ChIndex::BuildFrom(ContractionResult result) {
+  const uint32_t n = graph_.NumVertices();
   rank_ = std::move(result.rank);
   num_shortcuts_ = result.num_shortcuts;
+  order_.assign(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) order_[rank_[v]] = v;
 
-  // Build the upward adjacency: each augmented edge is stored once, at its
-  // lower-ranked endpoint, pointing to the higher-ranked one. Both search
-  // directions and the unpacking lookup share this structure.
-  const uint32_t n = g.NumVertices();
+  // Build the rank-space upward CSR: each augmented edge is stored once,
+  // at its lower-ranked endpoint, pointing to the higher-ranked one. Both
+  // search directions and path unpacking share this structure.
   std::vector<uint32_t> degree(n, 0);
   for (const TaggedEdge& e : result.edges) {
-    VertexId lo = rank_[e.u] < rank_[e.v] ? e.u : e.v;
-    ++degree[lo];
+    ++degree[std::min(rank_[e.u], rank_[e.v])];
   }
   up_offsets_.assign(n + 1, 0);
-  for (uint32_t v = 0; v < n; ++v) {
-    up_offsets_[v + 1] = up_offsets_[v] + degree[v];
+  for (uint32_t r = 0; r < n; ++r) {
+    up_offsets_[r + 1] = up_offsets_[r] + degree[r];
   }
-  up_arcs_.resize(up_offsets_[n]);
-  std::vector<size_t> cursor(up_offsets_.begin(), up_offsets_.end() - 1);
+  const uint32_t num_arcs = up_offsets_[n];
+  arcs_.resize(num_arcs);
+  // Middle tags in rank space, parallel to arcs_, consumed below when the
+  // cold unpack records are resolved to arc indices.
+  std::vector<uint32_t> middle(num_arcs);
+  std::vector<uint32_t> cursor(up_offsets_.begin(), up_offsets_.end() - 1);
   for (const TaggedEdge& e : result.edges) {
-    VertexId lo = e.u, hi = e.v;
-    if (rank_[lo] > rank_[hi]) std::swap(lo, hi);
-    up_arcs_[cursor[lo]++] = UpArc{hi, e.weight, e.middle};
+    uint32_t lo = rank_[e.u], hi = rank_[e.v];
+    if (lo > hi) std::swap(lo, hi);
+    const uint32_t idx = cursor[lo]++;
+    arcs_[idx] = HotArc{hi, e.weight};
+    middle[idx] = e.middle == kInvalidVertex ? kInvalidVertex : rank_[e.middle];
   }
-  for (uint32_t v = 0; v < n; ++v) {
-    std::sort(up_arcs_.begin() + up_offsets_[v],
-              up_arcs_.begin() + up_offsets_[v + 1],
-              [](const UpArc& a, const UpArc& b) { return a.to < b.to; });
+  // Sort each arc block by target rank: relaxations then touch the
+  // per-vertex arrays in ascending address order, and the build-time arc
+  // lookups below can binary search.
+  for (uint32_t r = 0; r < n; ++r) {
+    const uint32_t begin = up_offsets_[r], end = up_offsets_[r + 1];
+    std::vector<std::pair<HotArc, uint32_t>> block;
+    block.reserve(end - begin);
+    for (uint32_t i = begin; i < end; ++i) {
+      block.emplace_back(arcs_[i], middle[i]);
+    }
+    std::sort(block.begin(), block.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.target < b.first.target;
+              });
+    for (uint32_t i = begin; i < end; ++i) {
+      arcs_[i] = block[i - begin].first;
+      middle[i] = block[i - begin].second;
+    }
   }
+  // Resolve every shortcut's middle tag into the arc indices of its two
+  // halves once, here, so path unpacking never has to look an edge up. A
+  // middle is contracted before either endpoint, so both halves live in
+  // the middle's (strictly earlier) arc block — unpack recursion walks
+  // strictly decreasing arc indices and always terminates.
+  unpack_.resize(num_arcs);
+  for (uint32_t r = 0; r < n; ++r) {
+    for (uint32_t i = up_offsets_[r]; i < up_offsets_[r + 1]; ++i) {
+      if (middle[i] == kInvalidVertex) {
+        unpack_[i] = ArcUnpack{kOriginalArc, r};
+        continue;
+      }
+      const uint32_t lo = FindArcIndex(middle[i], r);
+      const uint32_t hi = FindArcIndex(middle[i], arcs_[i].target);
+      assert(lo != kOriginalArc && hi != kOriginalArc);
+      unpack_[i] = ArcUnpack{lo, hi};
+    }
+  }
+}
+
+uint32_t ChIndex::FindArcIndex(uint32_t src, uint32_t target) const {
+  const auto first = arcs_.begin() + up_offsets_[src];
+  const auto last = arcs_.begin() + up_offsets_[src + 1];
+  const auto it = std::lower_bound(
+      first, last, target,
+      [](const HotArc& a, uint32_t t) { return a.target < t; });
+  if (it == last || it->target != target) return kOriginalArc;
+  return static_cast<uint32_t>(it - arcs_.begin());
 }
 
 namespace {
 constexpr char kChMagic[8] = {'R', 'N', 'E', 'T', 'C', 'H', 'I', 'X'};
-// Version 2 wraps the payload in a length + CRC32 trailer (io/crc32.h);
-// a corrupted index file is rejected at load instead of serving wrong
-// distances.
-constexpr uint32_t kChVersion = 2;
+// Version 3 stores the rank-permuted SoA layout (rank permutation,
+// rank-space hot arcs, cold unpack records) under the version-2 CRC32
+// trailer; older files are rejected with a re-run hint since their
+// original-order AoS payload no longer matches the query core.
+constexpr uint32_t kChVersion = 3;
 }  // namespace
 
 ChIndex::ChIndex(const Graph& g, DeserializeTag) : graph_(g) {}
@@ -63,7 +130,8 @@ void ChIndex::Serialize(std::ostream& out) const {
   WriteScalar<uint64_t>(payload, num_shortcuts_);
   WriteVector(payload, rank_);
   WriteVector(payload, up_offsets_);
-  WriteVector(payload, up_arcs_);
+  WriteVector(payload, arcs_);
+  WriteVector(payload, unpack_);
   WriteChecksummedPayload(out, payload.view());
 }
 
@@ -97,69 +165,79 @@ std::unique_ptr<ChIndex> ChIndex::Deserialize(const Graph& g,
       index->up_offsets_.size() != n + 1) {
     return fail("ch: bad offset block");
   }
-  if (!ReadVector(body, &index->up_arcs_) ||
-      index->up_arcs_.size() != index->up_offsets_[n]) {
+  if (!ReadVector(body, &index->arcs_) ||
+      index->arcs_.size() != index->up_offsets_[n]) {
     return fail("ch: bad arc block");
   }
+  if (!ReadVector(body, &index->unpack_) ||
+      index->unpack_.size() != index->arcs_.size()) {
+    return fail("ch: bad unpack block");
+  }
   // Structural validation so corrupted input cannot cause out-of-range
-  // indexing at query time.
-  for (uint32_t v = 0; v < n; ++v) {
-    if (index->up_offsets_[v] > index->up_offsets_[v + 1]) {
+  // indexing or unbounded recursion at query time.
+  index->order_.assign(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t r = index->rank_[v];
+    if (r >= n || index->order_[r] != kInvalidVertex) {
+      return fail("ch: ranks are not a permutation");
+    }
+    index->order_[r] = v;
+  }
+  if (n > 0 && index->up_offsets_[0] != 0) {
+    return fail("ch: offsets do not start at zero");
+  }
+  for (uint32_t r = 0; r < n; ++r) {
+    if (index->up_offsets_[r] > index->up_offsets_[r + 1]) {
       return fail("ch: offsets not monotone");
     }
-  }
-  for (const UpArc& a : index->up_arcs_) {
-    if (a.to >= n || (a.middle != kInvalidVertex && a.middle >= n)) {
-      return fail("ch: arc target out of range");
+    for (uint32_t i = index->up_offsets_[r]; i < index->up_offsets_[r + 1];
+         ++i) {
+      const HotArc& a = index->arcs_[i];
+      if (a.target >= n || a.target <= r) {
+        return fail("ch: arc target not above its source rank");
+      }
+      const ArcUnpack& u = index->unpack_[i];
+      if (u.lo == kOriginalArc) {
+        if (u.hi != r) return fail("ch: original-edge source mismatch");
+      } else if (u.lo >= index->up_offsets_[r] ||
+                 u.hi >= index->up_offsets_[r] ||
+                 index->arcs_[u.lo].target != r ||
+                 index->arcs_[u.hi].target != a.target) {
+        return fail("ch: shortcut unpack arcs do not match endpoints");
+      }
     }
-  }
-  for (uint32_t r : index->rank_) {
-    if (r >= n) return fail("ch: rank out of range");
   }
   return index;
 }
 
 size_t ChIndex::IndexBytes() const {
-  return VectorBytes(rank_) + VectorBytes(up_offsets_) +
-         VectorBytes(up_arcs_);
+  return VectorBytes(rank_) + VectorBytes(order_) + VectorBytes(up_offsets_) +
+         VectorBytes(arcs_) + VectorBytes(unpack_);
 }
 
-bool ChIndex::IsStalled(const SearchSide& side, uint32_t generation,
-                        VertexId v, Distance dv) const {
-  // v is stalled if a higher-ranked vertex u already offers a shorter way
-  // into v; the true shortest path to v then descends from u, and v cannot
-  // lie on a shortest up-down path, so its arcs need not be relaxed.
-  for (const UpArc& a : UpArcs(v)) {
-    if (side.reached[a.to] == generation &&
-        side.dist[a.to] + a.weight < dv) {
-      return true;
-    }
-  }
-  return false;
-}
-
-VertexId ChIndex::Search(Context* ctx, VertexId s, VertexId t,
+uint32_t ChIndex::Search(Context* ctx, uint32_t s, uint32_t t,
                          Distance* out_dist) const {
-  ++ctx->generation;
   ctx->counters.Reset();
   SearchSide& forward = ctx->forward;
   SearchSide& backward = ctx->backward;
-  forward.heap.Clear();
-  backward.heap.Clear();
+  // Reset at search start, not end: PathQuery reads the parent-arc chains
+  // after Search returns, so the previous search's state must survive it.
+  forward.Reset();
+  backward.Reset();
 
   forward.dist[s] = 0;
-  forward.parent[s] = kInvalidVertex;
-  forward.reached[s] = ctx->generation;
-  forward.heap.Push(s, 0);
+  forward.aux[s].parent_arc = kOriginalArc;
+  forward.touched.push_back(s);
+  forward.HeapPush(s, 0);
 
   backward.dist[t] = 0;
-  backward.parent[t] = kInvalidVertex;
-  backward.reached[t] = ctx->generation;
-  backward.heap.Push(t, 0);
+  backward.aux[t].parent_arc = kOriginalArc;
+  backward.touched.push_back(t);
+  backward.HeapPush(t, 0);
   ctx->counters.HeapPush(2);
 
   Distance best = (s == t) ? 0 : kInfDistance;
-  VertexId meet = (s == t) ? s : kInvalidVertex;
+  uint32_t meet = (s == t) ? s : kInvalidVertex;
 
   SearchSide* sides[2] = {&forward, &backward};
   while (true) {
@@ -169,52 +247,108 @@ VertexId ChIndex::Search(Context* ctx, VertexId s, VertexId t,
     // traversals may not stop immediately after they meet").
     SearchSide* side = nullptr;
     for (SearchSide* cand : sides) {
-      if (cand->heap.Empty() || cand->heap.MinKey() >= best) continue;
-      if (side == nullptr || cand->heap.MinKey() < side->heap.MinKey()) {
+      if (cand->HeapEmpty() || cand->MinKey() >= best) continue;
+      if (side == nullptr || cand->MinKey() < side->MinKey()) {
         side = cand;
       }
     }
     if (side == nullptr) break;
     SearchSide* other = (side == &forward) ? &backward : &forward;
 
-    VertexId u = side->heap.PopMin();
+    const HeapEntry top = side->HeapPopMin();
+    const uint32_t u = top.rank;
+    const Distance du = top.key;
     ctx->counters.HeapPop();
     ctx->counters.Settle();
-    const Distance du = side->dist[u];
-    if (stall_on_demand_ && IsStalled(*side, ctx->generation, u, du)) {
-      continue;
+    // Overlap the heap bookkeeping of this settle with the memory fetches
+    // of the next frontier vertex: its arc block and its meet-check line
+    // in the opposite search's state. Both addresses are known one pop
+    // ahead, unlike the relax targets, so this hides most of the latency
+    // of the settle loop's dependency chain.
+    if (!side->HeapEmpty()) {
+      const uint32_t next = side->MinRank();
+      ROADNET_PREFETCH(arcs_.data() + up_offsets_[next]);
+      ROADNET_PREFETCH(&other->dist[next]);
     }
-
-    for (const UpArc& a : UpArcs(u)) {
-      ctx->counters.RelaxEdge();
-      const Distance cand = du + a.weight;
-      bool improved = false;
-      if (side->reached[a.to] != ctx->generation) {
-        side->reached[a.to] = ctx->generation;
-        side->dist[a.to] = cand;
-        side->parent[a.to] = u;
-        side->heap.Push(a.to, cand);
-        ctx->counters.HeapPush();
-        improved = true;
-      } else if (cand < side->dist[a.to]) {
-        side->dist[a.to] = cand;
-        side->parent[a.to] = u;
-        if (side->heap.Contains(a.to)) {
-          side->heap.DecreaseKey(a.to, cand);
-        } else {
-          // Re-open: cannot happen with non-negative weights, but keep the
-          // invariant explicit.
-          side->heap.Push(a.to, cand);
-        }
-        ctx->counters.HeapPush();
-        improved = true;
-      }
-      if (improved && other->reached[a.to] == ctx->generation) {
-        const Distance total = cand + other->dist[a.to];
+    // Meet detection at settle time (not per relaxation): du is final, and
+    // at whichever side settles the optimal apex second the opposite
+    // tentative distance is final too, so the minimum over these sums is
+    // exactly dist(s, t). Checked before stalling — a stalled settle is a
+    // valid (if suboptimal) meeting candidate, and skipping it here would
+    // cost correctness of the bound below.
+    {
+      const Distance od = other->dist[u];
+      if (od != kInfDistance) {
+        const Distance total = du + od;
         if (total < best) {
           best = total;
-          meet = a.to;
+          meet = u;
         }
+      }
+    }
+    const uint32_t arc_begin = up_offsets_[u];
+    const uint32_t arc_end = up_offsets_[u + 1];
+    Distance* const dist = side->dist.data();
+    NodeAux* const aux = side->aux.data();
+    uint32_t nbuf = 0;
+    if (stall_on_demand_) {
+      // Fused stall + relax scan. u is stalled if some target already
+      // offers a shorter way into it (td + w < du): the true shortest
+      // path to u then descends from that higher-ranked vertex, u cannot
+      // lie on a shortest up-down path, and its arcs need not be relaxed
+      // (stall-on-demand). One pass over the block reads each target's
+      // distance once, checking stall evidence and buffering
+      // improvements; nothing is committed until the vertex proves
+      // non-stalled, so an abort wastes no heap work. The td < du
+      // pre-test doubles as the reached check: unreached entries hold
+      // kInfDistance, which wraps if the weight is added blindly.
+      if (side->relax_buf.size() < arc_end - arc_begin) {
+        side->relax_buf.resize(arc_end - arc_begin);
+      }
+      uint32_t* const buf = side->relax_buf.data();
+      bool stalled = false;
+      for (uint32_t arc = arc_begin; arc < arc_end; ++arc) {
+        const HotArc a = arcs_[arc];
+        const Distance td = dist[a.target];
+        if (td < du && td + a.weight < du) {
+          stalled = true;
+          break;
+        }
+        const Distance cand = du + a.weight;
+        if (cand < td && cand < best) buf[nbuf++] = arc;
+      }
+      if (stalled) continue;
+    } else {
+      if (side->relax_buf.size() < arc_end - arc_begin) {
+        side->relax_buf.resize(arc_end - arc_begin);
+      }
+      uint32_t* const buf = side->relax_buf.data();
+      for (uint32_t arc = arc_begin; arc < arc_end; ++arc) {
+        const HotArc a = arcs_[arc];
+        const Distance cand = du + a.weight;
+        if (cand < dist[a.target] && cand < best) buf[nbuf++] = arc;
+      }
+    }
+    ctx->counters.RelaxEdge(arc_end - arc_begin);
+    for (uint32_t i = 0; i < nbuf; ++i) {
+      const uint32_t arc = side->relax_buf[i];
+      const HotArc a = arcs_[arc];
+      const Distance cand = du + a.weight;
+      Distance& d = dist[a.target];
+      // Re-checked: parallel arcs to one target may buffer twice.
+      if (cand < d) {
+        const bool fresh = d == kInfDistance;
+        d = cand;
+        aux[a.target].parent_arc = arc;
+        if (fresh) {
+          side->touched.push_back(a.target);
+          side->HeapPush(a.target, cand);
+        } else {
+          // Still queued: a settled distance is final with non-negative
+          // weights, so an improvable vertex must be in the heap.
+          side->HeapDecrease(a.target, cand);
+        }
+        ctx->counters.HeapPush();
       }
     }
   }
@@ -225,96 +359,102 @@ VertexId ChIndex::Search(Context* ctx, VertexId s, VertexId t,
 Distance ChIndex::DistanceQuery(QueryContext* ctx, VertexId s,
                                 VertexId t) const {
   Distance d = kInfDistance;
-  Search(static_cast<Context*>(ctx), s, t, &d);
+  Search(static_cast<Context*>(ctx), rank_[s], rank_[t], &d);
   return d;
 }
 
-const ChIndex::UpArc* ChIndex::FindEdge(VertexId a, VertexId b) const {
-  VertexId lo = a, hi = b;
-  if (rank_[lo] > rank_[hi]) std::swap(lo, hi);
-  auto arcs = UpArcs(lo);
-  auto it = std::lower_bound(
-      arcs.begin(), arcs.end(), hi,
-      [](const UpArc& arc, VertexId target) { return arc.to < target; });
-  return (it != arcs.end() && it->to == hi) ? &*it : nullptr;
-}
-
-void ChIndex::UnpackEdge(VertexId a, VertexId b, Path* out,
-                         QueryCounters* counters) const {
-  const UpArc* e = FindEdge(a, b);
-  // Every edge on an up-down path is an augmented edge by construction.
-  if (e == nullptr || e->middle == kInvalidVertex) {
-    out->push_back(b);
+void ChIndex::EmitArc(uint32_t arc, bool down, Path* out,
+                      QueryCounters* counters) const {
+  const ArcUnpack u = unpack_[arc];
+  if (u.lo == kOriginalArc) {
+    // Original edge: emit the far endpoint (source when walking down,
+    // target when walking up), translated to its external id.
+    out->push_back(order_[down ? u.hi : arcs_[arc].target]);
     return;
   }
   counters->ShortcutUnpacked();
-  UnpackEdge(a, e->middle, out, counters);
-  UnpackEdge(e->middle, b, out, counters);
+  // Walking up traverses source -> middle -> target: the source half
+  // downward (it ends, and therefore emits, the middle), then the target
+  // half upward. Walking down mirrors it.
+  if (down) {
+    EmitArc(u.hi, true, out, counters);
+    EmitArc(u.lo, false, out, counters);
+  } else {
+    EmitArc(u.lo, true, out, counters);
+    EmitArc(u.hi, false, out, counters);
+  }
 }
 
 Path ChIndex::PathQuery(QueryContext* raw_ctx, VertexId s,
                         VertexId t) const {
   Context* ctx = static_cast<Context*>(raw_ctx);
   Distance d = kInfDistance;
-  VertexId meet = Search(ctx, s, t, &d);
+  const uint32_t meet = Search(ctx, rank_[s], rank_[t], &d);
   if (meet == kInvalidVertex) return {};
   if (s == t) return {s};
 
-  // Augmented path: s .. meet (forward tree), then meet .. t (backward
-  // tree), expressed as vertex ids in the augmented graph.
-  std::vector<VertexId> up_path;
-  for (VertexId cur = meet; cur != kInvalidVertex;
-       cur = ctx->forward.parent[cur]) {
-    up_path.push_back(cur);
+  // The parent arcs give the augmented up-down path directly: the forward
+  // tree's arcs are traversed upward (source -> target), the backward
+  // tree's downward, and each hop's far vertex comes from ArcSource — no
+  // parent-vertex array, no edge lookups anywhere on this path.
+  std::vector<uint32_t> up_arcs;
+  for (uint32_t arc = ctx->forward.aux[meet].parent_arc;
+       arc != kOriginalArc;
+       arc = ctx->forward.aux[ArcSource(arc)].parent_arc) {
+    up_arcs.push_back(arc);
   }
-  std::reverse(up_path.begin(), up_path.end());
-  for (VertexId cur = ctx->backward.parent[meet]; cur != kInvalidVertex;
-       cur = ctx->backward.parent[cur]) {
-    up_path.push_back(cur);
-  }
+  std::reverse(up_arcs.begin(), up_arcs.end());
 
-  // Replace every shortcut with its two halves, recursively (Section 3.2's
-  // tag-driven transformation back to a path in G).
   Path path;
-  path.push_back(up_path.front());
-  for (size_t i = 0; i + 1 < up_path.size(); ++i) {
-    UnpackEdge(up_path[i], up_path[i + 1], &path, &ctx->counters);
+  path.push_back(s);
+  for (uint32_t arc : up_arcs) {
+    EmitArc(arc, /*down=*/false, &path, &ctx->counters);
+  }
+  for (uint32_t arc = ctx->backward.aux[meet].parent_arc;
+       arc != kOriginalArc;
+       arc = ctx->backward.aux[ArcSource(arc)].parent_arc) {
+    EmitArc(arc, /*down=*/true, &path, &ctx->counters);
   }
   return path;
 }
 
-std::vector<std::pair<VertexId, Distance>> ChIndex::UpwardSearchSpace(
-    VertexId s) {
+void ChIndex::UpwardSearchSpace(
+    QueryContext* raw_ctx, VertexId s,
+    std::vector<std::pair<VertexId, Distance>>* out) const {
   // One-directional upward Dijkstra without stalling: every settled vertex
   // carries its exact upward distance, which the many-to-many bucket
-  // algorithm requires. Reuses the default context's forward side so the
-  // n calls TNR preprocessing makes stay allocation-free.
-  Context* ctx = static_cast<Context*>(DefaultContext());
-  ++ctx->generation;
+  // algorithm requires. Runs in the caller's context so the n calls TNR
+  // preprocessing makes stay allocation-free.
+  Context* ctx = static_cast<Context*>(raw_ctx);
   SearchSide& side = ctx->forward;
-  side.heap.Clear();
-  side.dist[s] = 0;
-  side.reached[s] = ctx->generation;
-  side.heap.Push(s, 0);
+  side.Reset();
+  const uint32_t start = rank_[s];
+  side.dist[start] = 0;
+  side.touched.push_back(start);
+  side.HeapPush(start, 0);
 
-  std::vector<std::pair<VertexId, Distance>> space;
-  while (!side.heap.Empty()) {
-    VertexId u = side.heap.PopMin();
-    space.emplace_back(u, side.dist[u]);
-    const Distance du = side.dist[u];
-    for (const UpArc& a : UpArcs(u)) {
+  out->clear();
+  while (!side.HeapEmpty()) {
+    const HeapEntry top = side.HeapPopMin();
+    const uint32_t u = top.rank;
+    const Distance du = top.key;
+    out->emplace_back(order_[u], du);
+    for (const HotArc& a : Arcs(u)) {
       const Distance cand = du + a.weight;
-      if (side.reached[a.to] != ctx->generation) {
-        side.reached[a.to] = ctx->generation;
-        side.dist[a.to] = cand;
-        side.heap.Push(a.to, cand);
-      } else if (side.heap.Contains(a.to) && cand < side.dist[a.to]) {
-        side.dist[a.to] = cand;
-        side.heap.DecreaseKey(a.to, cand);
+      Distance& d = side.dist[a.target];
+      if (cand < d) {
+        const bool fresh = d == kInfDistance;
+        // No parent recorded: search spaces only need (vertex, distance).
+        d = cand;
+        if (fresh) {
+          side.touched.push_back(a.target);
+          side.HeapPush(a.target, cand);
+        } else {
+          side.HeapDecrease(a.target, cand);
+        }
       }
     }
   }
-  return space;
 }
 
 }  // namespace roadnet

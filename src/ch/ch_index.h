@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,7 +13,6 @@
 #include "ch/node_order.h"
 #include "graph/graph.h"
 #include "graph/types.h"
-#include "pq/indexed_heap.h"
 #include "routing/path_index.h"
 
 namespace roadnet {
@@ -26,16 +26,33 @@ namespace roadnet {
 // the shortest path. Shortest path queries additionally unpack shortcuts
 // recursively through their middle-vertex tags.
 //
-// The hierarchy is immutable after preprocessing; all search scratch
-// lives in the QueryContext, so one index serves any number of threads.
+// Memory layout (see DESIGN.md "CH memory layout"): internally every
+// vertex is identified by its contraction rank, so the dense high-rank
+// core both upward searches converge into occupies one contiguous stretch
+// of every per-vertex array. The upward adjacency is split
+// structure-of-arrays: an 8-byte (target, weight) record per arc on the
+// hot search path, and a cold parallel unpack record (child arc indices)
+// touched only by path queries. The search stores the index of the
+// relaxed arc next to the parent vertex, so unpacking walks precomputed
+// arc indices and never performs an edge lookup. External VertexIds are
+// translated to rank space only at the API boundary.
+//
+// The hierarchy is immutable after preprocessing (stall-on-demand is a
+// ChConfig build option, not a setter); all search scratch lives in the
+// QueryContext, so one index serves any number of threads.
 class ChIndex : public PathIndex {
  public:
   // Runs CH preprocessing on g. The graph must outlive the index.
   ChIndex(const Graph& g, const ChConfig& config);
   explicit ChIndex(const Graph& g) : ChIndex(g, ChConfig{}) {}
 
-  // Writes the preprocessed hierarchy (ranks + augmented upward graph) so
-  // query servers can skip preprocessing.
+  // Adopts a precomputed contraction instead of running one. This is how
+  // bench_ch_layout builds two query layouts over a single contraction so
+  // the comparison isolates memory-layout effects.
+  ChIndex(const Graph& g, ContractionResult result, const ChConfig& config);
+
+  // Writes the preprocessed hierarchy (ranks + rank-space upward arrays)
+  // so query servers can skip preprocessing.
   void Serialize(std::ostream& out) const;
 
   // Restores a serialized hierarchy over the same graph it was built on
@@ -54,38 +71,175 @@ class ChIndex : public PathIndex {
   using PathIndex::PathQuery;
   size_t IndexBytes() const override;
 
-  // Enables/disables the stall-on-demand query optimization (ablation).
-  // Not synchronized: flip only while no concurrent queries run.
-  void SetStallOnDemand(bool enabled) { stall_on_demand_ = enabled; }
+  // Whether queries use the stall-on-demand pruning (ChConfig option).
+  bool StallOnDemand() const { return stall_on_demand_; }
 
   uint32_t RankOf(VertexId v) const { return rank_[v]; }
   size_t NumShortcuts() const { return num_shortcuts_; }
   size_t SettledCount() const { return ContextCounters().vertices_settled; }
 
   // Forward upward search space of s: every vertex settled by the upward
-  // Dijkstra, with its distance. The building block of the many-to-many
-  // engine TNR preprocessing uses (Appendix B remedy: "we construct
-  // contraction hierarchies in advance to reduce the computation cost of
-  // deriving access nodes").
-  std::vector<std::pair<VertexId, Distance>> UpwardSearchSpace(VertexId s);
+  // Dijkstra (external ids), with its distance, appended to *out (which
+  // is cleared first). The building block of the many-to-many engine TNR
+  // preprocessing uses (Appendix B remedy: "we construct contraction
+  // hierarchies in advance to reduce the computation cost of deriving
+  // access nodes"). Reuses ctx's scratch, so repeated calls with the same
+  // context and out vector are allocation-free; thread-safe with one
+  // context per thread like the query API.
+  void UpwardSearchSpace(QueryContext* ctx, VertexId s,
+                         std::vector<std::pair<VertexId, Distance>>* out)
+      const;
+
+  // Single-threaded convenience overload over the default context.
+  std::vector<std::pair<VertexId, Distance>> UpwardSearchSpace(VertexId s) {
+    std::vector<std::pair<VertexId, Distance>> out;
+    UpwardSearchSpace(DefaultContext(), s, &out);
+    return out;
+  }
 
  private:
-  // Arc of the upward graph, from a vertex to a higher-ranked one.
-  struct UpArc {
-    VertexId to;
+  // Hot half of an upward arc, in rank space: both searches touch only
+  // this 8-byte record per relaxation. `target` is the rank of the
+  // higher-ranked endpoint; the source rank is implicit in the CSR
+  // position.
+  struct HotArc {
+    uint32_t target;
     Weight weight;
-    VertexId middle;  // kInvalidVertex = original edge
   };
 
-  // One direction of the bidirectional upward search.
-  struct SearchSide {
-    IndexedHeap<Distance> heap;
-    std::vector<Distance> dist;
-    std::vector<VertexId> parent;
-    std::vector<uint32_t> reached;
+  // Cold half, touched only by path unpacking. A shortcut stores the arc
+  // indices of its two halves (both arcs of the middle vertex, which is
+  // ranked below either endpoint): `lo` leads from the middle to the
+  // arc's source, `hi` from the middle to the arc's target. An original
+  // edge stores {kOriginalArc, source rank} instead, giving the unpacker
+  // O(1) access to the endpoint the hot record omits.
+  struct ArcUnpack {
+    uint32_t lo;
+    uint32_t hi;
+  };
+  static constexpr uint32_t kOriginalArc = UINT32_MAX;
 
-    explicit SearchSide(uint32_t n)
-        : heap(n), dist(n, 0), parent(n, kInvalidVertex), reached(n, 0) {}
+  // Write-mostly half of the per-vertex search state. `parent_arc`
+  // replaces the parent vertex — the arc's source is recovered in O(1)
+  // from the cold unpack record (see ArcSource), so no parent array
+  // exists at all. `heap_pos` is the vertex's slot in the side's
+  // frontier heap (the heap is intrusive; see SearchSide); it is only
+  // meaningful while the vertex is queued, and is deliberately left
+  // stale after the pop — a settled distance is final with non-negative
+  // weights, so nothing reads it again. Kept out of the distance array
+  // on purpose: the search's stalls are scattered *loads* of tentative
+  // distances (stall scan, meet check, relaxation), so those pack eight
+  // to a cache line by themselves, while this record is only stored to
+  // on the reach/push path — stores retire through the store buffer
+  // without stalling the search.
+  struct NodeAux {
+    uint32_t parent_arc;  // arc that reached it; kOriginalArc at roots
+    uint32_t heap_pos;    // slot in SearchSide::heap while queued
+  };
+
+  // An entry of the frontier heap: the key plus the rank it belongs to.
+  struct HeapEntry {
+    Distance key;
+    uint32_t rank;
+  };
+
+  // One direction of the bidirectional upward search, in rank space.
+  // There is no generation stamp: unreached is encoded as
+  // dist == kInfDistance, and each search starts by resetting exactly
+  // the entries the previous one touched (`touched`), whose lines are
+  // still warm. Only `dist` needs resetting — `aux` is always written at
+  // first reach before anything reads it. The frontier heap is a 4-ary
+  // indexed min-heap stored inline: entries live in the flat `heap`
+  // vector and each queued vertex's position lives in its NodeAux, so
+  // decrease-key never consults a separate generation-checked position
+  // array.
+  struct SearchSide {
+    std::vector<HeapEntry> heap;
+    std::vector<Distance> dist;
+    std::vector<NodeAux> aux;
+    // Ranks whose dist was written this search, in first-reach order;
+    // Reset() restores exactly these entries to kInfDistance.
+    std::vector<uint32_t> touched;
+    // Per-settle scratch: arc indices buffered by the fused
+    // stall-and-relax scan, committed only if the vertex is not stalled.
+    std::vector<uint32_t> relax_buf;
+
+    explicit SearchSide(uint32_t n) : dist(n, kInfDistance), aux(n) {}
+
+    // Prepares the side for a new search. The touched entries' lines are
+    // still cached from the search that wrote them, so this is far
+    // cheaper than the O(n) clear it replaces conceptually.
+    void Reset() {
+      for (uint32_t r : touched) {
+        dist[r] = kInfDistance;
+      }
+      touched.clear();
+      heap.clear();
+    }
+
+    bool HeapEmpty() const { return heap.empty(); }
+    Distance MinKey() const { return heap.front().key; }
+    uint32_t MinRank() const { return heap.front().rank; }
+
+    void HeapPush(uint32_t rank, Distance key) {
+      heap.push_back(HeapEntry{key, rank});
+      SiftUp(static_cast<uint32_t>(heap.size() - 1), HeapEntry{key, rank});
+    }
+
+    void HeapDecrease(uint32_t rank, Distance key) {
+      SiftUp(aux[rank].heap_pos, HeapEntry{key, rank});
+    }
+
+    // Returns the popped entry: the key is the vertex's final distance
+    // (kept in sync by decrease-key), so the caller never has to load
+    // dist[rank] — one scattered read fewer per settle. The popped
+    // vertex's heap_pos is left stale on purpose: with non-negative
+    // weights a settled distance is final, so no relaxation ever
+    // consults it again, and clearing it would cost a scattered store
+    // per settle.
+    HeapEntry HeapPopMin() {
+      const HeapEntry top = heap.front();
+      const HeapEntry last = heap.back();
+      heap.pop_back();
+      if (!heap.empty()) SiftDown(last);
+      return top;
+    }
+
+   private:
+    static constexpr uint32_t kArity = 4;
+
+    void SiftUp(uint32_t pos, HeapEntry e) {
+      while (pos > 0) {
+        const uint32_t parent = (pos - 1) / kArity;
+        if (heap[parent].key <= e.key) break;
+        heap[pos] = heap[parent];
+        aux[heap[pos].rank].heap_pos = pos;
+        pos = parent;
+      }
+      heap[pos] = e;
+      aux[e.rank].heap_pos = pos;
+    }
+
+    void SiftDown(HeapEntry e) {
+      const uint32_t n = static_cast<uint32_t>(heap.size());
+      uint32_t pos = 0;
+      while (true) {
+        const uint32_t first_child = pos * kArity + 1;
+        if (first_child >= n) break;
+        const uint32_t last_child =
+            first_child + kArity < n ? first_child + kArity : n;
+        uint32_t best = first_child;
+        for (uint32_t c = first_child + 1; c < last_child; ++c) {
+          if (heap[c].key < heap[best].key) best = c;
+        }
+        if (heap[best].key >= e.key) break;
+        heap[pos] = heap[best];
+        aux[heap[pos].rank].heap_pos = pos;
+        pos = best;
+      }
+      heap[pos] = e;
+      aux[e.rank].heap_pos = pos;
+    }
   };
 
   struct Context : QueryContext {
@@ -93,43 +247,52 @@ class ChIndex : public PathIndex {
 
     SearchSide forward;
     SearchSide backward;
-    uint32_t generation = 0;
   };
 
-  std::span<const UpArc> UpArcs(VertexId v) const {
-    return {up_arcs_.data() + up_offsets_[v],
-            up_offsets_[v + 1] - up_offsets_[v]};
+  std::span<const HotArc> Arcs(uint32_t r) const {
+    return {arcs_.data() + up_offsets_[r], up_offsets_[r + 1] - up_offsets_[r]};
   }
 
-  // Runs the bidirectional upward search; returns the best meeting vertex
-  // (kInvalidVertex if unreachable) and its distance in *out_dist.
-  VertexId Search(Context* ctx, VertexId s, VertexId t,
+  // Builds the rank-space arrays from a contraction run.
+  void BuildFrom(ContractionResult result);
+
+  // Index of the arc src -> target (both ranks, src < target), or
+  // kOriginalArc if absent. Build-time only: queries never search.
+  uint32_t FindArcIndex(uint32_t src, uint32_t target) const;
+
+  // Source rank of an arc, read from the cold records: an original edge
+  // stores it directly, a shortcut's lo half targets it. O(1), no search.
+  uint32_t ArcSource(uint32_t arc) const {
+    const ArcUnpack& u = unpack_[arc];
+    return u.lo == kOriginalArc ? u.hi : arcs_[u.lo].target;
+  }
+
+  // Runs the bidirectional upward search between ranks s and t; returns
+  // the best meeting rank (kInvalidVertex if unreachable) and its
+  // distance in *out_dist.
+  uint32_t Search(Context* ctx, uint32_t s, uint32_t t,
                   Distance* out_dist) const;
 
-  // True if v's tentative distance in `side` is provably not the true
-  // distance from the side's source (stall-on-demand).
-  bool IsStalled(const SearchSide& side, uint32_t generation, VertexId v,
-                 Distance dv) const;
+  // Appends the original-graph expansion of the arc to *out as external
+  // ids, excluding the entry endpoint. `down` selects the traversal
+  // direction: false walks source -> target (the forward tree), true
+  // target -> source (the backward tree). Pure array walking over the
+  // precomputed child arc indices; no edge lookups.
+  void EmitArc(uint32_t arc, bool down, Path* out,
+               QueryCounters* counters) const;
 
   // Deserialization constructor: arrays filled by the factory.
   struct DeserializeTag {};
   ChIndex(const Graph& g, DeserializeTag);
 
-  // Looks up the (weight, middle) record of augmented edge (a, b).
-  const UpArc* FindEdge(VertexId a, VertexId b) const;
-
-  // Appends the original-graph expansion of augmented edge (a, b) to
-  // *out, excluding vertex a itself. Counts each shortcut expansion into
-  // *counters.
-  void UnpackEdge(VertexId a, VertexId b, Path* out,
-                  QueryCounters* counters) const;
-
   const Graph& graph_;
-  std::vector<uint32_t> rank_;
-  std::vector<size_t> up_offsets_;
-  std::vector<UpArc> up_arcs_;
-  size_t num_shortcuts_ = 0;
   bool stall_on_demand_ = true;
+  std::vector<uint32_t> rank_;   // external id -> rank
+  std::vector<VertexId> order_;  // rank -> external id
+  std::vector<uint32_t> up_offsets_;
+  std::vector<HotArc> arcs_;
+  std::vector<ArcUnpack> unpack_;
+  size_t num_shortcuts_ = 0;
 };
 
 }  // namespace roadnet

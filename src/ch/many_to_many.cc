@@ -5,10 +5,12 @@
 
 namespace roadnet {
 
-ManyToManyEngine::ManyToManyEngine(ChIndex* ch, std::vector<VertexId> targets)
-    : ch_(ch), targets_(std::move(targets)) {
+ManyToManyEngine::ManyToManyEngine(const ChIndex* ch,
+                                   std::vector<VertexId> targets)
+    : ch_(ch), targets_(std::move(targets)), ctx_(ch->NewContext()) {
   for (uint32_t j = 0; j < targets_.size(); ++j) {
-    for (const auto& [v, d] : ch_->UpwardSearchSpace(targets_[j])) {
+    ch_->UpwardSearchSpace(ctx_.get(), targets_[j], &space_);
+    for (const auto& [v, d] : space_) {
       if (v >= buckets_.size()) buckets_.resize(v + 1);
       buckets_[v].push_back(BucketEntry{j, d});
     }
@@ -18,7 +20,8 @@ ManyToManyEngine::ManyToManyEngine(ChIndex* ch, std::vector<VertexId> targets)
 void ManyToManyEngine::ComputeRow(VertexId source,
                                   std::vector<Distance>* row) {
   row->assign(targets_.size(), kInfDistance);
-  for (const auto& [v, df] : ch_->UpwardSearchSpace(source)) {
+  ch_->UpwardSearchSpace(ctx_.get(), source, &space_);
+  for (const auto& [v, df] : space_) {
     if (v >= buckets_.size()) continue;
     for (const BucketEntry& e : buckets_[v]) {
       const Distance total = df + e.dist;
@@ -28,7 +31,7 @@ void ManyToManyEngine::ComputeRow(VertexId source,
 }
 
 std::vector<Distance> ManyToManyDistances(
-    ChIndex* ch, const std::vector<VertexId>& sources,
+    const ChIndex* ch, const std::vector<VertexId>& sources,
     const std::vector<VertexId>& targets) {
   std::vector<Distance> table(sources.size() * targets.size(), kInfDistance);
   if (sources.empty() || targets.empty()) return table;

@@ -1,6 +1,8 @@
 #ifndef ROADNET_CH_MANY_TO_MANY_H_
 #define ROADNET_CH_MANY_TO_MANY_H_
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "ch/ch_index.h"
@@ -14,9 +16,13 @@ namespace roadnet {
 // against the buckets. This is how the corrected TNR preprocessing
 // computes its access-node distance tables efficiently (Appendix B remedy:
 // CH is built first to cut the cost of access-node computation).
+//
+// The engine owns one QueryContext and one search-space scratch vector,
+// so the thousands of upward searches a TNR bucket build issues are
+// allocation-free and never touch the index's default context.
 class ManyToManyEngine {
  public:
-  ManyToManyEngine(ChIndex* ch, std::vector<VertexId> targets);
+  ManyToManyEngine(const ChIndex* ch, std::vector<VertexId> targets);
 
   size_t NumTargets() const { return targets_.size(); }
 
@@ -30,15 +36,17 @@ class ManyToManyEngine {
     Distance dist;
   };
 
-  ChIndex* ch_;
+  const ChIndex* ch_;
   std::vector<VertexId> targets_;
+  std::unique_ptr<QueryContext> ctx_;
+  std::vector<std::pair<VertexId, Distance>> space_;
   std::vector<std::vector<BucketEntry>> buckets_;
 };
 
 // Convenience wrapper: full row-major matrix
 // result[i * targets.size() + j] = dist(sources[i], targets[j]).
 std::vector<Distance> ManyToManyDistances(
-    ChIndex* ch, const std::vector<VertexId>& sources,
+    const ChIndex* ch, const std::vector<VertexId>& sources,
     const std::vector<VertexId>& targets);
 
 }  // namespace roadnet

@@ -30,6 +30,11 @@ struct ChConfig {
   // safe: it can only add redundant (never incorrect) shortcuts.
   uint32_t witness_settle_limit = 500;
 
+  // Enables the stall-on-demand query pruning (Section 3.2). A build-time
+  // option rather than a mutable setter so a constructed index stays
+  // immutable and thread-safe; benches that ablate it build two indexes.
+  bool stall_on_demand = true;
+
   // Seed for kRandom ordering.
   uint64_t seed = 1;
 };

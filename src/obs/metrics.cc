@@ -89,6 +89,7 @@ void MetricsRegistry::AddCounters(
   Add("heap_pushes", static_cast<double>(c.heap_pushes), labels);
   Add("heap_pops", static_cast<double>(c.heap_pops), labels);
   Add("shortcuts_unpacked", static_cast<double>(c.shortcuts_unpacked), labels);
+  Add("edge_searches", static_cast<double>(c.edge_searches), labels);
   Add("table_lookups", static_cast<double>(c.table_lookups), labels);
   Add("tree_lookups", static_cast<double>(c.tree_lookups), std::move(labels));
 }

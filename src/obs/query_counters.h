@@ -38,6 +38,12 @@ struct QueryCounters {
   // Shortcut arcs expanded during path unpacking (CH recursive unpack,
   // HiTi clique-arc expansion).
   uint64_t shortcuts_unpacked = 0;
+  // Binary-search lookups of augmented-edge records during path
+  // unpacking. The rank-space CH layout resolves every shortcut to its
+  // child arc indices at build time and performs none; only legacy-layout
+  // baselines (bench_ch_layout) count here, and tests pin the real index
+  // to zero.
+  uint64_t edge_searches = 0;
   // Probes of precomputed distance tables: TNR access-node table cells,
   // ALT landmark-distance rows.
   uint64_t table_lookups = 0;
@@ -62,6 +68,7 @@ struct QueryCounters {
     heap_pushes += o.heap_pushes;
     heap_pops += o.heap_pops;
     shortcuts_unpacked += o.shortcuts_unpacked;
+    edge_searches += o.edge_searches;
     table_lookups += o.table_lookups;
     tree_lookups += o.tree_lookups;
     return *this;
@@ -83,6 +90,9 @@ struct QueryCounters {
   }
   void ShortcutUnpacked(uint64_t n = 1) {
     if constexpr (kEnabled) shortcuts_unpacked += n;
+  }
+  void EdgeSearch(uint64_t n = 1) {
+    if constexpr (kEnabled) edge_searches += n;
   }
   void TableLookup(uint64_t n = 1) {
     if constexpr (kEnabled) table_lookups += n;

@@ -14,8 +14,9 @@ namespace server {
 // technique names (and their wire ids — wire::TechniqueId):
 //   "bidi"  bidirectional Dijkstra, no preprocessing
 //   "ch"    contraction hierarchies; loads `ch_index_path` if non-empty
-//           (a file written by `roadnet_cli preprocess`), else contracts
-//           the graph in-process
+//           (a v3 rank-space file written by `roadnet_cli preprocess`;
+//           older formats are rejected with a re-run hint), else
+//           contracts the graph in-process
 //   "alt"   ALT landmarks
 // Techniques with multi-minute preprocessing on serving-scale graphs
 // (TNR, SILC, PCPD) are deliberately not offered here: build them

@@ -57,8 +57,10 @@ TEST(ChIndex, CorrectOnSyntheticNetworks) {
 
 TEST(ChIndex, CorrectWithoutStallOnDemand) {
   Graph g = TestNetwork(600, 7);
-  ChIndex ch(g);
-  ch.SetStallOnDemand(false);
+  ChConfig config;
+  config.stall_on_demand = false;
+  ChIndex ch(g, config);
+  EXPECT_FALSE(ch.StallOnDemand());
   ExpectIndexCorrect(g, &ch, 200, 13);
 }
 

@@ -239,11 +239,11 @@ TEST(MetricsRegistry, AddCountersEmitsEveryField) {
   c.TreeLookup(7);
   MetricsRegistry m;
   m.AddCounters(c, {{"method", "CH"}});
-  ASSERT_EQ(m.points().size(), 7u);
+  ASSERT_EQ(m.points().size(), 8u);
   EXPECT_EQ(m.points()[0].name, "vertices_settled");
   EXPECT_EQ(m.points()[0].value, 11.0);
-  EXPECT_EQ(m.points()[6].name, "tree_lookups");
-  EXPECT_EQ(m.points()[6].value, 7.0);
+  EXPECT_EQ(m.points()[7].name, "tree_lookups");
+  EXPECT_EQ(m.points()[7].value, 7.0);
   for (const MetricPoint& p : m.points()) {
     ASSERT_EQ(p.labels.size(), 1u);
     EXPECT_EQ(p.labels[0].second, "CH");

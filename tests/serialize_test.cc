@@ -132,6 +132,45 @@ TEST(ChSerialization, RoundTripPreservesAnswers) {
   ExpectIndexCorrect(g, restored.get(), 60, 21);
 }
 
+TEST(ChSerialization, V3RoundTripPreservesRanksPermutationAndArcs) {
+  Graph g = TestNetwork(600, 23);
+  ChIndex original(g);
+  std::stringstream buffer;
+  original.Serialize(buffer);
+  std::string error;
+  auto restored = ChIndex::Deserialize(g, buffer, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  // Rank permutation restored exactly.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(restored->RankOf(v), original.RankOf(v)) << "v=" << v;
+  }
+  EXPECT_EQ(restored->NumShortcuts(), original.NumShortcuts());
+  EXPECT_EQ(restored->IndexBytes(), original.IndexBytes());
+  // Byte-identical re-serialization pins every array — offsets, hot
+  // arcs, and cold unpack records — not just the query-visible behavior.
+  std::stringstream again;
+  restored->Serialize(again);
+  std::stringstream first;
+  original.Serialize(first);
+  EXPECT_EQ(again.str(), first.str());
+}
+
+TEST(ChSerialization, RejectsV2WithRerunHint) {
+  Graph g = TestNetwork(200, 29);
+  ChIndex ch(g);
+  std::stringstream buffer;
+  ch.Serialize(buffer);
+  std::string data = buffer.str();
+  // The version field is the little-endian uint32 right after the 8-byte
+  // magic; rewriting it to 2 simulates a pre-rank-space index file.
+  data[8] = 2;
+  data[9] = data[10] = data[11] = 0;
+  std::stringstream in(data);
+  std::string error;
+  EXPECT_EQ(ChIndex::Deserialize(g, in, &error), nullptr);
+  EXPECT_NE(error.find("re-run preprocess"), std::string::npos) << error;
+}
+
 TEST(ChSerialization, RejectsWrongGraph) {
   Graph g1 = TestNetwork(500, 1);
   Graph g2 = TestNetwork(900, 2);

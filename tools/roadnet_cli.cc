@@ -161,7 +161,8 @@ int Preprocess(const std::map<std::string, std::string>& flags) {
   if (!g.has_value()) return 1;
   Timer timer;
   ChIndex ch(*g);
-  std::printf("CH preprocessing: %.2f s, %zu shortcuts\n",
+  std::printf("CH preprocessing: %.2f s, %zu shortcuts (v3 rank-space "
+              "layout)\n",
               timer.ElapsedSeconds(), ch.NumShortcuts());
   std::ofstream file(out->second, std::ios::binary);
   if (!file) {
