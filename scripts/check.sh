@@ -1,79 +1,165 @@
 #!/usr/bin/env bash
-# Full verification: regular build + complete test suite, then a
-# ThreadSanitizer build exercising the concurrent engine tests.
+# Full verification: release build + test suite, metrics/serving smokes,
+# the roadnet_lint + clang-tidy static-analysis gate, an ASan+UBSan
+# build running the complete suite, and a ThreadSanitizer build
+# exercising the concurrent engine/server tests.
 #
-#   scripts/check.sh [ctest-filter]
+#   scripts/check.sh                 # everything
+#   scripts/check.sh <stage>         # one stage: build smoke lint asan-ubsan tsan
+#   scripts/check.sh <ctest-filter>  # everything, regular ctest narrowed to -R filter
 #
-# An optional argument narrows the regular ctest run (passed to ctest -R);
-# the TSan stage always runs the Engine* tests.
+# Each sanitizer gets its own build directory (build-asan-ubsan/,
+# build-tsan/) so object files never mix; UBSan runs with recovery
+# disabled, so any finding aborts the failing test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-}"
+SERVER_PID=""
+SMOKE=""
+cleanup() {
+  # Kill the smoke server if loadgen died before the SHUTDOWN frame —
+  # otherwise `roadnet_cli serve` is orphaned holding the port.
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  [[ -n "$SMOKE" ]] && rm -rf "$SMOKE"
+}
+trap cleanup EXIT
 
-echo "==> Release build + full test suite (build/)"
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build -j"$(nproc)"
-if [[ -n "$FILTER" ]]; then
-  (cd build && ctest --output-on-failure -j"$(nproc)" -R "$FILTER")
-else
-  (cd build && ctest --output-on-failure -j"$(nproc)")
-fi
+stage_build() {
+  local filter="${1:-}"
+  echo "==> Release build + full test suite (build/)"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DROADNET_WERROR=ON >/dev/null
+  cmake --build build -j"$(nproc)"
+  if [[ -n "$filter" ]]; then
+    (cd build && ctest --output-on-failure -j"$(nproc)" -R "$filter")
+  else
+    (cd build && ctest --output-on-failure -j"$(nproc)")
+  fi
+}
 
-echo "==> Metrics schema + search-space smoke (build/)"
-SMOKE="$(mktemp -d)"
-trap 'rm -rf "$SMOKE"' EXIT
-build/tools/roadnet_cli generate --vertices 1500 --seed 5 \
-  --out "$SMOKE/g.bin" >/dev/null
-build/tools/roadnet_cli preprocess --graph "$SMOKE/g.bin" \
-  --out "$SMOKE/g.ch" >/dev/null
-build/tools/roadnet_cli batch-query --graph "$SMOKE/g.bin" \
-  --index "$SMOKE/g.ch" --random 500 --seed 7 --threads 2 \
-  --metrics-out "$SMOKE/metrics.jsonl" >/dev/null
-python3 scripts/validate_metrics.py "$SMOKE/metrics.jsonl"
-# The bench exits nonzero if the settled-vertex ranking (Dijkstra >= bidi
-# >= CH, TNR in-table == 0) is violated, so this doubles as a counter
-# regression check.
-ROADNET_BENCH_FAST=1 build/bench/bench_searchspace \
-  --out "$SMOKE/searchspace.csv" >/dev/null
+stage_smoke() {
+  echo "==> Metrics schema + search-space smoke (build/)"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j"$(nproc)" --target \
+    roadnet_cli roadnet_loadgen bench_searchspace bench_ch_layout
+  SMOKE="$(mktemp -d)"
+  build/tools/roadnet_cli generate --vertices 1500 --seed 5 \
+    --out "$SMOKE/g.bin" >/dev/null
+  build/tools/roadnet_cli preprocess --graph "$SMOKE/g.bin" \
+    --out "$SMOKE/g.ch" >/dev/null
+  build/tools/roadnet_cli batch-query --graph "$SMOKE/g.bin" \
+    --index "$SMOKE/g.ch" --random 500 --seed 7 --threads 2 \
+    --metrics-out "$SMOKE/metrics.jsonl" >/dev/null
+  python3 scripts/validate_metrics.py "$SMOKE/metrics.jsonl"
+  # The bench exits nonzero if the settled-vertex ranking (Dijkstra >= bidi
+  # >= CH, TNR in-table == 0) is violated, so this doubles as a counter
+  # regression check.
+  ROADNET_BENCH_FAST=1 build/bench/bench_searchspace \
+    --out "$SMOKE/searchspace.csv" >/dev/null
 
-echo "==> CH layout bench: rank-permuted SoA vs legacy AoS (quick gate)"
-# Exits nonzero if the two layouts disagree on any distance or if the
-# rank-permuted SoA core is slower than the pre-split AoS baseline
-# compiled into the bench; the JSONL output must stay schema-valid.
-build/bench/bench_ch_layout --quick --out "$SMOKE/BENCH_ch_layout.json" \
-  >/dev/null
-python3 scripts/validate_metrics.py "$SMOKE/BENCH_ch_layout.json"
+  echo "==> CH layout bench: rank-permuted SoA vs legacy AoS (quick gate)"
+  # Exits nonzero if the two layouts disagree on any distance or if the
+  # rank-permuted SoA core is slower than the pre-split AoS baseline
+  # compiled into the bench; the JSONL output must stay schema-valid.
+  build/bench/bench_ch_layout --quick --out "$SMOKE/BENCH_ch_layout.json" \
+    >/dev/null
+  python3 scripts/validate_metrics.py "$SMOKE/BENCH_ch_layout.json"
 
-echo "==> Server smoke: serve + loadgen over loopback (build/)"
-# Ephemeral port; the server writes the bound port to a file the load
-# generator reads. The loadgen verifies EVERY answered distance against a
-# local Dijkstra oracle and sends the SHUTDOWN frame when done; the server
-# must drain and exit 0.
-build/tools/roadnet_cli serve --graph "$SMOKE/g.bin" --index "$SMOKE/g.ch" \
-  --technique ch --port 0 --port-file "$SMOKE/port" \
-  --metrics-out "$SMOKE/server_metrics.jsonl" >/dev/null &
-SERVER_PID=$!
-for _ in $(seq 1 100); do
-  [[ -s "$SMOKE/port" ]] && break
-  sleep 0.1
-done
-[[ -s "$SMOKE/port" ]] || { echo "server never wrote port file"; exit 1; }
-build/tools/roadnet_loadgen --port "$(cat "$SMOKE/port")" \
-  --graph "$SMOKE/g.bin" --connections 4 --queries 1000 \
-  --verify-every 1 --workload Q5 --shutdown >/dev/null
-wait "$SERVER_PID"
-python3 scripts/validate_metrics.py "$SMOKE/server_metrics.jsonl"
+  echo "==> Server smoke: serve + loadgen over loopback (build/)"
+  # Ephemeral port; the server writes the bound port to a file the load
+  # generator reads. The loadgen verifies EVERY answered distance against a
+  # local Dijkstra oracle and sends the SHUTDOWN frame when done; the server
+  # must drain and exit 0.
+  build/tools/roadnet_cli serve --graph "$SMOKE/g.bin" --index "$SMOKE/g.ch" \
+    --technique ch --port 0 --port-file "$SMOKE/port" \
+    --metrics-out "$SMOKE/server_metrics.jsonl" >/dev/null &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$SMOKE/port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$SMOKE/port" ]] || { echo "server never wrote port file"; exit 1; }
+  build/tools/roadnet_loadgen --port "$(cat "$SMOKE/port")" \
+    --graph "$SMOKE/g.bin" --connections 4 --queries 1000 \
+    --verify-every 1 --workload Q5 --shutdown >/dev/null
+  wait "$SERVER_PID"
+  SERVER_PID=""
+  python3 scripts/validate_metrics.py "$SMOKE/server_metrics.jsonl"
+  rm -rf "$SMOKE"
+  SMOKE=""
+}
 
-echo "==> ThreadSanitizer build + engine/server tests (build-tsan/)"
-cmake -B build-tsan -S . -DROADNET_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target \
-  engine_equivalence_test engine_stress_test engine_edge_test \
-  ch_layout_test server_test bench_server
-(cd build-tsan && \
-  ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|ChLayout|QueryServer|Wire|BoundedQueue')
-# The serving bench under TSan covers the accept/handler/dispatcher/client
-# thread web end to end.
-ROADNET_BENCH_FAST=1 build-tsan/bench/bench_server >/dev/null
+stage_lint() {
+  echo "==> roadnet_lint: project-specific static analysis (hard gate)"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j"$(nproc)" --target roadnet_lint
+  local lint_out
+  lint_out="$(mktemp -d)"
+  # Exits nonzero on any finding not covered by a reasoned waiver; the
+  # JSONL findings file must stay schema-valid (validate_metrics.py
+  # understands the lint schema).
+  build/tools/roadnet_lint --json "$lint_out/lint.jsonl"
+  python3 scripts/validate_metrics.py "$lint_out/lint.jsonl"
+  rm -rf "$lint_out"
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy (bugprone/concurrency/performance, .clang-tidy)"
+    # compile_commands.json is exported by CMake; WarningsAsErrors in
+    # .clang-tidy makes every reported check a hard failure.
+    mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+    clang-tidy -p build --quiet "${tidy_sources[@]}"
+  else
+    echo "==> clang-tidy not installed; skipping (lint gate still ran)"
+  fi
+}
+
+stage_asan_ubsan() {
+  echo "==> ASan+UBSan build + full test suite (build-asan-ubsan/)"
+  # -fno-sanitize-recover: the first UB report aborts the test, so the
+  # suite cannot pass with latent UB. Leak detection comes with ASan.
+  cmake -B build-asan-ubsan -S . -DROADNET_SANITIZE=address,undefined \
+    >/dev/null
+  cmake --build build-asan-ubsan -j"$(nproc)"
+  (cd build-asan-ubsan && ctest --output-on-failure -j"$(nproc)")
+}
+
+stage_tsan() {
+  echo "==> ThreadSanitizer build + engine/server tests (build-tsan/)"
+  cmake -B build-tsan -S . -DROADNET_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$(nproc)" --target \
+    engine_equivalence_test engine_stress_test engine_edge_test \
+    ch_layout_test server_test bench_server
+  (cd build-tsan && \
+    ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|ChLayout|QueryServer|Wire|BoundedQueue')
+  # The serving bench under TSan covers the accept/handler/dispatcher/client
+  # thread web end to end.
+  ROADNET_BENCH_FAST=1 build-tsan/bench/bench_server >/dev/null
+}
+
+ARG="${1:-}"
+case "$ARG" in
+  build)      stage_build ;;
+  smoke)      stage_smoke ;;
+  lint)       stage_lint ;;
+  asan-ubsan) stage_asan_ubsan ;;
+  tsan)       stage_tsan ;;
+  ""|all)
+    stage_build
+    stage_smoke
+    stage_lint
+    stage_asan_ubsan
+    stage_tsan
+    ;;
+  *)
+    # Back-compat: a non-stage argument narrows the regular ctest run.
+    stage_build "$ARG"
+    stage_smoke
+    stage_lint
+    stage_asan_ubsan
+    stage_tsan
+    ;;
+esac
 
 echo "==> OK"

@@ -1,23 +1,40 @@
 #!/usr/bin/env python3
-"""Schema check for --metrics-out JSONL files (stdlib only).
+"""Schema check for --metrics-out and roadnet_lint JSONL files (stdlib only).
 
 Usage: validate_metrics.py FILE [FILE...]
 
-Each line must be a JSON object of the form
+Metrics files: each line must be a JSON object of the form
 
     {"name": <non-empty string>,
      "value": <number or null>,          # null = non-finite measurement
      "labels": {<string>: <string>}}     # optional
 
-with no other keys. Exits 1 (listing every violation) if any file fails,
-which lets scripts/check.sh gate on the CLI's metrics output staying
-machine-readable.
+with no other keys.
+
+Lint files (roadnet_lint --json) are detected by the "rule" key on the
+first record. Finding records are
+
+    {"rule": "R1".."R7"|"W1", "name": <str>, "file": <str>,
+     "line": <positive int>, "message": <non-empty str>,
+     "waived": <bool>, "waiver_reason": <str, only when waived>}
+
+and the file ends with exactly one summary record
+
+    {"rule": "summary", "files_scanned": <int>, "findings": <int>,
+     "waived": <int>, "waivers_unused": <int>}
+
+Exits 1 (listing every violation) if any file fails, which lets
+scripts/check.sh gate on both outputs staying machine-readable.
 """
 
 import json
 import sys
 
 ALLOWED_KEYS = {"name", "value", "labels"}
+LINT_FINDING_KEYS = {"rule", "name", "file", "line", "message", "waived",
+                     "waiver_reason"}
+LINT_SUMMARY_KEYS = {"rule", "files_scanned", "findings", "waived",
+                     "waivers_unused"}
 
 
 def check_line(obj):
@@ -50,10 +67,49 @@ def check_line(obj):
     return problems
 
 
+def _is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def check_lint_line(obj, is_last):
+    """Returns a list of violations for one roadnet_lint JSONL record."""
+    problems = []
+    if not isinstance(obj, dict):
+        return ["record is not a JSON object"]
+    if obj.get("rule") == "summary":
+        if not is_last:
+            problems.append("summary record must be the last line")
+        unknown = set(obj) - LINT_SUMMARY_KEYS
+        if unknown:
+            problems.append("unknown keys: %s" % ", ".join(sorted(unknown)))
+        for key in sorted(LINT_SUMMARY_KEYS - {"rule"}):
+            if not _is_int(obj.get(key)) or obj.get(key) < 0:
+                problems.append("'%s' must be a non-negative integer" % key)
+        return problems
+    unknown = set(obj) - LINT_FINDING_KEYS
+    if unknown:
+        problems.append("unknown keys: %s" % ", ".join(sorted(unknown)))
+    for key in ("rule", "name", "file", "message"):
+        if not isinstance(obj.get(key), str) or not obj.get(key):
+            problems.append("'%s' must be a non-empty string" % key)
+    if not _is_int(obj.get("line")) or obj.get("line", 0) < 1:
+        problems.append("'line' must be a positive integer")
+    if not isinstance(obj.get("waived"), bool):
+        problems.append("'waived' must be a boolean")
+    if obj.get("waived") is True:
+        if not isinstance(obj.get("waiver_reason"), str) or \
+                not obj.get("waiver_reason"):
+            problems.append("waived finding must carry 'waiver_reason'")
+    elif "waiver_reason" in obj:
+        problems.append("'waiver_reason' only allowed on waived findings")
+    return problems
+
+
 def validate_file(path):
     """Prints violations for one file; returns the number found."""
     violations = 0
     records = 0
+    is_lint = False
     try:
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
@@ -71,15 +127,30 @@ def validate_file(path):
             print("%s:%d: invalid JSON: %s" % (path, num, e), file=sys.stderr)
             violations += 1
             continue
+        if records == 0:
+            # roadnet_lint findings files are detected by their first
+            # record; the two schemas never mix in one file.
+            is_lint = isinstance(obj, dict) and "rule" in obj
         records += 1
-        for problem in check_line(obj):
+        if is_lint:
+            problems = check_lint_line(obj, is_last=num == len(lines))
+        else:
+            problems = check_line(obj)
+        for problem in problems:
             print("%s:%d: %s" % (path, num, problem), file=sys.stderr)
             violations += 1
     if records == 0:
         print("%s: no metric records" % path, file=sys.stderr)
         violations += 1
+    if is_lint and records > 0 and violations == 0:
+        last = json.loads(lines[-1])
+        if last.get("rule") != "summary":
+            print("%s: lint file must end with a summary record" % path,
+                  file=sys.stderr)
+            violations += 1
     if violations == 0:
-        print("%s: %d records OK" % (path, records))
+        kind = "lint" if is_lint else "metric"
+        print("%s: %d %s records OK" % (path, records, kind))
     return violations
 
 

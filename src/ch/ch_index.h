@@ -91,6 +91,7 @@ class ChIndex : public PathIndex {
       const;
 
   // Single-threaded convenience overload over the default context.
+  // roadnet-lint: allow(R2 legacy single-threaded wrapper over the default context; index structure untouched)
   std::vector<std::pair<VertexId, Distance>> UpwardSearchSpace(VertexId s) {
     std::vector<std::pair<VertexId, Distance>> out;
     UpwardSearchSpace(DefaultContext(), s, &out);

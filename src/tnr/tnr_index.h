@@ -87,6 +87,7 @@ class TnrIndex : public PathIndex {
 
   // Routing counters of the default context (the context-free overloads).
   TnrStats stats() const;
+  // roadnet-lint: allow(R2 resets default-context stats between legacy single-threaded measurement phases; index structure untouched)
   void ResetStats();
 
   // Distinct access nodes of the coarse level (reporting).

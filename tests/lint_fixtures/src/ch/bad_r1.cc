@@ -1,0 +1,16 @@
+// Fixture: R1 must flag a FindEdge call on the query path.
+namespace roadnet {
+
+struct Edge {
+  unsigned target;
+  unsigned weight;
+};
+
+const Edge* FindEdge(unsigned a, unsigned b);
+
+unsigned UnpackHop(unsigned a, unsigned b) {
+  const Edge* e = FindEdge(a, b);  // per-hop edge search: the pre-PR-4 bug
+  return e != nullptr ? e->weight : 0;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,14 @@
+// Fixture: arc-index resolution — no edge search, R1 stays silent.
+// A comment mentioning FindEdge must not count as a finding.
+namespace roadnet {
+
+struct ArcUnpack {
+  unsigned lo;
+  unsigned hi;
+};
+
+unsigned ArcSourceOf(const ArcUnpack* unpack, unsigned arc) {
+  return unpack[arc].lo;  // precomputed child arc index, O(1)
+}
+
+}  // namespace roadnet

@@ -1,0 +1,23 @@
+// Fixture: R6 must flag direct writes to QueryCounters fields — they
+// bypass the ROADNET_DISABLE_COUNTERS guard and survive the
+// no-counters build.
+#include <cstdint>
+
+namespace roadnet {
+
+struct QueryCounters {
+  uint64_t vertices_settled = 0;
+  uint64_t edges_relaxed = 0;
+  void Settle(uint64_t n = 1) { vertices_settled += n; }
+};
+
+struct Context {
+  QueryCounters counters;
+};
+
+void Relax(Context* ctx) {
+  ctx->counters.vertices_settled += 1;  // bypasses the guarded helper
+  ctx->counters.edges_relaxed++;        // same
+}
+
+}  // namespace roadnet

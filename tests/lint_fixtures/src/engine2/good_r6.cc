@@ -1,0 +1,25 @@
+// Fixture: counter updates through the guarded helpers, plus reads and
+// comparisons of the fields — R6 stays silent.
+#include <cstdint>
+
+namespace roadnet {
+
+struct QueryCounters {
+  uint64_t vertices_settled = 0;
+  uint64_t edges_relaxed = 0;
+  void Settle(uint64_t n = 1) { vertices_settled += n; }
+  void RelaxEdge(uint64_t n = 1) { edges_relaxed += n; }
+};
+
+struct Context {
+  QueryCounters counters;
+};
+
+uint64_t Relax(Context* ctx) {
+  ctx->counters.Settle();
+  ctx->counters.RelaxEdge(3);
+  if (ctx->counters.vertices_settled == 0) return 0;  // read: fine
+  return ctx->counters.edges_relaxed;                 // read: fine
+}
+
+}  // namespace roadnet

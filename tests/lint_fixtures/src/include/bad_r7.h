@@ -1,0 +1,12 @@
+// Fixture: R7 must flag the libstdc++ internal header and the
+// namespace leak — both in one header.
+#ifndef FIXTURE_BAD_R7_H_
+#define FIXTURE_BAD_R7_H_
+
+#include <bits/stdc++.h>
+
+using namespace std;
+
+inline int Answer() { return 42; }
+
+#endif  // FIXTURE_BAD_R7_H_

@@ -1,0 +1,10 @@
+// Fixture: standard headers, qualified names — R7 stays silent.
+#ifndef FIXTURE_GOOD_R7_H_
+#define FIXTURE_GOOD_R7_H_
+
+#include <string>
+#include <vector>
+
+inline std::vector<std::string> Names() { return {"a", "b"}; }
+
+#endif  // FIXTURE_GOOD_R7_H_

@@ -1,0 +1,23 @@
+// Fixture: R2 must flag a public non-const method on an *Index class.
+#ifndef FIXTURE_BAD_R2_H_
+#define FIXTURE_BAD_R2_H_
+
+namespace roadnet {
+
+class DemoIndex {
+ public:
+  explicit DemoIndex(int n) : n_(n) {}
+
+  int Size() const { return n_; }
+
+  // Mutates the index after construction: breaks the shared-immutable
+  // thread-safety contract.
+  void SetSize(int n) { n_ = n; }
+
+ private:
+  int n_;
+};
+
+}  // namespace roadnet
+
+#endif  // FIXTURE_BAD_R2_H_

@@ -1,0 +1,18 @@
+// Fixture: R3 must flag a query entry point without a QueryContext.
+#ifndef FIXTURE_BAD_R3_H_
+#define FIXTURE_BAD_R3_H_
+
+namespace roadnet {
+
+using Distance = unsigned;
+using VertexId = unsigned;
+
+class DemoQuerier {
+ public:
+  // Hidden shared scratch: no context parameter.
+  Distance DistanceQuery(VertexId s, VertexId t) const;
+};
+
+}  // namespace roadnet
+
+#endif  // FIXTURE_BAD_R3_H_

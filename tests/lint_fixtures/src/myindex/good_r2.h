@@ -1,0 +1,26 @@
+// Fixture: an immutable *Index class — R2 stays silent. Constructors,
+// statics, = default/delete, and const methods are all exempt.
+#ifndef FIXTURE_GOOD_R2_H_
+#define FIXTURE_GOOD_R2_H_
+
+namespace roadnet {
+
+class CleanIndex {
+ public:
+  explicit CleanIndex(int n) : n_(n) {}
+  CleanIndex(const CleanIndex&) = delete;
+  CleanIndex& operator=(const CleanIndex&) = delete;
+
+  static CleanIndex FromFile(const char* path);
+
+  int Size() const { return n_; }
+
+ private:
+  void BuildInternal();  // private non-const: construction helper, exempt
+
+  int n_;
+};
+
+}  // namespace roadnet
+
+#endif  // FIXTURE_GOOD_R2_H_

@@ -1,0 +1,25 @@
+// Fixture: context-taking query entry points — R3 stays silent, and a
+// call site (`return DistanceQuery(...)`) is not mistaken for a
+// declaration.
+#ifndef FIXTURE_GOOD_R3_H_
+#define FIXTURE_GOOD_R3_H_
+
+namespace roadnet {
+
+using Distance = unsigned;
+using VertexId = unsigned;
+
+class QueryContext;
+
+class CleanQuerier {
+ public:
+  Distance DistanceQuery(QueryContext* ctx, VertexId s, VertexId t) const;
+
+  Distance Twice(QueryContext* ctx, VertexId s, VertexId t) const {
+    return DistanceQuery(ctx, s, t) + DistanceQuery(ctx, t, s);
+  }
+};
+
+}  // namespace roadnet
+
+#endif  // FIXTURE_GOOD_R3_H_

@@ -1,0 +1,24 @@
+// Fixture: R4 must flag a notify on a pointer-reached condvar outside
+// the lock scope — the exact shape of the PR 3 TSan race: the waiter
+// owns the Pending on its stack and destroys it the moment it observes
+// done, so the notify can touch a dead condvar.
+#include <condition_variable>
+#include <mutex>
+
+namespace roadnet {
+
+struct Pending {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+void CompleteRacy(Pending* p) {
+  {
+    std::lock_guard<std::mutex> lock(p->mu);
+    p->done = true;
+  }
+  p->cv.notify_one();  // lock released: waiter may already be gone
+}
+
+}  // namespace roadnet

@@ -1,0 +1,38 @@
+// Fixture: R4 stays silent when the notify runs while the lock is held,
+// and for notifies on member condvars of long-lived owners.
+#include <condition_variable>
+#include <mutex>
+
+namespace roadnet {
+
+struct Pending {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+void CompleteSafe(Pending* p) {
+  std::lock_guard<std::mutex> lock(p->mu);
+  p->done = true;
+  p->cv.notify_one();  // waiter cannot destroy the condvar while we hold mu
+}
+
+class Queue {
+ public:
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    // Member condvar of a long-lived object: after-unlock notify is the
+    // standard (and faster) pattern.
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+};
+
+}  // namespace roadnet

@@ -1,0 +1,22 @@
+// Fixture: R5 must flag nondeterministic randomness and wall-clock
+// seeding in generator/workload code.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace roadnet {
+
+unsigned SampleVertex(unsigned n) {
+  return static_cast<unsigned>(rand()) % n;  // libc PRNG: unseeded, global
+}
+
+unsigned SampleSeeded(unsigned n) {
+  std::mt19937 gen;  // default-constructed: implementation-defined seed
+  return static_cast<unsigned>(gen()) % n;
+}
+
+unsigned WallClockSeed() {
+  return static_cast<unsigned>(time(nullptr));  // irreproducible runs
+}
+
+}  // namespace roadnet

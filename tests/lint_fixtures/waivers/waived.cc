@@ -1,0 +1,24 @@
+// Fixture: a reasoned waiver suppresses the finding — the file must
+// lint clean (zero unwaived findings) while reporting one waived
+// finding. Uses R4, which applies to every path.
+#include <condition_variable>
+#include <mutex>
+
+namespace roadnet {
+
+struct Pending {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+void Complete(Pending* p) {
+  {
+    std::lock_guard<std::mutex> lock(p->mu);
+    p->done = true;
+  }
+  // roadnet-lint: allow(R4 fixture: waiter joins the thread before destroying Pending, so the after-unlock notify cannot dangle)
+  p->cv.notify_one();
+}
+
+}  // namespace roadnet

@@ -1,0 +1,23 @@
+// Fixture: a waiver for a different rule does not suppress the R4
+// finding — the file must still fail the lint.
+#include <condition_variable>
+#include <mutex>
+
+namespace roadnet {
+
+struct Pending {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+void Complete(Pending* p) {
+  {
+    std::lock_guard<std::mutex> lock(p->mu);
+    p->done = true;
+  }
+  // roadnet-lint: allow(R1 wrong rule id: does not cover the R4 finding below)
+  p->cv.notify_one();
+}
+
+}  // namespace roadnet

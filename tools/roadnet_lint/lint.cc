@@ -1,0 +1,388 @@
+#include "roadnet_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace roadnet::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Splits a file's text into lines (trailing newline optional).
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// Blanks comments, string literals, and char literals to spaces across
+// the whole file, preserving line lengths so columns stay meaningful.
+// Handles //, /* */, escape sequences, and R"tag( ... )tag" raw strings.
+// *comment_view gets the inverse projection for comments only: comment
+// text (with its delimiters) verbatim, everything else blanked — the
+// waiver parser reads it so a waiver must live in a real comment, not a
+// string literal.
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& raw,
+    std::vector<std::string>* comment_view) {
+  std::vector<std::string> code = raw;
+  comment_view->assign(raw.size(), "");
+  for (size_t li = 0; li < raw.size(); ++li) {
+    (*comment_view)[li].assign(raw[li].size(), ' ');
+  }
+  auto mark_comment = [&](size_t li, size_t j) {
+    (*comment_view)[li][j] = raw[li][j];
+  };
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // ")tag" that terminates the raw string
+
+  for (size_t li = 0; li < code.size(); ++li) {
+    std::string& line = code[li];
+    size_t i = 0;
+    while (i < line.size()) {
+      char c = line[i];
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            for (size_t j = i; j < line.size(); ++j) {
+              mark_comment(li, j);
+              line[j] = ' ';
+            }
+            i = line.size();
+          } else if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            mark_comment(li, i);
+            mark_comment(li, i + 1);
+            line[i] = line[i + 1] = ' ';
+            i += 2;
+            state = State::kBlockComment;
+          } else if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                     line[i - 1])) &&
+                                 line[i - 1] != '_'))) {
+            // R"tag( — find the opening paren to learn the delimiter.
+            size_t paren = line.find('(', i + 2);
+            if (paren == std::string::npos) {
+              i = line.size();
+              break;
+            }
+            raw_delim = ")" + line.substr(i + 2, paren - (i + 2)) + "\"";
+            for (size_t j = i; j <= paren; ++j) line[j] = ' ';
+            i = paren + 1;
+            state = State::kRawString;
+          } else if (c == '"') {
+            line[i++] = ' ';
+            state = State::kString;
+          } else if (c == '\'') {
+            // Distinguish a char literal from a digit separator (1'000).
+            if (i > 0 && std::isdigit(static_cast<unsigned char>(line[i - 1]))) {
+              ++i;
+            } else {
+              line[i++] = ' ';
+              state = State::kChar;
+            }
+          } else {
+            ++i;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+            mark_comment(li, i);
+            mark_comment(li, i + 1);
+            line[i] = line[i + 1] = ' ';
+            i += 2;
+            state = State::kCode;
+          } else {
+            mark_comment(li, i);
+            line[i++] = ' ';
+          }
+          break;
+        case State::kString:
+        case State::kChar: {
+          const char quote = state == State::kString ? '"' : '\'';
+          if (c == '\\' && i + 1 < line.size()) {
+            line[i] = line[i + 1] = ' ';
+            i += 2;
+          } else if (c == quote) {
+            line[i++] = ' ';
+            state = State::kCode;
+          } else {
+            line[i++] = ' ';
+          }
+          break;
+        }
+        case State::kRawString: {
+          size_t end = line.find(raw_delim, i);
+          if (end == std::string::npos) {
+            for (size_t j = i; j < line.size(); ++j) line[j] = ' ';
+            i = line.size();
+          } else {
+            for (size_t j = i; j < end + raw_delim.size(); ++j) line[j] = ' ';
+            i = end + raw_delim.size();
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    // Unterminated // comment state never spans lines; string state at
+    // EOL is a line continuation or a syntax error — reset to code so
+    // one bad line cannot blank the rest of the file.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+  }
+  return code;
+}
+
+constexpr char kWaiverTag[] = "roadnet-lint: allow(";
+
+// Parses every waiver comment in the file. The waiver must sit in a
+// real comment (the comment view blanks code and string literals, so a
+// tag inside a string never registers). A tag preceded by a second //
+// on the same line is documentation quoting the syntax, not a waiver.
+std::vector<Waiver> ParseWaivers(const std::vector<std::string>& comments) {
+  std::vector<Waiver> waivers;
+  for (size_t li = 0; li < comments.size(); ++li) {
+    size_t pos = comments[li].find(kWaiverTag);
+    if (pos == std::string::npos) continue;
+    size_t first_slashes = comments[li].find("//");
+    if (first_slashes != std::string::npos &&
+        comments[li].find("//", first_slashes + 2) < pos) {
+      continue;  // nested // before the tag: a quoted example
+    }
+    size_t start = pos + sizeof(kWaiverTag) - 1;
+    size_t close = comments[li].find(')', start);
+    if (close == std::string::npos) continue;
+    const std::string body = comments[li].substr(start, close - start);
+    // body = "R2,R3 reason words" — ids up to the first space.
+    size_t space = body.find(' ');
+    const std::string ids_text =
+        space == std::string::npos ? body : body.substr(0, space);
+    std::string reason =
+        space == std::string::npos ? "" : body.substr(space + 1);
+    // Trim the reason.
+    while (!reason.empty() && reason.front() == ' ') reason.erase(0, 1);
+    while (!reason.empty() && reason.back() == ' ') reason.pop_back();
+    Waiver w;
+    w.line = static_cast<int>(li) + 1;
+    w.reason = reason;
+    std::string id;
+    std::stringstream ids(ids_text);
+    while (std::getline(ids, id, ',')) {
+      if (!id.empty()) w.rule_ids.push_back(id);
+    }
+    waivers.push_back(std::move(w));
+  }
+  return waivers;
+}
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool InFixtureTree(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "lint_fixtures") return true;
+  }
+  return false;
+}
+
+// JSON string escaping for the JSONL writer (mirrors obs/metrics.cc).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int LintResult::UnwaivedCount() const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (!f.waived) ++n;
+  }
+  return n;
+}
+
+bool LoadSourceFile(const std::string& root, const std::string& rel_path,
+                    SourceFile* out, std::string* error) {
+  const fs::path full = fs::path(root) / rel_path;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + full.string();
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  out->path = rel_path;
+  out->raw = SplitLines(buf.str());
+  std::vector<std::string> comment_view;
+  out->code = StripCommentsAndStrings(out->raw, &comment_view);
+  out->waivers = ParseWaivers(comment_view);
+  const std::string ext = fs::path(rel_path).extension().string();
+  out->is_header = ext == ".h" || ext == ".hpp";
+  return true;
+}
+
+std::vector<std::string> ListSourceFiles(
+    const std::string& root, const std::vector<std::string>& dirs) {
+  std::vector<std::string> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    if (fs::is_regular_file(base)) {
+      if (!InFixtureTree(dir)) files.push_back(dir);
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      if (!HasSourceExtension(entry.path())) continue;
+      const fs::path rel = fs::relative(entry.path(), root);
+      if (InFixtureTree(rel)) continue;
+      files.push_back(rel.generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+LintResult RunLint(std::vector<SourceFile>& files,
+                   const std::vector<std::unique_ptr<Rule>>& rules,
+                   const std::vector<std::string>& only_rules) {
+  LintResult result;
+  result.files_scanned = static_cast<int>(files.size());
+
+  auto rule_selected = [&only_rules](const std::string& id) {
+    if (only_rules.empty()) return true;
+    return std::find(only_rules.begin(), only_rules.end(), id) !=
+           only_rules.end();
+  };
+
+  for (SourceFile& file : files) {
+    std::vector<Finding> file_findings;
+    for (const auto& rule : rules) {
+      if (!rule_selected(rule->Id())) continue;
+      if (!rule->AppliesTo(file)) continue;
+      size_t before = file_findings.size();
+      rule->Scan(file, &file_findings);
+      for (size_t i = before; i < file_findings.size(); ++i) {
+        file_findings[i].rule_id = rule->Id();
+        file_findings[i].rule_name = rule->Name();
+        file_findings[i].file = file.path;
+      }
+    }
+
+    // Waiver resolution: a waiver covers findings of its rules on its
+    // own line and the next line. Reasonless or unknown-rule waivers
+    // are W1 findings and never suppress anything.
+    for (Waiver& w : file.waivers) {
+      if (w.reason.empty()) {
+        Finding f;
+        f.rule_id = "W1";
+        f.rule_name = "waiver-needs-reason";
+        f.file = file.path;
+        f.line = w.line;
+        f.message =
+            "waiver has no reason string; write "
+            "`roadnet-lint: allow(<rule> <why>)`";
+        file_findings.push_back(std::move(f));
+        continue;
+      }
+      for (Finding& f : file_findings) {
+        if (f.waived || f.rule_id == "W1") continue;
+        if (f.line != w.line && f.line != w.line + 1) continue;
+        if (std::find(w.rule_ids.begin(), w.rule_ids.end(), f.rule_id) ==
+            w.rule_ids.end()) {
+          continue;
+        }
+        f.waived = true;
+        f.waiver_reason = w.reason;
+        w.used = true;
+      }
+    }
+    for (const Waiver& w : file.waivers) {
+      if (w.reason.empty()) continue;  // already a W1 finding
+      if (w.used) {
+        ++result.waivers_used;
+      } else {
+        ++result.waivers_unused;
+      }
+    }
+
+    std::sort(file_findings.begin(), file_findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.rule_id) <
+                       std::tie(b.line, b.rule_id);
+              });
+    for (Finding& f : file_findings) {
+      result.findings.push_back(std::move(f));
+    }
+  }
+  return result;
+}
+
+void WriteText(std::ostream& out, const LintResult& result) {
+  for (const Finding& f : result.findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule_id << " "
+        << f.rule_name << "] " << f.message;
+    if (f.waived) out << " (waived: " << f.waiver_reason << ")";
+    out << "\n";
+  }
+  out << "roadnet_lint: " << result.files_scanned << " files, "
+      << result.UnwaivedCount() << " findings, "
+      << (result.findings.size() -
+          static_cast<size_t>(result.UnwaivedCount()))
+      << " waived, " << result.waivers_unused << " unused waivers\n";
+}
+
+void WriteJsonl(std::ostream& out, const LintResult& result) {
+  for (const Finding& f : result.findings) {
+    out << "{\"rule\":\"" << JsonEscape(f.rule_id) << "\",\"name\":\""
+        << JsonEscape(f.rule_name) << "\",\"file\":\"" << JsonEscape(f.file)
+        << "\",\"line\":" << f.line << ",\"message\":\""
+        << JsonEscape(f.message) << "\",\"waived\":"
+        << (f.waived ? "true" : "false");
+    if (f.waived) {
+      out << ",\"waiver_reason\":\"" << JsonEscape(f.waiver_reason) << "\"";
+    }
+    out << "}\n";
+  }
+  out << "{\"rule\":\"summary\",\"files_scanned\":" << result.files_scanned
+      << ",\"findings\":" << result.UnwaivedCount()
+      << ",\"waived\":" << (result.findings.size() -
+                            static_cast<size_t>(result.UnwaivedCount()))
+      << ",\"waivers_unused\":" << result.waivers_unused << "}\n";
+}
+
+}  // namespace roadnet::lint

@@ -1,0 +1,117 @@
+// roadnet_lint CLI — scans the tree, prints findings, exits nonzero on
+// any finding not covered by a reasoned waiver.
+//
+//   roadnet_lint [--root DIR] [--json FILE] [--rules R1,R4] [--list-rules]
+//                [paths...]
+//
+// Paths are files or directories relative to --root (default: the
+// current directory); with none given the default scan set is
+// src tools bench tests examples. Paths under a lint_fixtures/
+// directory are skipped unless named explicitly (the fixture tree is
+// deliberately rule-breaking test data for tests/lint_test).
+//
+// Exit codes: 0 clean, 1 unwaived findings, 2 usage or I/O error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "roadnet_lint/lint.h"
+
+namespace {
+
+int Usage(const std::string& error) {
+  std::cerr << "roadnet_lint: " << error << "\n"
+            << "usage: roadnet_lint [--root DIR] [--json FILE] "
+               "[--rules R1,R4] [--list-rules] [paths...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  std::vector<std::string> only_rules;
+  std::vector<std::string> paths;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      (void)flag;
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return Usage("--root requires a value");
+      root = v;
+    } else if (arg == "--json") {
+      const char* v = value("--json");
+      if (v == nullptr) return Usage("--json requires a value");
+      json_path = v;
+    } else if (arg == "--rules") {
+      const char* v = value("--rules");
+      if (v == nullptr) return Usage("--rules requires a value");
+      std::stringstream ss(v);
+      std::string id;
+      while (std::getline(ss, id, ',')) {
+        if (!id.empty()) only_rules.push_back(id);
+      }
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage("unknown flag " + arg);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  auto rules = roadnet::lint::BuildAllRules();
+  if (list_rules) {
+    for (const auto& rule : rules) {
+      std::cout << rule->Id() << " " << rule->Name() << ": "
+                << rule->Description() << "\n";
+    }
+    std::cout << "W1 waiver-needs-reason: every `roadnet-lint: allow(...)` "
+                 "must carry a reason string\n";
+    return 0;
+  }
+
+  if (paths.empty()) {
+    paths = {"src", "tools", "bench", "tests", "examples"};
+  }
+  const std::vector<std::string> rel_files =
+      roadnet::lint::ListSourceFiles(root, paths);
+  if (rel_files.empty()) {
+    return Usage("no source files found under '" + root + "'");
+  }
+
+  std::vector<roadnet::lint::SourceFile> files;
+  files.reserve(rel_files.size());
+  for (const std::string& rel : rel_files) {
+    roadnet::lint::SourceFile f;
+    std::string error;
+    if (!roadnet::lint::LoadSourceFile(root, rel, &f, &error)) {
+      std::cerr << "roadnet_lint: " << error << "\n";
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+
+  const roadnet::lint::LintResult result =
+      roadnet::lint::RunLint(files, rules, only_rules);
+  roadnet::lint::WriteText(std::cout, result);
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "roadnet_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    roadnet::lint::WriteJsonl(json, result);
+  }
+  return result.UnwaivedCount() > 0 ? 1 : 0;
+}

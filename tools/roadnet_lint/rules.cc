@@ -1,0 +1,658 @@
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "roadnet_lint/lint.h"
+
+// The rule catalog. Every rule is grounded in a bug or near-miss this
+// codebase actually hit; DESIGN.md "Static analysis & sanitizer matrix"
+// tells each story. Rules scan the comment/string-stripped view
+// (SourceFile::code) so matches are always live code.
+
+namespace roadnet::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Whole-word occurrence check at `pos`.
+bool IsWordAt(const std::string& line, size_t pos, size_t len) {
+  if (pos > 0 && IsIdentChar(line[pos - 1])) return false;
+  if (pos + len < line.size() && IsIdentChar(line[pos + len])) return false;
+  return true;
+}
+
+// Calls fn(line_index, column) for every whole-word occurrence.
+template <typename Fn>
+void ForEachWord(const std::vector<std::string>& code, const std::string& word,
+                 Fn fn) {
+  for (size_t li = 0; li < code.size(); ++li) {
+    const std::string& line = code[li];
+    size_t pos = 0;
+    while ((pos = line.find(word, pos)) != std::string::npos) {
+      if (IsWordAt(line, pos, word.size())) fn(li, pos);
+      pos += word.size();
+    }
+  }
+}
+
+bool PathStartsWith(const SourceFile& f, const char* prefix) {
+  return f.path.rfind(prefix, 0) == 0;
+}
+
+Finding MakeFinding(int line, std::string message) {
+  Finding f;
+  f.line = line;
+  f.message = std::move(message);
+  return f;
+}
+
+// Joined view of the stripped code with offset -> line mapping, for the
+// rules whose constructs span lines (class bodies, parameter lists).
+struct Text {
+  std::string s;
+  std::vector<size_t> line_start;
+
+  explicit Text(const std::vector<std::string>& code) {
+    for (const std::string& line : code) {
+      line_start.push_back(s.size());
+      s += line;
+      s += '\n';
+    }
+  }
+
+  int LineOf(size_t off) const {
+    auto it = std::upper_bound(line_start.begin(), line_start.end(), off);
+    return static_cast<int>(it - line_start.begin());
+  }
+};
+
+size_t SkipSpaces(const std::string& s, size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Offset just past the brace/paren that matches s[open] (which must be
+// an opener); npos if unbalanced.
+size_t SkipBalanced(const std::string& s, size_t open, char o, char c) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == o) ++depth;
+    if (s[i] == c && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+bool ContainsWord(const std::string& s, const std::string& word) {
+  size_t pos = 0;
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    if (IsWordAt(s, pos, word.size())) return true;
+    pos += word.size();
+  }
+  return false;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// ---------------------------------------------------------------------------
+// R1: no FindEdge / edge searches in query-path code.
+//
+// Grounding: the pre-PR-4 CH unpacker resolved every shortcut with a
+// binary-searched FindEdge per hop; the rank-space layout deleted it by
+// precomputing child arc indices. Any FindEdge that reappears under
+// src/ch, src/dijkstra, or src/engine is the hot path regressing.
+class NoFindEdgeRule : public Rule {
+ public:
+  std::string Id() const override { return "R1"; }
+  std::string Name() const override { return "no-find-edge"; }
+  std::string Description() const override {
+    return "query-path code (src/ch, src/dijkstra, src/engine) must not "
+           "call or declare FindEdge-style per-hop edge searches";
+  }
+  bool AppliesTo(const SourceFile& f) const override {
+    return PathStartsWith(f, "src/ch/") || PathStartsWith(f, "src/dijkstra/") ||
+           PathStartsWith(f, "src/engine/");
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    ForEachWord(f.code, "FindEdge", [&](size_t li, size_t) {
+      out->push_back(MakeFinding(
+          static_cast<int>(li) + 1,
+          "FindEdge on the query path: shortcuts must resolve through "
+          "precomputed arc indices (see ChIndex::ArcSource), not per-hop "
+          "edge searches"));
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R2: *Index classes expose no public non-const methods.
+//
+// Grounding: the thread-safety contract (one immutable index, N
+// QueryContexts) only holds if nothing can mutate the index after its
+// constructor returns. PR 4 deleted ChIndex::set_stall_on_demand for
+// exactly this reason. Constructors, destructors, operator=, statics,
+// and `= default/delete` are exempt; legacy single-threaded wrappers
+// carry reasoned waivers.
+class IndexImmutableRule : public Rule {
+ public:
+  std::string Id() const override { return "R2"; }
+  std::string Name() const override { return "index-immutable"; }
+  std::string Description() const override {
+    return "classes named *Index expose no public non-const methods; "
+           "indexes are immutable after construction";
+  }
+  bool AppliesTo(const SourceFile& f) const override {
+    return PathStartsWith(f, "src/");
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    Text text(f.code);
+    const std::string& s = text.s;
+    for (size_t pos = 0; pos < s.size();) {
+      size_t cls = std::string::npos;
+      bool is_struct = false;
+      size_t c1 = s.find("class", pos);
+      size_t c2 = s.find("struct", pos);
+      if (c1 == std::string::npos && c2 == std::string::npos) break;
+      if (c2 < c1) {
+        cls = c2;
+        is_struct = true;
+      } else {
+        cls = c1;
+      }
+      size_t after = cls + (is_struct ? 6 : 5);
+      if (!IsWordAt(s, cls, after - cls)) {
+        pos = after;
+        continue;
+      }
+      size_t name_begin = SkipSpaces(s, after);
+      size_t name_end = name_begin;
+      while (name_end < s.size() && IsIdentChar(s[name_end])) ++name_end;
+      const std::string name = s.substr(name_begin, name_end - name_begin);
+      pos = name_end;
+      if (name.size() < 6 || name.compare(name.size() - 5, 5, "Index") != 0) {
+        continue;
+      }
+      // Definition or forward declaration? Find '{' before ';'.
+      size_t brace = s.find('{', name_end);
+      size_t semi = s.find(';', name_end);
+      if (brace == std::string::npos ||
+          (semi != std::string::npos && semi < brace)) {
+        continue;
+      }
+      ScanClassBody(text, name, is_struct, brace, out);
+      pos = brace + 1;
+    }
+  }
+
+ private:
+  void ScanClassBody(const Text& text, const std::string& class_name,
+                     bool is_struct, size_t open_brace,
+                     std::vector<Finding>* out) const {
+    const std::string& s = text.s;
+    bool is_public = is_struct;
+    std::string stmt;
+    size_t stmt_begin = std::string::npos;
+    int paren_depth = 0;
+    size_t i = open_brace + 1;
+    auto flush = [&](bool before_block) {
+      if (is_public) {
+        CheckStatement(text, class_name, Trim(stmt), stmt_begin, before_block,
+                       out);
+      }
+      stmt.clear();
+      stmt_begin = std::string::npos;
+    };
+    while (i < s.size()) {
+      char c = s[i];
+      if (c == '(') ++paren_depth;
+      if (c == ')') --paren_depth;
+      if (paren_depth > 0) {
+        // Inside a parameter list or init-list call; braces here
+        // (ChConfig{} arguments, brace-init default args) are part of
+        // the statement, not blocks.
+        if (stmt_begin == std::string::npos &&
+            !std::isspace(static_cast<unsigned char>(c))) {
+          stmt_begin = i;
+        }
+        stmt += c;
+        ++i;
+        continue;
+      }
+      if (c == '}') {
+        return;  // end of class body (nested blocks are skipped below)
+      }
+      if (c == '{' && paren_depth == 0) {
+        flush(/*before_block=*/true);
+        size_t end = SkipBalanced(s, i, '{', '}');
+        if (end == std::string::npos) return;
+        i = end;
+        continue;
+      }
+      if (c == ';' && paren_depth == 0) {
+        flush(/*before_block=*/false);
+        ++i;
+        continue;
+      }
+      if (c == ':' && paren_depth == 0) {
+        if (i + 1 < s.size() && s[i + 1] == ':') {
+          stmt += "::";
+          i += 2;
+          continue;
+        }
+        const std::string t = Trim(stmt);
+        if (t == "public" || t == "protected" || t == "private") {
+          is_public = t == "public";
+          stmt.clear();
+          stmt_begin = std::string::npos;
+          ++i;
+          continue;
+        }
+      }
+      if (stmt_begin == std::string::npos &&
+          !std::isspace(static_cast<unsigned char>(c))) {
+        stmt_begin = i;
+      }
+      stmt += c;
+      ++i;
+    }
+  }
+
+  void CheckStatement(const Text& text, const std::string& class_name,
+                      const std::string& stmt, size_t stmt_begin,
+                      bool has_body, std::vector<Finding>* out) const {
+    (void)has_body;
+    if (stmt.empty() || stmt_begin == std::string::npos) return;
+    for (const char* skip : {"using ", "friend ", "typedef ", "template",
+                             "static_assert", "struct ", "class ", "enum "}) {
+      if (stmt.rfind(skip, 0) == 0) return;
+    }
+    if (ContainsWord(stmt, "operator")) return;
+    if (ContainsWord(stmt, "static")) return;
+    size_t open = stmt.find('(');
+    if (open == std::string::npos) return;  // data member
+    // Method name: identifier immediately before '('.
+    size_t name_end = open;
+    while (name_end > 0 &&
+           std::isspace(static_cast<unsigned char>(stmt[name_end - 1]))) {
+      --name_end;
+    }
+    size_t name_begin = name_end;
+    while (name_begin > 0 && IsIdentChar(stmt[name_begin - 1])) --name_begin;
+    const std::string name = stmt.substr(name_begin, name_end - name_begin);
+    if (name.empty()) return;
+    if (name == class_name) return;  // constructor
+    if (name_begin > 0 && stmt[name_begin - 1] == '~') return;  // destructor
+    size_t close = SkipBalanced(stmt, open, '(', ')');
+    if (close == std::string::npos) return;
+    const std::string trailer = stmt.substr(close);
+    if (ContainsWord(trailer, "const")) return;
+    if (trailer.find("= delete") != std::string::npos ||
+        trailer.find("= default") != std::string::npos ||
+        trailer.find("=delete") != std::string::npos ||
+        trailer.find("=default") != std::string::npos) {
+      return;
+    }
+    out->push_back(MakeFinding(
+        text.LineOf(stmt_begin),
+        "public non-const method " + class_name + "::" + name +
+            " on an *Index class; indexes are immutable after "
+            "construction (move mutation into the constructor, a "
+            "QueryContext, or a build-time config)"));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R3: query entry points take a QueryContext.
+//
+// Grounding: PR 1 split every index into immutable structure +
+// per-thread QueryContext; a DistanceQuery/PathQuery declaration
+// without a context parameter reintroduces hidden shared scratch and
+// breaks the one-index-many-threads contract. The single-threaded
+// convenience wrappers in routing/path_index.h carry reasoned waivers.
+class ContextQueryApiRule : public Rule {
+ public:
+  std::string Id() const override { return "R3"; }
+  std::string Name() const override { return "context-query-api"; }
+  std::string Description() const override {
+    return "DistanceQuery/PathQuery declarations in src/ must take a "
+           "QueryContext (per-thread scratch; index stays immutable)";
+  }
+  bool AppliesTo(const SourceFile& f) const override {
+    return PathStartsWith(f, "src/");
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    Text text(f.code);
+    for (const char* entry : {"DistanceQuery", "PathQuery"}) {
+      ScanEntry(text, entry, out);
+    }
+  }
+
+ private:
+  void ScanEntry(const Text& text, const std::string& word,
+                 std::vector<Finding>* out) const {
+    const std::string& s = text.s;
+    size_t pos = 0;
+    while ((pos = s.find(word, pos)) != std::string::npos) {
+      const size_t here = pos;
+      pos += word.size();
+      if (!IsWordAt(s, here, word.size())) continue;
+      // Declaration heuristics: preceded by a type name or :: (an
+      // out-of-line definition), not by . or -> (a call site) and not
+      // in a using-declaration.
+      size_t back = here;
+      while (back > 0 &&
+             std::isspace(static_cast<unsigned char>(s[back - 1]))) {
+        --back;
+      }
+      if (back == 0) continue;
+      const char prev = s[back - 1];
+      if (prev == '.' || prev == '(' || prev == ',' || prev == '=' ||
+          prev == '&') {
+        continue;  // call site or function-pointer use
+      }
+      if (prev == '>' && back >= 2 && s[back - 2] == '-') continue;  // ->
+      if (IsIdentChar(prev)) {
+        // `return DistanceQuery(...)` is a call, not a declaration.
+        size_t wb = back;
+        while (wb > 0 && IsIdentChar(s[wb - 1])) --wb;
+        if (s.compare(wb, back - wb, "return") == 0) continue;
+      }
+      if (prev == ':') {
+        // Qualified name: skip `using PathIndex::DistanceQuery;`.
+        size_t line_begin = s.rfind('\n', here);
+        line_begin = line_begin == std::string::npos ? 0 : line_begin + 1;
+        if (Trim(s.substr(line_begin, here - line_begin)).rfind("using", 0) ==
+            0) {
+          continue;
+        }
+      } else if (!IsIdentChar(prev)) {
+        continue;  // not `Type Name(` — some expression context
+      }
+      size_t open = SkipSpaces(s, here + word.size());
+      if (open >= s.size() || s[open] != '(') continue;
+      size_t close = SkipBalanced(s, open, '(', ')');
+      if (close == std::string::npos) continue;
+      const std::string params = s.substr(open, close - open);
+      if (params.find("QueryContext") != std::string::npos) continue;
+      out->push_back(MakeFinding(
+          text.LineOf(here),
+          word + " declared without a QueryContext parameter; query "
+                 "entry points thread per-thread scratch explicitly so "
+                 "the index can be shared across threads"));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R4: no notify on a pointer-reached condvar outside a lock scope.
+//
+// Grounding: PR 3's TSan-caught race — QueryServer::Complete notified
+// the handler's stack-owned Pending condvar after unlocking; the waiter
+// could observe `done`, return, and destroy the condvar before the
+// notify touched it. When the condvar is reached through a pointer
+// (`p->cv.notify_one()`), the notify must happen while a
+// lock_guard/unique_lock/scoped_lock is still in scope.
+class NotifyUnderLockRule : public Rule {
+ public:
+  std::string Id() const override { return "R4"; }
+  std::string Name() const override { return "notify-under-lock"; }
+  std::string Description() const override {
+    return "notify_one/notify_all on a condvar reached through a pointer "
+           "must run inside a live lock scope (waiter-owned condvars die "
+           "at unlock)";
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    Text text(f.code);
+    const std::string& s = text.s;
+    int depth = 0;
+    std::vector<int> lock_depths;
+    size_t i = 0;
+    while (i < s.size()) {
+      char c = s[i];
+      if (c == '{') {
+        ++depth;
+        ++i;
+        continue;
+      }
+      if (c == '}') {
+        --depth;
+        while (!lock_depths.empty() && lock_depths.back() > depth) {
+          lock_depths.pop_back();
+        }
+        ++i;
+        continue;
+      }
+      if (IsIdentChar(c) && (i == 0 || !IsIdentChar(s[i - 1]))) {
+        size_t end = i;
+        while (end < s.size() && IsIdentChar(s[end])) ++end;
+        const std::string word = s.substr(i, end - i);
+        if (word == "lock_guard" || word == "unique_lock" ||
+            word == "scoped_lock") {
+          lock_depths.push_back(depth);
+        } else if (word == "notify_one" || word == "notify_all") {
+          size_t paren = SkipSpaces(s, end);
+          if (paren < s.size() && s[paren] == '(') {
+            // Receiver: the expression chars right before the word.
+            size_t r = i;
+            while (r > 0 && (IsIdentChar(s[r - 1]) || s[r - 1] == '.' ||
+                             s[r - 1] == '>' || s[r - 1] == '-' ||
+                             s[r - 1] == ']' || s[r - 1] == '[' ||
+                             s[r - 1] == ':')) {
+              --r;
+            }
+            const std::string receiver = s.substr(r, i - r);
+            if (receiver.find("->") != std::string::npos &&
+                lock_depths.empty()) {
+              out->push_back(MakeFinding(
+                  text.LineOf(i),
+                  "notify on pointer-reached condvar '" +
+                      receiver.substr(0, receiver.size() - 1) +
+                      "' outside any lock scope; if the waiter owns the "
+                      "condvar (stack/struct), it can be destroyed "
+                      "between unlock and notify — notify while the "
+                      "lock is held"));
+            }
+          }
+        }
+        i = end;
+        continue;
+      }
+      ++i;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R5: deterministic generator/workload code stays deterministic.
+//
+// Grounding: every experiment is reproduced bit-for-bit from an
+// explicit seed (util/rng.h SplitMix64); one rand() or wall-clock read
+// in graph generation or query sampling silently breaks every paired
+// comparison the benches rely on.
+class DeterministicRandomRule : public Rule {
+ public:
+  std::string Id() const override { return "R5"; }
+  std::string Name() const override { return "deterministic-random"; }
+  std::string Description() const override {
+    return "generator/workload code (src/graph, src/workload) must use "
+           "seeded roadnet::Rng — no rand(), unseeded mt19937, "
+           "random_device, or wall-clock reads";
+  }
+  bool AppliesTo(const SourceFile& f) const override {
+    return PathStartsWith(f, "src/workload/") ||
+           PathStartsWith(f, "src/graph/");
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    for (const char* banned : {"rand", "srand", "random_device",
+                               "gettimeofday", "system_clock"}) {
+      ForEachWord(f.code, banned, [&](size_t li, size_t) {
+        out->push_back(MakeFinding(
+            static_cast<int>(li) + 1,
+            std::string(banned) +
+                " in deterministic generator/workload code; take an "
+                "explicit seed and use roadnet::Rng so experiments "
+                "reproduce bit-for-bit"));
+      });
+    }
+    // time(nullptr) / time(NULL) / time(0): wall-clock seeding.
+    ForEachWord(f.code, "time", [&](size_t li, size_t col) {
+      const std::string& line = f.code[li];
+      size_t p = SkipSpaces(line, col + 4);
+      if (p >= line.size() || line[p] != '(') return;
+      size_t a = SkipSpaces(line, p + 1);
+      for (const char* arg : {"nullptr", "NULL", "0"}) {
+        const size_t len = std::string(arg).size();
+        if (line.compare(a, len, arg) == 0) {
+          out->push_back(MakeFinding(
+              static_cast<int>(li) + 1,
+              "wall-clock seed time(" + std::string(arg) +
+                  ") in deterministic code; take an explicit seed"));
+          return;
+        }
+      }
+    });
+    // Unseeded std::mt19937: `mt19937 gen;` (no ctor argument).
+    for (const char* engine : {"mt19937", "mt19937_64"}) {
+      ForEachWord(f.code, engine, [&](size_t li, size_t col) {
+        const std::string& line = f.code[li];
+        size_t p = SkipSpaces(line, col + std::string(engine).size());
+        // Variable declaration: identifier after the type name.
+        size_t name_end = p;
+        while (name_end < line.size() && IsIdentChar(line[name_end])) {
+          ++name_end;
+        }
+        if (name_end == p) return;  // qualified use / temporary — skip
+        size_t q = SkipSpaces(line, name_end);
+        if (q < line.size() && (line[q] == '(' || line[q] == '{')) {
+          return;  // seeded construction
+        }
+        out->push_back(MakeFinding(
+            static_cast<int>(li) + 1,
+            std::string(engine) +
+                " default-constructed (fixed implementation-defined "
+                "seed, and not the repo's Rng); seed explicitly or use "
+                "roadnet::Rng"));
+      });
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R6: counter increments go through the guarded API.
+//
+// Grounding: ROADNET_DISABLE_COUNTERS must compile every increment away
+// (DESIGN.md's <=5% overhead contract is verified against that build).
+// A raw `counters.vertices_settled += 1` bypasses the `if constexpr`
+// guard in the Settle()/RelaxEdge()/... helpers and survives the
+// no-counters build, silently re-adding hot-path work.
+class CounterGuardRule : public Rule {
+ public:
+  std::string Id() const override { return "R6"; }
+  std::string Name() const override { return "counter-guarded-increment"; }
+  std::string Description() const override {
+    return "QueryCounters fields are written only through the "
+           "ROADNET_DISABLE_COUNTERS-guarded helpers (Settle(), "
+           "RelaxEdge(), ...), never by direct field writes";
+  }
+  bool AppliesTo(const SourceFile& f) const override {
+    if (f.path == "src/obs/query_counters.h") return false;  // the API itself
+    return PathStartsWith(f, "src/") || PathStartsWith(f, "bench/");
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    static const char* kFields[] = {
+        "vertices_settled", "edges_relaxed",      "heap_pushes",
+        "heap_pops",        "shortcuts_unpacked", "edge_searches",
+        "table_lookups",    "tree_lookups"};
+    for (const char* field : kFields) {
+      ForEachWord(f.code, field, [&](size_t li, size_t col) {
+        const std::string& line = f.code[li];
+        if (col == 0) return;
+        const char prev = line[col - 1];
+        const bool member_access =
+            prev == '.' || (prev == '>' && col >= 2 && line[col - 2] == '-');
+        if (!member_access) return;
+        size_t p = SkipSpaces(line, col + std::string(field).size());
+        if (p >= line.size()) return;
+        bool write = false;
+        if (line.compare(p, 2, "+=") == 0 || line.compare(p, 2, "-=") == 0 ||
+            line.compare(p, 2, "++") == 0 || line.compare(p, 2, "--") == 0) {
+          write = true;
+        } else if (line[p] == '=' &&
+                   (p + 1 >= line.size() || line[p + 1] != '=')) {
+          write = true;
+        }
+        if (!write) return;
+        out->push_back(MakeFinding(
+            static_cast<int>(li) + 1,
+            std::string("direct write to QueryCounters::") + field +
+                "; use the guarded increment API (counters.Settle(), "
+                ".RelaxEdge(), ...) so ROADNET_DISABLE_COUNTERS "
+                "compiles it away"));
+      });
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R7: include hygiene.
+//
+// Grounding: <bits/...> headers are libstdc++ internals (non-portable,
+// and they drag in the world, bloating every TU); `using namespace std`
+// in a header leaks into every includer and has already caused one
+// ambiguous-overload build break downstream of <algorithm>.
+class IncludeHygieneRule : public Rule {
+ public:
+  std::string Id() const override { return "R7"; }
+  std::string Name() const override { return "include-hygiene"; }
+  std::string Description() const override {
+    return "no <bits/...> includes anywhere; no `using namespace std` "
+           "in headers";
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    for (size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      const std::string trimmed = Trim(line);
+      if (trimmed.rfind("#", 0) == 0 &&
+          trimmed.find("<bits/") != std::string::npos) {
+        out->push_back(MakeFinding(
+            static_cast<int>(li) + 1,
+            "#include <bits/...> is a libstdc++ internal header; "
+            "include the standard headers you use"));
+      }
+      if (f.is_header && line.find("using namespace std") != std::string::npos) {
+        out->push_back(MakeFinding(
+            static_cast<int>(li) + 1,
+            "`using namespace std` in a header leaks into every "
+            "includer; qualify names instead"));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> BuildAllRules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<NoFindEdgeRule>());
+  rules.push_back(std::make_unique<IndexImmutableRule>());
+  rules.push_back(std::make_unique<ContextQueryApiRule>());
+  rules.push_back(std::make_unique<NotifyUnderLockRule>());
+  rules.push_back(std::make_unique<DeterministicRandomRule>());
+  rules.push_back(std::make_unique<CounterGuardRule>());
+  rules.push_back(std::make_unique<IncludeHygieneRule>());
+  return rules;
+}
+
+}  // namespace roadnet::lint
