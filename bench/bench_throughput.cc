@@ -19,6 +19,7 @@
 #include "ch/ch_index.h"
 #include "dijkstra/bidirectional.h"
 #include "engine/query_engine.h"
+#include "hl/hl_index.h"
 #include "pcpd/pcpd_index.h"
 #include "silc/silc_index.h"
 #include "tnr/tnr_index.h"
@@ -51,13 +52,14 @@ int main() {
     TnrConfig config;
     config.grid_resolution = bench::PaperGridResolution();
     TnrIndex tnr(g, &ch, config);
+    HlIndex hl(g, ch);
     std::unique_ptr<SilcIndex> silc;
     std::unique_ptr<PcpdIndex> pcpd;
     if (g.NumVertices() <= bench::MaxVerticesForAllPairs()) {
       silc = std::make_unique<SilcIndex>(g);
       pcpd = std::make_unique<PcpdIndex>(g);
     }
-    std::vector<PathIndex*> indexes = {&bidi, &ch, &tnr};
+    std::vector<PathIndex*> indexes = {&bidi, &ch, &hl, &tnr};
     if (silc != nullptr) indexes.push_back(silc.get());
     if (pcpd != nullptr) indexes.push_back(pcpd.get());
 

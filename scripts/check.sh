@@ -43,7 +43,7 @@ stage_smoke() {
   echo "==> Metrics schema + search-space smoke (build/)"
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build -j"$(nproc)" --target \
-    roadnet_cli roadnet_loadgen bench_searchspace bench_ch_layout
+    roadnet_cli roadnet_loadgen bench_searchspace bench_ch_layout bench_hl
   SMOKE="$(mktemp -d)"
   build/tools/roadnet_cli generate --vertices 1500 --seed 5 \
     --out "$SMOKE/g.bin" >/dev/null
@@ -67,6 +67,13 @@ stage_smoke() {
     >/dev/null
   python3 scripts/validate_metrics.py "$SMOKE/BENCH_ch_layout.json"
 
+  echo "==> HL bench: label merge vs CH search (quick gate)"
+  # Exits nonzero if HL disagrees with CH on any distance or if the label
+  # merge is not faster than the rank-SoA CH core on the Q6..Q10 workload
+  # of the largest quick dataset.
+  build/bench/bench_hl --quick --out "$SMOKE/BENCH_hl.json" >/dev/null
+  python3 scripts/validate_metrics.py "$SMOKE/BENCH_hl.json"
+
   echo "==> Server smoke: serve + loadgen over loopback (build/)"
   # Ephemeral port; the server writes the bound port to a file the load
   # generator reads. The loadgen verifies EVERY answered distance against a
@@ -87,6 +94,25 @@ stage_smoke() {
   wait "$SERVER_PID"
   SERVER_PID=""
   python3 scripts/validate_metrics.py "$SMOKE/server_metrics.jsonl"
+
+  echo "==> Server smoke: HL over the wire, Dijkstra-verified (build/)"
+  # Same drill hosting hub labels: the server loads the CH file, builds
+  # labels from it, and every answered distance is checked against the
+  # loadgen's local Dijkstra oracle.
+  rm -f "$SMOKE/port"
+  build/tools/roadnet_cli serve --graph "$SMOKE/g.bin" --index "$SMOKE/g.ch" \
+    --technique hl --port 0 --port-file "$SMOKE/port" >/dev/null &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$SMOKE/port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$SMOKE/port" ]] || { echo "server never wrote port file"; exit 1; }
+  build/tools/roadnet_loadgen --port "$(cat "$SMOKE/port")" \
+    --graph "$SMOKE/g.bin" --connections 4 --queries 1000 \
+    --technique hl --verify-every 1 --workload Q5 --shutdown >/dev/null
+  wait "$SERVER_PID"
+  SERVER_PID=""
   rm -rf "$SMOKE"
   SMOKE=""
 }
@@ -119,6 +145,9 @@ stage_asan_ubsan() {
   echo "==> ASan+UBSan build + full test suite (build-asan-ubsan/)"
   # -fno-sanitize-recover: the first UB report aborts the test, so the
   # suite cannot pass with latent UB. Leak detection comes with ASan.
+  # The full suite includes differential_test: 10k+ randomized queries
+  # where Dijkstra, bidi, CH, HL and ALT must agree exactly, all under
+  # the sanitizers.
   cmake -B build-asan-ubsan -S . -DROADNET_SANITIZE=address,undefined \
     >/dev/null
   cmake --build build-asan-ubsan -j"$(nproc)"
@@ -130,9 +159,9 @@ stage_tsan() {
   cmake -B build-tsan -S . -DROADNET_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target \
     engine_equivalence_test engine_stress_test engine_edge_test \
-    ch_layout_test server_test bench_server
+    ch_layout_test server_test hl_test bench_server
   (cd build-tsan && \
-    ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|ChLayout|QueryServer|Wire|BoundedQueue')
+    ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|ChLayout|QueryServer|Wire|BoundedQueue|HubLabel')
   # The serving bench under TSan covers the accept/handler/dispatcher/client
   # thread web end to end.
   ROADNET_BENCH_FAST=1 build-tsan/bench/bench_server >/dev/null

@@ -75,6 +75,7 @@ class ChIndex : public PathIndex {
   bool StallOnDemand() const { return stall_on_demand_; }
 
   uint32_t RankOf(VertexId v) const { return rank_[v]; }
+  VertexId VertexAtRank(uint32_t r) const { return order_[r]; }
   size_t NumShortcuts() const { return num_shortcuts_; }
   size_t SettledCount() const { return ContextCounters().vertices_settled; }
 

@@ -5,6 +5,7 @@
 #include "alt/alt_index.h"
 #include "ch/ch_index.h"
 #include "dijkstra/bidirectional.h"
+#include "hl/hl_index.h"
 
 namespace roadnet {
 namespace server {
@@ -30,9 +31,27 @@ std::unique_ptr<PathIndex> MakeIndex(const std::string& technique,
     }
     return ChIndex::Deserialize(graph, file, error);
   }
+  if (technique == "hl") {
+    // Hub labels are derived from a CH; the server builds (or loads)
+    // the hierarchy first and the label index adopts it — path queries
+    // keep using it for unpacking.
+    std::unique_ptr<const ChIndex> ch;
+    if (ch_index_path.empty()) {
+      ch = std::make_unique<ChIndex>(graph);
+    } else {
+      std::ifstream file(ch_index_path, std::ios::binary);
+      if (!file) {
+        if (error != nullptr) *error = "cannot open " + ch_index_path;
+        return nullptr;
+      }
+      ch = ChIndex::Deserialize(graph, file, error);
+      if (ch == nullptr) return nullptr;
+    }
+    return HlIndex::BuildOwning(graph, std::move(ch));
+  }
   if (error != nullptr) {
     *error = "unknown technique '" + technique +
-             "' (expected bidi, ch, or alt)";
+             "' (expected bidi, ch, alt, or hl)";
   }
   return nullptr;
 }

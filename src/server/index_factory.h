@@ -18,6 +18,9 @@ namespace server {
 //           older formats are rejected with a re-run hint), else
 //           contracts the graph in-process
 //   "alt"   ALT landmarks
+//   "hl"    hub labels built from a CH (loaded from `ch_index_path`
+//           if non-empty, else contracted in-process); the label index
+//           adopts the hierarchy and path queries unpack through it
 // Techniques with multi-minute preprocessing on serving-scale graphs
 // (TNR, SILC, PCPD) are deliberately not offered here: build them
 // offline first if they gain a serialized form.

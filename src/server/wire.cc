@@ -46,6 +46,7 @@ uint8_t TechniqueId(const std::string& name) {
   if (name == "bidi") return 1;
   if (name == "ch") return 2;
   if (name == "alt") return 3;
+  if (name == "hl") return 4;
   return 0;
 }
 
@@ -55,6 +56,7 @@ std::string TechniqueName(uint8_t id) {
     case 1: return "bidi";
     case 2: return "ch";
     case 3: return "alt";
+    case 4: return "hl";
     default: return "?";
   }
 }

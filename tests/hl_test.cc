@@ -1,0 +1,242 @@
+#include "hl/hl_index.h"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ch/ch_index.h"
+#include "dijkstra/dijkstra.h"
+#include "tests/test_util.h"
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+TEST(HubLabel, MatchesPaperFigure1) {
+  Graph g = PaperFigure1Graph();
+  ChIndex ch(g);
+  HlIndex hl(g, ch);
+  // The paper's CH walkthrough: dist(v3, v7) = 6.
+  EXPECT_EQ(hl.DistanceQuery(2, 6), 6u);
+  ExpectIndexCorrect(g, &hl, 64, 3);
+}
+
+// Canonical label form: hubs strictly rank-sorted, the vertex itself
+// present at distance 0, and — the distance-check pruning invariant —
+// every stored distance is the true shortest-path distance (a prunable
+// hub is exactly one stored above its true distance; none may survive).
+TEST(HubLabel, LabelsAreCanonicalAndExact) {
+  Graph g = TestNetwork(400, 41);
+  ChIndex ch(g);
+  HlIndex hl(g, ch);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto label = hl.Label(v);
+    ASSERT_FALSE(label.empty()) << "v=" << v;
+    bool has_self = false;
+    for (size_t i = 0; i < label.size(); ++i) {
+      ASSERT_LT(label[i].hub, g.NumVertices()) << "v=" << v;
+      if (i > 0) {
+        EXPECT_LT(label[i - 1].hub, label[i].hub)
+            << "label of v=" << v << " not strictly rank-sorted at " << i;
+      }
+      if (label[i].hub == ch.RankOf(v)) {
+        has_self = true;
+        EXPECT_EQ(label[i].dist, 0u) << "self-hub of v=" << v;
+      }
+    }
+    EXPECT_TRUE(has_self) << "label of v=" << v << " misses its self-hub";
+  }
+  // Spot-check stored distances against Dijkstra ground truth.
+  Dijkstra reference(g);
+  Rng rng(43);
+  for (int i = 0; i < 25; ++i) {
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBelow(g.NumVertices()));
+    for (const auto& entry : hl.Label(v)) {
+      const VertexId hub = ch.VertexAtRank(entry.hub);
+      EXPECT_EQ(reference.Run(v, hub), Distance{entry.dist})
+          << "v=" << v << " hub=" << hub;
+    }
+  }
+}
+
+TEST(HubLabel, AgreesWithDijkstraOnRandomNetwork) {
+  Graph g = TestNetwork(600, 47);
+  ChIndex ch(g);
+  HlIndex hl(g, ch);
+  ExpectIndexCorrect(g, &hl, 120, 49);
+}
+
+TEST(HubLabel, UnreachableAcrossComponentsIsInfinity) {
+  // Two disjoint triangles: labels of different components share no
+  // hub, so the merge finds an empty intersection.
+  GraphBuilder b(6);
+  for (VertexId v = 0; v < 6; ++v) {
+    b.SetCoord(v, Point{static_cast<int32_t>(v), v < 3 ? 0 : 100});
+  }
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 2, 1);
+  b.AddEdge(2, 0, 1);
+  b.AddEdge(3, 4, 1);
+  b.AddEdge(4, 5, 1);
+  b.AddEdge(5, 3, 1);
+  Graph g = std::move(b).Build();
+  ChIndex ch(g);
+  HlIndex hl(g, ch);
+  for (VertexId s = 0; s < 3; ++s) {
+    for (VertexId t = 3; t < 6; ++t) {
+      EXPECT_EQ(hl.DistanceQuery(s, t), kInfDistance);
+      EXPECT_EQ(hl.DistanceQuery(t, s), kInfDistance);
+      EXPECT_TRUE(hl.PathQuery(s, t).empty());
+    }
+  }
+  EXPECT_EQ(hl.DistanceQuery(0, 2), 1u);
+  EXPECT_EQ(hl.DistanceQuery(3, 5), 1u);
+  EXPECT_EQ(hl.DistanceQuery(4, 4), 0u);
+}
+
+TEST(HubLabel, SingleVertexGraph) {
+  GraphBuilder b(1);
+  b.SetCoord(0, Point{0, 0});
+  Graph g = std::move(b).Build();
+  ChIndex ch(g);
+  HlIndex hl(g, ch);
+  EXPECT_EQ(hl.DistanceQuery(0, 0), 0u);
+  ASSERT_EQ(hl.Label(0).size(), 1u);
+  EXPECT_EQ(hl.Label(0)[0].dist, 0u);
+}
+
+// A distance query is a pure label merge: it probes table entries and
+// never settles a vertex or touches a heap.
+TEST(HubLabel, QueryCountsLabelScansOnly) {
+  Graph g = TestNetwork(300, 71);
+  ChIndex ch(g);
+  HlIndex hl(g, ch);
+  auto ctx = hl.NewContext();
+  const auto pairs = RandomPairs(g, 10, 73);
+  for (auto [s, t] : pairs) {
+    hl.DistanceQuery(ctx.get(), s, t);
+    EXPECT_GT(ctx->counters.table_lookups, 0u);
+    EXPECT_EQ(ctx->counters.vertices_settled, 0u);
+    EXPECT_EQ(ctx->counters.heap_pushes, 0u);
+    EXPECT_EQ(ctx->counters.edges_relaxed, 0u);
+  }
+}
+
+// Identical labels for every construction thread count, pinned at the
+// byte level through serialization.
+TEST(HubLabel, ConstructionIsDeterministicAcrossThreadCounts) {
+  Graph g = TestNetwork(350, 53);
+  ChIndex ch(g);
+  HlConfig one;
+  one.num_threads = 1;
+  HlConfig five;
+  five.num_threads = 5;
+  HlIndex a(g, ch, one);
+  HlIndex b(g, ch, five);
+  std::stringstream sa;
+  std::stringstream sb;
+  a.Serialize(sa);
+  b.Serialize(sb);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(HubLabelSerialization, RoundTripPreservesAnswersAndBytes) {
+  Graph g = TestNetwork(500, 59);
+  ChIndex ch(g);
+  HlIndex original(g, ch);
+  std::stringstream buffer;
+  original.Serialize(buffer);
+  std::string error;
+  auto restored = HlIndex::Deserialize(g, ch, buffer, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  EXPECT_EQ(restored->NumLabelEntries(), original.NumLabelEntries());
+  EXPECT_EQ(restored->LabelBytes(), original.LabelBytes());
+  for (auto [s, t] : RandomPairs(g, 200, 61)) {
+    EXPECT_EQ(restored->DistanceQuery(s, t), original.DistanceQuery(s, t));
+  }
+  // Byte-identical re-serialization pins the arrays, not just behavior.
+  std::stringstream again;
+  restored->Serialize(again);
+  std::stringstream first;
+  original.Serialize(first);
+  EXPECT_EQ(again.str(), first.str());
+  ExpectIndexCorrect(g, restored.get(), 60, 63);
+}
+
+TEST(HubLabelSerialization, RejectsByteFlips) {
+  Graph g = TestNetwork(150, 65);
+  ChIndex ch(g);
+  HlIndex hl(g, ch);
+  std::stringstream buffer;
+  hl.Serialize(buffer);
+  const std::string full = buffer.str();
+  // Stride through the file; every sampled flip plus the first and last
+  // 64 bytes (header, length, CRC trailer) must be rejected.
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < full.size(); i += 7) positions.push_back(i);
+  for (size_t i = 0; i < 64 && i < full.size(); ++i) {
+    positions.push_back(i);
+    positions.push_back(full.size() - 1 - i);
+  }
+  for (size_t i : positions) {
+    std::string corrupt = full;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    std::stringstream in(corrupt);
+    std::string error;
+    EXPECT_EQ(HlIndex::Deserialize(g, ch, in, &error), nullptr)
+        << "flip at byte " << i;
+    EXPECT_FALSE(error.empty()) << "flip at byte " << i;
+  }
+}
+
+TEST(HubLabelSerialization, RejectsWrongGraph) {
+  Graph g1 = TestNetwork(500, 1);
+  Graph g2 = TestNetwork(900, 2);
+  ChIndex ch1(g1);
+  ChIndex ch2(g2);
+  HlIndex hl(g1, ch1);
+  std::stringstream buffer;
+  hl.Serialize(buffer);
+  std::string error;
+  EXPECT_EQ(HlIndex::Deserialize(g2, ch2, buffer, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+// One immutable index, eight threads, one context each: every thread
+// must read the same answers a single-threaded pass produced. Run under
+// TSan by scripts/check.sh.
+TEST(HubLabelThreads, EightThreadsShareOneIndex) {
+  Graph g = TestNetwork(500, 67);
+  ChIndex ch(g);
+  HlIndex hl(g, ch);
+  const auto pairs = RandomPairs(g, 800, 69);
+  std::vector<Distance> want(pairs.size());
+  {
+    auto ctx = hl.NewContext();
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      want[i] = hl.DistanceQuery(ctx.get(), pairs[i].first, pairs[i].second);
+    }
+  }
+  constexpr size_t kThreads = 8;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto ctx = hl.NewContext();
+      for (size_t i = t; i < pairs.size(); i += kThreads) {
+        const Distance got =
+            hl.DistanceQuery(ctx.get(), pairs[i].first, pairs[i].second);
+        if (got != want[i]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace roadnet

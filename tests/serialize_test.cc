@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "ch/ch_index.h"
+#include "hl/hl_index.h"
 #include "tests/test_util.h"
 #include "gtest/gtest.h"
 
@@ -197,6 +198,65 @@ TEST(ChSerialization, RejectsCorruptedArcTargets) {
   std::stringstream corrupted(data);
   std::string error;
   EXPECT_EQ(ChIndex::Deserialize(g, corrupted, &error), nullptr);
+}
+
+// --- Header / section-table region (graph v2, CH v3, HL v1) ---
+//
+// The CRC only covers the checksummed payload block; the 8-byte magic,
+// the u32 version word and the u64 payload-length field sit in front of
+// it. A flip there must still be rejected — by the magic check, the
+// version check, or the length/trailer validation — and every format
+// must pin that explicitly, so a future format change cannot move bytes
+// out from under the CRC without a test noticing.
+
+constexpr size_t kHeaderBytes = 8 + 4 + 8;  // magic, version, payload length
+
+template <typename Reader>
+void ExpectHeaderFlipsRejected(const std::string& full, Reader reader) {
+  ASSERT_GT(full.size(), kHeaderBytes);
+  for (size_t i = 0; i < kHeaderBytes; ++i) {
+    std::string corrupt = full;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    std::string error;
+    EXPECT_FALSE(reader(corrupt, &error)) << "flip at header byte " << i;
+    EXPECT_FALSE(error.empty()) << "flip at header byte " << i;
+  }
+}
+
+TEST(HeaderRegionSerialization, GraphRejectsEveryHeaderByteFlip) {
+  Graph g = TestNetwork(120, 31);
+  std::stringstream buffer;
+  WriteGraph(g, buffer);
+  ExpectHeaderFlipsRejected(
+      buffer.str(), [](const std::string& bytes, std::string* error) {
+        std::stringstream in(bytes);
+        return ReadGraph(in, error).has_value();
+      });
+}
+
+TEST(HeaderRegionSerialization, ChRejectsEveryHeaderByteFlip) {
+  Graph g = TestNetwork(150, 33);
+  ChIndex ch(g);
+  std::stringstream buffer;
+  ch.Serialize(buffer);
+  ExpectHeaderFlipsRejected(
+      buffer.str(), [&g](const std::string& bytes, std::string* error) {
+        std::stringstream in(bytes);
+        return ChIndex::Deserialize(g, in, error) != nullptr;
+      });
+}
+
+TEST(HeaderRegionSerialization, HlRejectsEveryHeaderByteFlip) {
+  Graph g = TestNetwork(150, 35);
+  ChIndex ch(g);
+  HlIndex hl(g, ch);
+  std::stringstream buffer;
+  hl.Serialize(buffer);
+  ExpectHeaderFlipsRejected(
+      buffer.str(), [&](const std::string& bytes, std::string* error) {
+        std::stringstream in(bytes);
+        return HlIndex::Deserialize(g, ch, in, error) != nullptr;
+      });
 }
 
 }  // namespace

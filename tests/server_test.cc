@@ -91,7 +91,7 @@ TEST(Wire, RejectsTruncatedAndTrailingBytes) {
 }
 
 TEST(Wire, TechniqueIdsRoundTrip) {
-  for (const char* name : {"any", "bidi", "ch", "alt"}) {
+  for (const char* name : {"any", "bidi", "ch", "alt", "hl"}) {
     EXPECT_EQ(wire::TechniqueName(wire::TechniqueId(name)), name);
   }
   EXPECT_EQ(wire::TechniqueId("no-such-technique"), wire::kAnyTechnique);

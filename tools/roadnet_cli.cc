@@ -13,7 +13,7 @@
 //                          (--queries FILE | --random N [--seed S])
 //                          [--threads T] [--paths] [--metrics-out FILE]
 //   roadnet_cli serve      --graph graph.bin [--index index.ch]
-//                          [--technique bidi|ch|alt] [--port P]
+//                          [--technique bidi|ch|alt|hl] [--port P]
 //                          [--port-file FILE] [--threads T]
 //                          [--queue-cap N] [--max-conns N]
 //                          [--metrics-out FILE]
@@ -72,7 +72,7 @@ int Usage() {
       "             [--threads T] [--paths] [--metrics-out FILE]\n"
       "    FILE holds one \"source target\" pair per line.\n"
       "  serve      --graph graph.bin [--index index.ch]"
-      " [--technique bidi|ch|alt]\n"
+      " [--technique bidi|ch|alt|hl]\n"
       "             [--port P] [--port-file FILE] [--threads T]\n"
       "             [--queue-cap N] [--max-conns N] [--metrics-out FILE]\n"
       "    Runs the TCP query service until SIGINT or a SHUTDOWN frame,\n"

@@ -4,7 +4,7 @@
 //                   [--host 127.0.0.1] [--connections N] [--queries N]
 //                   [--workload random|Q1..Q10] [--seed S] [--paths]
 //                   [--deadline-us D] [--verify-every K]
-//                   [--technique any|bidi|ch|alt] [--stats] [--shutdown]
+//                   [--technique any|bidi|ch|alt|hl] [--stats] [--shutdown]
 //
 // Opens N concurrent connections and drives them closed-loop (each
 // connection keeps exactly one request in flight), replaying either
@@ -46,7 +46,7 @@ int Usage() {
       "  [--host 127.0.0.1] [--connections N] [--queries N]\n"
       "  [--workload random|Q1..Q10] [--seed S] [--paths]\n"
       "  [--deadline-us D] [--verify-every K (0=off)]\n"
-      "  [--technique any|bidi|ch|alt] [--stats] [--shutdown]\n");
+      "  [--technique any|bidi|ch|alt|hl] [--stats] [--shutdown]\n");
   return 2;
 }
 
