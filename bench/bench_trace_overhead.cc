@@ -1,0 +1,226 @@
+// Tracing overhead gate (ours): the cost a served query pays for the
+// tracing instrumentation when tracing is idle must stay within noise.
+//
+//   bench_trace_overhead [--quick] [--out BENCH_trace_overhead.json]
+//
+// Runs the CH distance core over the Q6..Q10 workloads twice per
+// sample: a plain loop, and a loop wrapped the way the server wraps a
+// request — Tracer::StartRequest, a TraceSpan around the query, and
+// Tracer::Finish — against a tracer whose runtime capture is OFF (no
+// head sampling, no slow threshold). That is the configuration every
+// production request pays when nobody is looking, so the gate holds
+// its cost to <= 2% of the plain loop (exit 1 past the bound; this is
+// a scripts/check.sh hard gate). The fully-ON cost (sample every
+// request, capture everything) is measured and reported too, ungated:
+// it is the price of turning the knob, not of shipping the feature.
+//
+// Both loops must produce identical distance checksums — the
+// instrumentation cannot be allowed to change answers.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ch/ch_index.h"
+#include "ch/contraction.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+#include "workload/query_gen.h"
+
+namespace roadnet {
+namespace {
+
+// Aggregate Q6..Q10 pairs: the long-range sets where per-query cost is
+// highest and a fixed instrumentation cost is proportionally smallest —
+// matching the traffic mix the 2% budget is written against.
+std::vector<std::pair<VertexId, VertexId>> LongRangePairs(
+    const std::vector<QuerySet>& sets) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (const QuerySet& set : sets) {
+    if (set.name >= "Q6" || set.name == "Q10") {
+      pairs.insert(pairs.end(), set.pairs.begin(), set.pairs.end());
+    }
+  }
+  return pairs;
+}
+
+// One plain pass; returns wall micros, accumulates the distance sum.
+double PlainPass(const ChIndex& index, QueryContext* ctx,
+                 const std::vector<std::pair<VertexId, VertexId>>& pairs,
+                 uint64_t* checksum) {
+  uint64_t sum = 0;
+  Timer timer;
+  for (const auto& [s, t] : pairs) {
+    sum += index.DistanceQuery(ctx, s, t);
+  }
+  const double micros = timer.ElapsedMicros();
+  *checksum = sum;
+  return micros;
+}
+
+// One instrumented pass: per query the server's tracing choreography
+// (StartRequest -> span around execution -> Finish) against `tracer`.
+double TracedPass(const ChIndex& index, QueryContext* ctx,
+                  const std::vector<std::pair<VertexId, VertexId>>& pairs,
+                  Tracer* tracer, int shard, uint64_t* checksum) {
+  uint64_t sum = 0;
+  Timer timer;
+  for (const auto& [s, t] : pairs) {
+    RequestTrace trace;
+    tracer->StartRequest(&trace);
+    {
+      TraceSpan span(&trace, TraceStage::kExecute);
+      sum += index.DistanceQuery(ctx, s, t);
+    }
+    tracer->Finish(shard, &trace);
+  }
+  const double micros = timer.ElapsedMicros();
+  *checksum = sum;
+  return micros;
+}
+
+}  // namespace
+}  // namespace roadnet
+
+int main(int argc, char** argv) {
+  using namespace roadnet;
+
+  bool quick = bench::FastMode();
+  std::string out_path = "BENCH_trace_overhead.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(
+          stderr, "usage: bench_trace_overhead [--quick] [--out FILE.json]\n");
+      return 2;
+    }
+  }
+
+  // One dataset suffices: the gate is a ratio on one workload, not a
+  // sweep. Quick mode takes FL' (sub-second contraction); the full run
+  // takes W-US', the same dataset the layout-ablation gate uses.
+  const char* wanted = quick ? "FL'" : "W-US'";
+  const DatasetSpec* spec = nullptr;
+  for (const auto& s : PaperDatasets()) {
+    if (s.name == wanted) spec = &s;
+  }
+  if (spec == nullptr) {
+    std::fprintf(stderr, "dataset %s missing from PaperDatasets()\n", wanted);
+    return 1;
+  }
+
+  Graph g = BuildDataset(*spec);
+  ChIndex index(g, ContractGraph(g, ChConfig{}), ChConfig{});
+  const auto sets = GenerateLInfQuerySets(g, quick ? 250 : 500, 7700);
+  const auto pairs = LongRangePairs(sets);
+  if (pairs.empty()) {
+    std::fprintf(stderr, "no Q6..Q10 pairs on %s\n", spec->name.c_str());
+    return 1;
+  }
+
+  TracerOptions topt;
+  topt.sample_every = 0;                    // runtime OFF: the gated config
+  topt.slow_micros = kTraceSlowDisabled;
+  topt.shards = 1;
+  Tracer idle_tracer(topt);
+  const int idle_shard = idle_tracer.AcquireShard();
+
+  auto ctx = index.NewContext();
+
+  // Paired interleaved best-of-N, same discipline as bench_ch_layout:
+  // each sample repeats the pair set until it covers enough wall clock
+  // to rise above timer noise, and plain/traced samples alternate so
+  // machine phases hit both sides.
+  constexpr double kMinSampleMicros = 20000.0;
+  uint64_t plain_sum = 0, traced_sum = 0;
+  const double warm_plain = PlainPass(index, ctx.get(), pairs, &plain_sum);
+  const double warm_traced = TracedPass(index, ctx.get(), pairs, &idle_tracer,
+                                        idle_shard, &traced_sum);
+  if (plain_sum != traced_sum) {
+    std::fprintf(stderr, "FAIL: traced loop changed distances\n");
+    return 1;
+  }
+  const int reps = std::max(
+      1, static_cast<int>(kMinSampleMicros /
+                              (std::max(warm_plain, warm_traced) + 1) +
+                          1));
+  double best_plain = warm_plain, best_traced = warm_traced;
+  for (int sample = 0; sample < 5; ++sample) {
+    double total_plain = 0, total_traced = 0;
+    for (int r = 0; r < reps; ++r) {
+      total_plain += PlainPass(index, ctx.get(), pairs, &plain_sum);
+      total_traced += TracedPass(index, ctx.get(), pairs, &idle_tracer,
+                                 idle_shard, &traced_sum);
+    }
+    best_plain = std::min(best_plain, total_plain / reps);
+    best_traced = std::min(best_traced, total_traced / reps);
+  }
+  idle_tracer.ReleaseShard(idle_shard);
+
+  // Ungated reference point: everything captured (head sample every
+  // request AND a zero slow threshold), ring drops tolerated since no
+  // exporter drains it.
+  TracerOptions on_opt = topt;
+  on_opt.sample_every = 1;
+  on_opt.slow_micros = 0;
+  Tracer on_tracer(on_opt);
+  const int on_shard = on_tracer.AcquireShard();
+  double best_on = TracedPass(index, ctx.get(), pairs, &on_tracer, on_shard,
+                              &traced_sum);
+  for (int sample = 0; sample < 3; ++sample) {
+    double total_on = 0;
+    for (int r = 0; r < reps; ++r) {
+      total_on += TracedPass(index, ctx.get(), pairs, &on_tracer, on_shard,
+                             &traced_sum);
+    }
+    best_on = std::min(best_on, total_on / reps);
+  }
+  on_tracer.ReleaseShard(on_shard);
+
+  const double n = static_cast<double>(pairs.size());
+  const double plain_us = best_plain / n;
+  const double idle_us = best_traced / n;
+  const double on_us = best_on / n;
+  const double ratio = idle_us / plain_us;
+
+  std::printf("trace overhead (%s, %zu Q6..Q10 distance queries, "
+              "tracing %s)\n",
+              spec->name.c_str(), pairs.size(),
+              kTracingCompiledIn ? "compiled in" : "compiled OUT");
+  std::printf("  plain:          %8.3f us/query\n", plain_us);
+  std::printf("  traced (idle):  %8.3f us/query  (ratio %.4f, budget 1.02)\n",
+              idle_us, ratio);
+  std::printf("  traced (full):  %8.3f us/query  (ungated reference)\n",
+              on_us);
+
+  MetricsRegistry metrics;
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"dataset", spec->name}};
+  metrics.Add("trace_overhead_plain_us", plain_us, labels);
+  metrics.Add("trace_overhead_idle_us", idle_us, labels);
+  metrics.Add("trace_overhead_idle_ratio", ratio, labels);
+  metrics.Add("trace_overhead_on_us", on_us, labels);
+  if (!metrics.WriteFile(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (ratio > 1.02) {
+    std::fprintf(stderr,
+                 "FAIL: idle tracing costs %.2f%% (> 2%% budget) on the "
+                 "untraced hot path\n",
+                 (ratio - 1.0) * 100.0);
+    return 1;
+  }
+  return 0;
+}

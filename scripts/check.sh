@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Full verification: release build + test suite, metrics/serving smokes,
-# the roadnet_lint + clang-tidy static-analysis gate, an ASan+UBSan
-# build running the complete suite, and a ThreadSanitizer build
-# exercising the concurrent engine/server tests.
+# the request-tracing smoke + overhead gate, the roadnet_lint +
+# clang-tidy static-analysis gate, an ASan+UBSan build running the
+# complete suite, and a ThreadSanitizer build exercising the concurrent
+# engine/server tests.
 #
 #   scripts/check.sh                 # everything
-#   scripts/check.sh <stage>         # one stage: build smoke lint asan-ubsan tsan
+#   scripts/check.sh <stage>         # one stage: build smoke trace lint asan-ubsan tsan
 #   scripts/check.sh <ctest-filter>  # everything, regular ctest narrowed to -R filter
 #
 # Each sanitizer gets its own build directory (build-asan-ubsan/,
@@ -117,6 +118,65 @@ stage_smoke() {
   SMOKE=""
 }
 
+stage_trace() {
+  echo "==> Tracing smoke: serve --trace-out + loadgen, JSONL + report"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j"$(nproc)" --target \
+    roadnet_cli roadnet_loadgen roadnet_trace bench_trace_overhead
+  SMOKE="$(mktemp -d)"
+  build/tools/roadnet_cli generate --vertices 1500 --seed 5 \
+    --out "$SMOKE/g.bin" >/dev/null
+  build/tools/roadnet_cli preprocess --graph "$SMOKE/g.bin" \
+    --out "$SMOKE/g.ch" >/dev/null
+
+  # Slow threshold 0 = every request crosses it, so the slow-query log
+  # must come back non-empty even with head sampling at 1-in-10; the
+  # loadgen retunes sampling to 1-in-5 over the wire and prints the
+  # server's per-stage breakdown from STATS v2.
+  build/tools/roadnet_cli serve --graph "$SMOKE/g.bin" --index "$SMOKE/g.ch" \
+    --technique ch --port 0 --port-file "$SMOKE/port" \
+    --trace-out "$SMOKE/traces.jsonl" --trace-sample 10 --slow-us 0 \
+    >/dev/null &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$SMOKE/port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$SMOKE/port" ]] || { echo "server never wrote port file"; exit 1; }
+  local loadgen_out
+  loadgen_out="$(build/tools/roadnet_loadgen --port "$(cat "$SMOKE/port")" \
+    --graph "$SMOKE/g.bin" --connections 4 --queries 500 \
+    --verify-every 10 --workload Q5 --trace-sample 5 --slow-us 0 \
+    --stats --shutdown)"
+  wait "$SERVER_PID"
+  SERVER_PID=""
+  grep -q "stage breakdown" <<<"$loadgen_out" || {
+    echo "loadgen did not print the server stage breakdown"; exit 1; }
+
+  # The slow-query log: non-empty, schema-valid (stage ordering and
+  # non-negative durations checked per record), and renderable.
+  [[ -s "$SMOKE/traces.jsonl" ]] || {
+    echo "trace output is empty at slow threshold 0"; exit 1; }
+  python3 scripts/validate_metrics.py "$SMOKE/traces.jsonl"
+  local report
+  report="$(build/tools/roadnet_trace --in "$SMOKE/traces.jsonl" \
+    --csv "$SMOKE/stages.csv" --top 3)"
+  grep -q "execute" <<<"$report" || {
+    echo "roadnet_trace report is missing the execute stage"; exit 1; }
+  grep -q "^total," "$SMOKE/stages.csv" || {
+    echo "roadnet_trace CSV is missing the total row"; exit 1; }
+
+  echo "==> Tracing overhead gate: <= 2% on the untraced hot path"
+  # Exits nonzero if the instrumented-but-idle request path costs more
+  # than 2% over the plain query loop, or if instrumentation changes
+  # any distance.
+  ROADNET_BENCH_FAST=1 build/bench/bench_trace_overhead --quick \
+    --out "$SMOKE/BENCH_trace_overhead.json" >/dev/null
+  python3 scripts/validate_metrics.py "$SMOKE/BENCH_trace_overhead.json"
+  rm -rf "$SMOKE"
+  SMOKE=""
+}
+
 stage_lint() {
   echo "==> roadnet_lint: project-specific static analysis (hard gate)"
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -159,9 +219,9 @@ stage_tsan() {
   cmake -B build-tsan -S . -DROADNET_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target \
     engine_equivalence_test engine_stress_test engine_edge_test \
-    ch_layout_test server_test hl_test bench_server
+    ch_layout_test server_test hl_test trace_test bench_server
   (cd build-tsan && \
-    ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|ChLayout|QueryServer|Wire|BoundedQueue|HubLabel')
+    ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|ChLayout|QueryServer|Wire|BoundedQueue|HubLabel|Trace')
   # The serving bench under TSan covers the accept/handler/dispatcher/client
   # thread web end to end.
   ROADNET_BENCH_FAST=1 build-tsan/bench/bench_server >/dev/null
@@ -171,12 +231,14 @@ ARG="${1:-}"
 case "$ARG" in
   build)      stage_build ;;
   smoke)      stage_smoke ;;
+  trace)      stage_trace ;;
   lint)       stage_lint ;;
   asan-ubsan) stage_asan_ubsan ;;
   tsan)       stage_tsan ;;
   ""|all)
     stage_build
     stage_smoke
+    stage_trace
     stage_lint
     stage_asan_ubsan
     stage_tsan
@@ -185,6 +247,7 @@ case "$ARG" in
     # Back-compat: a non-stage argument narrows the regular ctest run.
     stage_build "$ARG"
     stage_smoke
+    stage_trace
     stage_lint
     stage_asan_ubsan
     stage_tsan

@@ -14,7 +14,7 @@ with no other keys.
 Lint files (roadnet_lint --json) are detected by the "rule" key on the
 first record. Finding records are
 
-    {"rule": "R1".."R7"|"W1", "name": <str>, "file": <str>,
+    {"rule": "R1".."R8"|"W1", "name": <str>, "file": <str>,
      "line": <positive int>, "message": <non-empty str>,
      "waived": <bool>, "waiver_reason": <str, only when waived>}
 
@@ -23,8 +23,22 @@ and the file ends with exactly one summary record
     {"rule": "summary", "files_scanned": <int>, "findings": <int>,
      "waived": <int>, "waivers_unused": <int>}
 
+Trace files (the server's --trace-out slow-query log, obs/trace.h) are
+detected by the "trace_id" key on the first record. Each line is
+
+    {"trace_id": <16 hex chars>, "seq": <int>, "kind": "distance"|"path",
+     "source": <int>, "target": <int>, "status": <non-empty str>,
+     "sampled": "head"|"slow"|"head+slow", "total_ns": <int>,
+     "counters": {<str>: <int>},
+     "stages": [{"stage": <known name>, "start_ns": <int>,
+                 "end_ns": <int>}, ...]}
+
+Stage windows must be internally consistent: end_ns >= start_ns per
+stage, stages listed in pipeline order, and non-overlapping — each
+stage starts no earlier than the previous one ended.
+
 Exits 1 (listing every violation) if any file fails, which lets
-scripts/check.sh gate on both outputs staying machine-readable.
+scripts/check.sh gate on all three outputs staying machine-readable.
 """
 
 import json
@@ -35,6 +49,12 @@ LINT_FINDING_KEYS = {"rule", "name", "file", "line", "message", "waived",
                      "waiver_reason"}
 LINT_SUMMARY_KEYS = {"rule", "files_scanned", "findings", "waived",
                      "waivers_unused"}
+TRACE_KEYS = {"trace_id", "seq", "kind", "source", "target", "status",
+              "sampled", "total_ns", "counters", "stages"}
+TRACE_STAGE_KEYS = {"stage", "start_ns", "end_ns"}
+# Pipeline order; stage windows must be monotone along this sequence.
+TRACE_STAGES = ["accept", "frame_read", "enqueue", "queue_wait",
+                "batch_assembly", "execute", "reply_write"]
 
 
 def check_line(obj):
@@ -105,11 +125,81 @@ def check_lint_line(obj, is_last):
     return problems
 
 
+def check_trace_line(obj):
+    """Returns a list of violations for one trace JSONL record."""
+    problems = []
+    if not isinstance(obj, dict):
+        return ["record is not a JSON object"]
+    unknown = set(obj) - TRACE_KEYS
+    if unknown:
+        problems.append("unknown keys: %s" % ", ".join(sorted(unknown)))
+    trace_id = obj.get("trace_id")
+    if not (isinstance(trace_id, str) and len(trace_id) == 16 and
+            all(c in "0123456789abcdef" for c in trace_id)):
+        problems.append("'trace_id' must be 16 lowercase hex characters")
+    for key in ("seq", "source", "target", "total_ns"):
+        if not _is_int(obj.get(key)) or obj.get(key) < 0:
+            problems.append("'%s' must be a non-negative integer" % key)
+    if obj.get("kind") not in ("distance", "path"):
+        problems.append("'kind' must be 'distance' or 'path'")
+    if not isinstance(obj.get("status"), str) or not obj.get("status"):
+        problems.append("'status' must be a non-empty string")
+    if obj.get("sampled") not in ("head", "slow", "head+slow"):
+        problems.append("'sampled' must be head, slow, or head+slow")
+    counters = obj.get("counters")
+    if not isinstance(counters, dict):
+        problems.append("'counters' must be an object")
+    elif not all(isinstance(k, str) and _is_int(v) and v >= 0
+                 for k, v in counters.items()):
+        problems.append("'counters' must map strings to non-negative ints")
+    stages = obj.get("stages")
+    if not isinstance(stages, list) or not stages:
+        problems.append("'stages' must be a non-empty array")
+        return problems
+    prev_index = -1
+    prev_end = 0
+    for pos, stage in enumerate(stages):
+        if not isinstance(stage, dict):
+            problems.append("stages[%d] is not an object" % pos)
+            continue
+        unknown = set(stage) - TRACE_STAGE_KEYS
+        if unknown:
+            problems.append("stages[%d] unknown keys: %s"
+                            % (pos, ", ".join(sorted(unknown))))
+        name = stage.get("stage")
+        if name not in TRACE_STAGES:
+            problems.append("stages[%d] unknown stage %r" % (pos, name))
+            continue
+        start = stage.get("start_ns")
+        end = stage.get("end_ns")
+        if not _is_int(start) or start < 0 or not _is_int(end) or end < 0:
+            problems.append(
+                "stages[%d] (%s) start_ns/end_ns must be non-negative ints"
+                % (pos, name))
+            continue
+        if end < start:
+            problems.append("stages[%d] (%s) ends before it starts"
+                            % (pos, name))
+        index = TRACE_STAGES.index(name)
+        if index <= prev_index:
+            problems.append("stages[%d] (%s) out of pipeline order"
+                            % (pos, name))
+        elif start < prev_end:
+            # Stages on one request never overlap: each begins after the
+            # previous one ended (gaps are fine, they are queueing).
+            problems.append("stages[%d] (%s) overlaps the previous stage"
+                            % (pos, name))
+        prev_index = index
+        prev_end = max(prev_end, end)
+    return problems
+
+
 def validate_file(path):
     """Prints violations for one file; returns the number found."""
     violations = 0
     records = 0
     is_lint = False
+    is_trace = False
     try:
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
@@ -128,12 +218,15 @@ def validate_file(path):
             violations += 1
             continue
         if records == 0:
-            # roadnet_lint findings files are detected by their first
-            # record; the two schemas never mix in one file.
+            # roadnet_lint findings and server trace files are detected
+            # by their first record; the schemas never mix in one file.
             is_lint = isinstance(obj, dict) and "rule" in obj
+            is_trace = isinstance(obj, dict) and "trace_id" in obj
         records += 1
         if is_lint:
             problems = check_lint_line(obj, is_last=num == len(lines))
+        elif is_trace:
+            problems = check_trace_line(obj)
         else:
             problems = check_line(obj)
         for problem in problems:
@@ -149,7 +242,7 @@ def validate_file(path):
                   file=sys.stderr)
             violations += 1
     if violations == 0:
-        kind = "lint" if is_lint else "metric"
+        kind = "lint" if is_lint else ("trace" if is_trace else "metric")
         print("%s: %d %s records OK" % (path, records, kind))
     return violations
 

@@ -57,18 +57,34 @@ void QueryEngine::RunChunk(size_t worker_id, Batch* batch, size_t begin,
   QueryContext* ctx = worker.context.get();
   const bool timed = batch->options.record_latencies;
   const bool counted = batch->options.record_counters;
+  const bool traced = batch->query_start_ns != nullptr;
+  const auto trace_epoch = batch->options.trace_epoch;
   for (size_t i = begin; i < end; ++i) {
     const auto [s, t] = batch->queries[i];
+    if (traced) {
+      (*batch->query_start_ns)[i] = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - trace_epoch)
+              .count());
+    }
     Timer timer;
     (*batch->distances)[i] = index_.DistanceQuery(ctx, s, t);
     if (counted) worker.counters += ctx->counters;
+    if (traced) (*batch->query_counters)[i] = ctx->counters;
     if (batch->paths != nullptr) {
       // A path batch answers both query types (Section 2's two queries);
       // the reported latency covers the pair.
       (*batch->paths)[i] = index_.PathQuery(ctx, s, t);
       if (counted) worker.counters += ctx->counters;
+      if (traced) (*batch->query_counters)[i] += ctx->counters;
     }
     if (timed) worker.histogram.Record(timer.ElapsedNanos());
+    if (traced) {
+      (*batch->query_end_ns)[i] = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - trace_epoch)
+              .count());
+    }
   }
 }
 
@@ -105,6 +121,11 @@ BatchResult QueryEngine::Run(
   BatchResult result;
   result.distances.assign(queries.size(), kInfDistance);
   if (options.collect_paths) result.paths.resize(queries.size());
+  if (options.record_per_query) {
+    result.query_start_ns.assign(queries.size(), 0);
+    result.query_end_ns.assign(queries.size(), 0);
+    result.query_counters.assign(queries.size(), QueryCounters{});
+  }
 
   // Reset the per-worker sinks before workers see the new epoch.
   for (Worker& w : workers_) {
@@ -117,6 +138,11 @@ BatchResult QueryEngine::Run(
   batch.options = options;
   batch.distances = &result.distances;
   batch.paths = options.collect_paths ? &result.paths : nullptr;
+  if (options.record_per_query) {
+    batch.query_start_ns = &result.query_start_ns;
+    batch.query_end_ns = &result.query_end_ns;
+    batch.query_counters = &result.query_counters;
+  }
 
   // Chunk size: aim for several claims per worker so stealing has
   // something to steal, without making the atomic traffic measurable.

@@ -2,6 +2,7 @@
 #define ROADNET_ENGINE_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -61,6 +62,13 @@ struct BatchOptions {
   // counts. Small chunks balance better, large chunks amortize the atomic
   // claim.
   size_t chunk_size = 0;
+  // Per-query tracing (obs/trace.h execute spans): stamp every query's
+  // start/end as steady_clock nanoseconds relative to `trace_epoch` and
+  // snapshot its counters into the per-query BatchResult vectors. The
+  // server enables this only when its Tracer is live; workers write
+  // disjoint indices, so no synchronization beyond the batch join.
+  bool record_per_query = false;
+  std::chrono::steady_clock::time_point trace_epoch{};
 };
 
 struct BatchResult {
@@ -72,6 +80,12 @@ struct BatchResult {
   // BatchOptions::record_latencies. stats' percentiles derive from it,
   // and histograms from successive batches can be merged further.
   Histogram latency;
+  // Per-query execute windows (nanoseconds since BatchOptions::trace_epoch)
+  // and counters snapshots, indexed like `queries`; empty unless
+  // BatchOptions::record_per_query.
+  std::vector<uint64_t> query_start_ns;
+  std::vector<uint64_t> query_end_ns;
+  std::vector<QueryCounters> query_counters;
   BatchStats stats;
 };
 
@@ -128,6 +142,10 @@ class QueryEngine {
     // same element and no synchronization is needed beyond the join.
     std::vector<Distance>* distances = nullptr;
     std::vector<Path>* paths = nullptr;
+    // Per-query trace outputs; non-null only with record_per_query.
+    std::vector<uint64_t>* query_start_ns = nullptr;
+    std::vector<uint64_t>* query_end_ns = nullptr;
+    std::vector<QueryCounters>* query_counters = nullptr;
   };
 
   struct Worker {

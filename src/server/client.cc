@@ -51,6 +51,22 @@ bool BlockingClient::GetStats(wire::StatsResponse* stats,
   return true;
 }
 
+bool BlockingClient::ConfigureTracing(const wire::TraceConfigRequest& req,
+                                      wire::TraceConfigResponse* effective,
+                                      std::string* error) {
+  std::string body;
+  if (!RoundTrip(wire::EncodeTraceConfigRequest(req), &body, error)) {
+    return false;
+  }
+  auto decoded = wire::DecodeTraceConfigResponse(body);
+  if (!decoded.has_value()) {
+    if (error != nullptr) *error = "malformed TRACE_CONFIG_REPLY frame";
+    return false;
+  }
+  if (effective != nullptr) *effective = *decoded;
+  return true;
+}
+
 bool BlockingClient::SendShutdown(std::string* error) {
   std::string body;
   if (!RoundTrip(wire::EncodeShutdownRequest(), &body, error)) return false;

@@ -31,6 +31,12 @@ class BlockingClient {
   // Fetches the server's STATS snapshot.
   bool GetStats(wire::StatsResponse* stats, std::string* error);
 
+  // Retunes the server's tracer (TRACE_CONFIG frame); *effective, if
+  // non-null, receives the settings now in effect.
+  bool ConfigureTracing(const wire::TraceConfigRequest& req,
+                        wire::TraceConfigResponse* effective,
+                        std::string* error);
+
   // Sends the admin SHUTDOWN frame and waits for the ack. The server
   // then drains: this and every other connection will be closed once
   // in-flight requests are answered.

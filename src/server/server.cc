@@ -18,6 +18,25 @@ uint64_t ElapsedNanos(std::chrono::steady_clock::time_point since) {
           .count());
 }
 
+// Status names for the trace JSONL export, as a plain function pointer so
+// the obs layer stays independent of server/wire.
+const char* TraceStatusName(uint8_t status) {
+  return wire::StatusName(static_cast<wire::Status>(status));
+}
+
+TracerOptions MakeTracerOptions(const ServerOptions& options) {
+  TracerOptions t;
+  t.sample_every = options.trace_sample_every;
+  t.slow_micros = options.trace_slow_us;
+  // One shard per possible concurrent connection: the handler is the
+  // only producer into its shard's ring.
+  t.shards = options.max_connections;
+  t.ring_capacity = options.trace_ring_capacity;
+  t.id_seed = options.trace_seed;
+  t.status_name = &TraceStatusName;
+  return t;
+}
+
 }  // namespace
 
 QueryServer::QueryServer(const PathIndex& index, uint8_t technique_id,
@@ -27,11 +46,16 @@ QueryServer::QueryServer(const PathIndex& index, uint8_t technique_id,
       num_vertices_(num_vertices),
       options_(options),
       engine_(index, options.engine_threads),
-      queue_(options.queue_capacity) {}
+      queue_(options.queue_capacity),
+      tracer_(MakeTracerOptions(options)) {}
 
 QueryServer::~QueryServer() { Shutdown(); }
 
 bool QueryServer::Start(std::string* error) {
+  if (!options_.trace_out.empty() &&
+      !tracer_.StartExporter(options_.trace_out, error)) {
+    return false;
+  }
   listen_fd_ = ListenTcp(options_.port, &port_, error);
   if (!listen_fd_.valid()) return false;
   dispatch_thread_ = std::thread([this] { DispatchLoop(); });
@@ -91,6 +115,9 @@ void QueryServer::Shutdown() {
   queue_.Close();
   if (started_) dispatch_thread_.join();
   listen_fd_.Close();
+  // Every producer is gone: the final drain flushes all captured traces
+  // to the slow-query log before the file closes.
+  tracer_.StopExporter();
 }
 
 void QueryServer::AcceptLoop() {
@@ -105,6 +132,9 @@ void QueryServer::AcceptLoop() {
       break;  // listen socket shut down (drain) or fatal
     }
     ScopedFd fd(raw);
+    // Stamp before the reap/cap work below: the accept stage of this
+    // connection's first request starts when accept(2) returned.
+    const uint64_t accept_ns = tracer_.NowNs();
     if (draining_.load(std::memory_order_relaxed)) break;
 
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -126,11 +156,13 @@ void QueryServer::AcceptLoop() {
       continue;  // ScopedFd closes raw
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
     int one = 1;
     ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     conns_.emplace_back();
     Connection& conn = conns_.back();  // std::list: address is stable
     conn.fd = std::move(fd);
+    conn.accept_ns = accept_ns;
     conn.thread = std::thread([this, &conn] { HandleConnection(&conn); });
   }
 }
@@ -151,12 +183,31 @@ void QueryServer::HandleConnection(Connection* conn) {
   std::string body;
   // Requests are tiny fixed-size frames; cap far below response sizes.
   constexpr uint32_t kMaxRequestBytes = 1024;
-  while (ReadFrame(fd, &body, kMaxRequestBytes)) {
+  // This handler is its shard's only trace producer; -1 (more handlers
+  // than shards can only happen if max_connections shrank) runs untraced.
+  const int shard = tracer_.AcquireShard();
+  bool first_request = true;
+  for (;;) {
+    Pending pending;
+    RequestTrace& trace = pending.trace;
+    if (shard >= 0) tracer_.StartRequest(&trace);
+    if (first_request) {
+      // The first request's accept stage: accept(2) return to the
+      // handler entering its read.
+      trace.RecordStage(TraceStage::kAccept, conn->accept_ns, trace.NowNs());
+    }
+    // frame_read covers waiting for the frame, reading, and decoding.
+    TraceSpan frame_span(&trace, TraceStage::kFrameRead);
+    if (!ReadFrame(fd, &body, kMaxRequestBytes)) break;
+    first_request = false;
     const auto type = wire::PeekType(body);
     if (!type.has_value()) break;  // garbage: hang up
 
+    // Admin frames are not traced as requests; their RequestTrace is
+    // simply abandoned (no spans recorded past this point, no Finish).
+    frame_span.Close();
     if (*type == wire::kStats) {
-      if (!WriteFrame(fd, wire::EncodeStatsResponse(Stats()))) break;
+      if (!WriteFrame(fd, wire::EncodeStatsResponse(StatsV2()))) break;
       continue;
     }
     if (*type == wire::kShutdown) {
@@ -166,11 +217,25 @@ void QueryServer::HandleConnection(Connection* conn) {
       RequestShutdown();
       continue;  // drain will SHUT_RD this socket
     }
+    if (*type == wire::kTraceConfig) {
+      const auto cfg = wire::DecodeTraceConfigRequest(body);
+      if (!cfg.has_value()) break;
+      tracer_.Configure(cfg->sample_every, cfg->slow_micros);
+      wire::TraceConfigResponse ack;
+      ack.sample_every = tracer_.SampleEvery();
+      ack.slow_micros = tracer_.SlowMicros();
+      if (!WriteFrame(fd, wire::EncodeTraceConfigResponse(ack))) break;
+      continue;
+    }
     if (*type != wire::kQuery) break;
 
     const auto req = wire::DecodeQueryRequest(body);
-    Pending pending;
     pending.received = std::chrono::steady_clock::now();
+    if (req.has_value()) {
+      trace.kind = static_cast<uint8_t>(req->kind);
+      trace.source = req->source;
+      trace.target = req->target;
+    }
     if (!req.has_value() || req->source >= num_vertices_ ||
         req->target >= num_vertices_ ||
         (req->technique != wire::kAnyTechnique &&
@@ -178,31 +243,62 @@ void QueryServer::HandleConnection(Connection* conn) {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       pending.resp.status = wire::Status::kBadRequest;
       pending.resp.server_latency_ns = ElapsedNanos(pending.received);
-      if (!WriteFrame(fd, wire::EncodeQueryResponse(pending.resp))) break;
+      trace.status = static_cast<uint8_t>(pending.resp.status);
+      bool write_ok;
+      {
+        TraceSpan reply_span(&trace, TraceStage::kReplyWrite);
+        write_ok = WriteFrame(fd, wire::EncodeQueryResponse(pending.resp));
+      }
+      if (shard >= 0) tracer_.Finish(shard, &trace);
+      if (!write_ok) break;
       continue;
     }
     pending.req = *req;
 
+    // The enqueue span must close BEFORE TryPush: once the request is in
+    // the queue the dispatcher may pop it immediately and derive the
+    // queue_wait start from this stage's end stamp.
+    TraceSpan enqueue_span(&trace, TraceStage::kEnqueue);
     wire::Status shed = wire::Status::kOk;
     if (draining_.load(std::memory_order_relaxed)) {
+      enqueue_span.Close();
       shed = wire::Status::kShuttingDown;
       shed_draining_.fetch_add(1, std::memory_order_relaxed);
-    } else if (!queue_.TryPush(&pending)) {
-      shed = wire::Status::kOverloaded;
-      shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      enqueue_span.Close();
+      if (!queue_.TryPush(&pending)) {
+        shed = wire::Status::kOverloaded;
+        shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     if (shed != wire::Status::kOk) {
       pending.resp.status = shed;
       pending.resp.server_latency_ns = ElapsedNanos(pending.received);
-      if (!WriteFrame(fd, wire::EncodeQueryResponse(pending.resp))) break;
+      trace.status = static_cast<uint8_t>(shed);
+      bool write_ok;
+      {
+        TraceSpan reply_span(&trace, TraceStage::kReplyWrite);
+        write_ok = WriteFrame(fd, wire::EncodeQueryResponse(pending.resp));
+      }
+      if (shard >= 0) tracer_.Finish(shard, &trace);
+      if (!write_ok) break;
       continue;
     }
     {
       std::unique_lock<std::mutex> lock(pending.mu);
       pending.cv.wait(lock, [&] { return pending.done; });
     }
-    if (!WriteFrame(fd, wire::EncodeQueryResponse(pending.resp))) break;
+    trace.status = static_cast<uint8_t>(pending.resp.status);
+    bool write_ok;
+    {
+      TraceSpan reply_span(&trace, TraceStage::kReplyWrite);
+      write_ok = WriteFrame(fd, wire::EncodeQueryResponse(pending.resp));
+    }
+    if (shard >= 0) tracer_.Finish(shard, &trace);
+    if (!write_ok) break;
   }
+  tracer_.ReleaseShard(shard);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
   conn->finished.store(true, std::memory_order_release);
 }
 
@@ -219,7 +315,31 @@ void QueryServer::RunSubBatch(std::vector<Pending*>& reqs, bool paths) {
   // server reports receipt-to-completion latency instead (recorded
   // below), so skip the double measurement.
   options.record_latencies = false;
+  const bool traced = tracer_.RuntimeEnabled();
+  uint64_t assembly_end = 0;
+  if (traced) {
+    // Per-query execute windows come back from the engine workers on the
+    // tracer's time axis; counters are snapshotted per query.
+    options.record_per_query = true;
+    options.trace_epoch = tracer_.Epoch();
+    assembly_end = tracer_.NowNs();
+  }
+  in_flight_batches_.fetch_add(1, std::memory_order_relaxed);
   BatchResult result = engine_.Run(queries, options);
+  in_flight_batches_.fetch_sub(1, std::memory_order_relaxed);
+  if (traced && result.query_start_ns.size() == reqs.size()) {
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      RequestTrace& trace = reqs[i]->trace;
+      // batch_assembly: dispatcher pop (queue_wait end) to engine entry.
+      trace.RecordStage(
+          TraceStage::kBatchAssembly,
+          trace.stages[static_cast<size_t>(TraceStage::kQueueWait)].end_ns,
+          assembly_end);
+      trace.RecordStage(TraceStage::kExecute, result.query_start_ns[i],
+                        result.query_end_ns[i]);
+      trace.counters = result.query_counters[i];
+    }
+  }
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -248,6 +368,15 @@ void QueryServer::DispatchLoop() {
     distance_reqs.clear();
     path_reqs.clear();
     const auto now = std::chrono::steady_clock::now();
+    // One pop stamp for the whole batch: each request's queue_wait runs
+    // from its own enqueue end to this pop.
+    const uint64_t pop_ns = tracer_.ToNs(now);
+    for (Pending* p : batch) {
+      p->trace.RecordStage(
+          TraceStage::kQueueWait,
+          p->trace.stages[static_cast<size_t>(TraceStage::kEnqueue)].end_ns,
+          pop_ns);
+    }
     for (Pending* p : batch) {
       // Deadline enforcement happens at dispatch: a request that already
       // waited past its budget is shed without occupying a worker.
@@ -291,6 +420,30 @@ wire::StatsResponse QueryServer::Stats() const {
   return s;
 }
 
+wire::StatsResponse QueryServer::StatsV2() const {
+  wire::StatsResponse s = Stats();
+  // Live gauges: instantaneous, so a mid-run STATS shows where requests
+  // are right now (waiting, executing, connected).
+  s.queue_depth = queue_.Size();
+  s.in_flight_batches = in_flight_batches_.load(std::memory_order_relaxed);
+  s.open_connections = open_connections_.load(std::memory_order_relaxed);
+  const Tracer::Snapshot snap = tracer_.GetSnapshot();
+  s.traces_finished = snap.finished;
+  s.traces_captured = snap.captured;
+  s.traces_dropped = snap.dropped;
+  s.traces_slow = snap.slow;
+  s.stages.reserve(snap.stages.size());
+  for (const Tracer::StageStat& stat : snap.stages) {
+    wire::StageStatWire w;
+    w.stage = static_cast<uint8_t>(stat.stage);
+    w.count = stat.count;
+    w.p50_ns = stat.p50_ns;
+    w.p99_ns = stat.p99_ns;
+    s.stages.push_back(w);
+  }
+  return s;
+}
+
 void QueryServer::ExportMetrics(MetricsRegistry* registry) const {
   const wire::StatsResponse s = Stats();
   const std::vector<std::pair<std::string, std::string>> labels = {
@@ -318,6 +471,7 @@ void QueryServer::ExportMetrics(MetricsRegistry* registry) const {
   registry->AddHistogram("latency_micros", path_latency_, 1e-3,
                          with_endpoint("path"));
   registry->AddCounters(counters_, labels);
+  tracer_.ExportMetrics(registry, labels);
 }
 
 }  // namespace roadnet

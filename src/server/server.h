@@ -15,6 +15,7 @@
 #include "engine/query_engine.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/path_index.h"
 #include "server/bounded_queue.h"
 #include "server/socket.h"
@@ -28,6 +29,14 @@ struct ServerOptions {
   size_t queue_capacity = 256;   // admission queue; full => OVERLOADED
   size_t engine_threads = 4;     // QueryEngine worker pool size
   size_t max_dispatch_batch = 64;  // requests per engine batch
+  // --- Request tracing (obs/trace.h; all runtime-retunable via the
+  // TRACE_CONFIG frame). Both capture knobs off = tracing idle: every
+  // request pays only the StartRequest early-out.
+  uint64_t trace_sample_every = 0;  // head sampling, 1-in-N (0 = off)
+  uint64_t trace_slow_us = kTraceSlowDisabled;  // tail capture threshold
+  std::string trace_out;            // JSONL slow-query log ("" = no export)
+  size_t trace_ring_capacity = 256;  // per-connection trace ring slots
+  uint64_t trace_seed = 1;           // trace-id stream seed
 };
 
 // Long-running TCP front-end over one immutable PathIndex.
@@ -81,8 +90,17 @@ class QueryServer {
   void Shutdown();
 
   // Snapshot of the serving counters and per-endpoint latency
-  // percentiles (the STATS frame's payload). Thread-safe.
+  // percentiles. Thread-safe.
   wire::StatsResponse Stats() const;
+
+  // Stats() plus the v2 live gauges (queue depth, in-flight batches,
+  // open connections) and the tracer's per-stage breakdown — the STATS
+  // frame's actual payload. Thread-safe; callable mid-run.
+  wire::StatsResponse StatsV2() const;
+
+  // The server's tracer, for runtime retuning (TRACE_CONFIG does this
+  // remotely) and test introspection.
+  Tracer& tracer() { return tracer_; }
 
   // Exports the snapshot plus full per-endpoint histograms into a
   // MetricsRegistry (labels: endpoint=distance|path).
@@ -96,6 +114,11 @@ class QueryServer {
     wire::QueryRequest req;
     std::chrono::steady_clock::time_point received;
     wire::QueryResponse resp;
+    // Lifecycle trace. The handler owns it; the dispatcher and engine
+    // stamp the queue_wait / batch_assembly / execute windows while the
+    // handler is blocked on `cv`, so writes never overlap. Finish() runs
+    // on the handler after the reply is written.
+    RequestTrace trace;
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;
@@ -105,6 +128,9 @@ class QueryServer {
     ScopedFd fd;
     std::thread thread;
     std::atomic<bool> finished{false};
+    // accept(2) return time (tracer-epoch nanoseconds): the start of the
+    // first request's accept stage.
+    uint64_t accept_ns = 0;
   };
 
   void AcceptLoop();
@@ -124,6 +150,7 @@ class QueryServer {
 
   QueryEngine engine_;
   BoundedQueue<Pending*> queue_;
+  Tracer tracer_;
 
   ScopedFd listen_fd_;
   uint16_t port_ = 0;
@@ -152,6 +179,9 @@ class QueryServer {
   std::atomic<uint64_t> bad_requests_{0};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_rejected_{0};
+  // Live gauges for STATS v2 (instantaneous, not lifetime).
+  std::atomic<uint64_t> open_connections_{0};
+  std::atomic<uint64_t> in_flight_batches_{0};
   mutable std::mutex stats_mu_;
   Histogram distance_latency_;
   Histogram path_latency_;

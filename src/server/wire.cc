@@ -142,6 +142,7 @@ std::string EncodeStatsRequest() { return std::string(1, char(kStats)); }
 std::string EncodeStatsResponse(const StatsResponse& stats) {
   std::string body;
   Append<uint8_t>(&body, kStatsReply);
+  Append<uint8_t>(&body, kStatsVersion);
   Append<uint64_t>(&body, stats.served);
   Append<uint64_t>(&body, stats.shed_overloaded);
   Append<uint64_t>(&body, stats.shed_deadline);
@@ -155,14 +156,32 @@ std::string EncodeStatsResponse(const StatsResponse& stats) {
   Append<uint64_t>(&body, stats.path_count);
   Append<uint64_t>(&body, stats.path_p50_ns);
   Append<uint64_t>(&body, stats.path_p99_ns);
+  Append<uint64_t>(&body, stats.queue_depth);
+  Append<uint64_t>(&body, stats.in_flight_batches);
+  Append<uint64_t>(&body, stats.open_connections);
+  Append<uint64_t>(&body, stats.traces_finished);
+  Append<uint64_t>(&body, stats.traces_captured);
+  Append<uint64_t>(&body, stats.traces_dropped);
+  Append<uint64_t>(&body, stats.traces_slow);
+  Append<uint8_t>(&body, static_cast<uint8_t>(stats.stages.size()));
+  for (const StageStatWire& s : stats.stages) {
+    Append<uint8_t>(&body, s.stage);
+    Append<uint64_t>(&body, s.count);
+    Append<uint64_t>(&body, s.p50_ns);
+    Append<uint64_t>(&body, s.p99_ns);
+  }
   return body;
 }
 
 std::optional<StatsResponse> DecodeStatsResponse(const std::string& body) {
   Reader r{body};
-  uint8_t type = 0;
+  uint8_t type = 0, version = 0;
   StatsResponse s;
   r.Take(&type);
+  r.Take(&version);
+  if (!r.ok || type != kStatsReply || version != kStatsVersion) {
+    return std::nullopt;
+  }
   r.Take(&s.served);
   r.Take(&s.shed_overloaded);
   r.Take(&s.shed_deadline);
@@ -176,7 +195,24 @@ std::optional<StatsResponse> DecodeStatsResponse(const std::string& body) {
   r.Take(&s.path_count);
   r.Take(&s.path_p50_ns);
   r.Take(&s.path_p99_ns);
-  if (!r.Done() || type != kStatsReply) return std::nullopt;
+  r.Take(&s.queue_depth);
+  r.Take(&s.in_flight_batches);
+  r.Take(&s.open_connections);
+  r.Take(&s.traces_finished);
+  r.Take(&s.traces_captured);
+  r.Take(&s.traces_dropped);
+  r.Take(&s.traces_slow);
+  uint8_t stage_count = 0;
+  r.Take(&stage_count);
+  for (uint8_t i = 0; i < stage_count && r.ok; ++i) {
+    StageStatWire stat;
+    r.Take(&stat.stage);
+    r.Take(&stat.count);
+    r.Take(&stat.p50_ns);
+    r.Take(&stat.p99_ns);
+    s.stages.push_back(stat);
+  }
+  if (!r.Done()) return std::nullopt;
   return s;
 }
 
@@ -188,10 +224,58 @@ std::string EncodeShutdownResponse() {
   return std::string(1, char(kShutdownReply));
 }
 
+std::string EncodeTraceConfigRequest(const TraceConfigRequest& req) {
+  std::string body;
+  Append<uint8_t>(&body, kTraceConfig);
+  uint8_t mask = 0;
+  if (req.sample_every) mask |= 1;
+  if (req.slow_micros) mask |= 2;
+  Append<uint8_t>(&body, mask);
+  Append<uint64_t>(&body, req.sample_every.value_or(0));
+  Append<uint64_t>(&body, req.slow_micros.value_or(0));
+  return body;
+}
+
+std::optional<TraceConfigRequest> DecodeTraceConfigRequest(
+    const std::string& body) {
+  Reader r{body};
+  uint8_t type = 0, mask = 0;
+  uint64_t sample = 0, slow = 0;
+  r.Take(&type);
+  r.Take(&mask);
+  r.Take(&sample);
+  r.Take(&slow);
+  if (!r.Done() || type != kTraceConfig || mask > 3) return std::nullopt;
+  TraceConfigRequest req;
+  if (mask & 1) req.sample_every = sample;
+  if (mask & 2) req.slow_micros = slow;
+  return req;
+}
+
+std::string EncodeTraceConfigResponse(const TraceConfigResponse& resp) {
+  std::string body;
+  Append<uint8_t>(&body, kTraceConfigReply);
+  Append<uint64_t>(&body, resp.sample_every);
+  Append<uint64_t>(&body, resp.slow_micros);
+  return body;
+}
+
+std::optional<TraceConfigResponse> DecodeTraceConfigResponse(
+    const std::string& body) {
+  Reader r{body};
+  uint8_t type = 0;
+  TraceConfigResponse resp;
+  r.Take(&type);
+  r.Take(&resp.sample_every);
+  r.Take(&resp.slow_micros);
+  if (!r.Done() || type != kTraceConfigReply) return std::nullopt;
+  return resp;
+}
+
 std::optional<MessageType> PeekType(const std::string& body) {
   if (body.empty()) return std::nullopt;
   const uint8_t t = static_cast<uint8_t>(body[0]);
-  if (t < kQuery || t > kShutdownReply) return std::nullopt;
+  if (t < kQuery || t > kTraceConfigReply) return std::nullopt;
   return static_cast<MessageType>(t);
 }
 

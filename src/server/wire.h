@@ -24,9 +24,15 @@ namespace wire {
 //   QUERY_REPLY    u8 status, u64 distance, u64 server_latency_ns,
 //                  u32 path_len, u32 vertex * path_len
 //   STATS          (empty)
-//   STATS_REPLY    ServerStatsWire (fixed u64 fields, see below)
+//   STATS_REPLY    u8 version (= kStatsVersion), lifetime counters +
+//                  live gauges + per-stage trace histogram table (see
+//                  StatsResponse)
 //   SHUTDOWN       (empty; admin request: ack, then drain the server)
 //   SHUTDOWN_REPLY (empty)
+//   TRACE_CONFIG   u8 set_mask (bit0 = sample_every, bit1 = slow_micros),
+//                  u64 sample_every, u64 slow_micros (admin request:
+//                  retune the tracer at runtime)
+//   TRACE_CONFIG_REPLY  u64 sample_every, u64 slow_micros now in effect
 //
 // Frame bodies are capped (kMaxFrameBytes) so a corrupt or hostile
 // length prefix cannot trigger an unbounded allocation.
@@ -38,6 +44,8 @@ enum MessageType : uint8_t {
   kQueryReply = 4,
   kStatsReply = 5,
   kShutdownReply = 6,
+  kTraceConfig = 7,
+  kTraceConfigReply = 8,
 };
 
 enum class QueryKind : uint8_t {
@@ -85,8 +93,26 @@ struct QueryResponse {
   std::vector<VertexId> path;  // filled for kPath queries that succeed
 };
 
+// STATS_REPLY version byte. v2 added the live gauges, trace counters,
+// and the per-stage histogram table; v1 replies (no version byte) are
+// rejected by DecodeStatsResponse so a stale client fails loudly rather
+// than misreading shifted fields.
+inline constexpr uint8_t kStatsVersion = 2;
+
+// One row of the per-stage latency table in a STATS v2 reply: the
+// lifecycle stage id (obs/trace.h TraceStage) and its merged histogram
+// summary in nanoseconds.
+struct StageStatWire {
+  uint8_t stage = 0;
+  uint64_t count = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+};
+
 // STATS_REPLY payload: the server's lifetime counters and latency
-// percentiles, all u64 (percentiles in nanoseconds).
+// percentiles (all u64, percentiles in nanoseconds), plus v2's live
+// gauges — a point-in-time snapshot, not a lifetime count — and the
+// tracer's per-stage breakdown.
 struct StatsResponse {
   uint64_t served = 0;            // queries answered kOk / kUnreachable
   uint64_t shed_overloaded = 0;   // rejected with kOverloaded
@@ -101,6 +127,29 @@ struct StatsResponse {
   uint64_t path_count = 0;
   uint64_t path_p50_ns = 0;
   uint64_t path_p99_ns = 0;
+  // --- v2 live gauges (instantaneous) ---
+  uint64_t queue_depth = 0;        // requests waiting in the bounded queue
+  uint64_t in_flight_batches = 0;  // engine batches currently executing
+  uint64_t open_connections = 0;   // sockets with a live handler
+  // --- v2 tracer counters (lifetime) ---
+  uint64_t traces_finished = 0;
+  uint64_t traces_captured = 0;
+  uint64_t traces_dropped = 0;   // lost to a full trace ring
+  uint64_t traces_slow = 0;      // exceeded the slow threshold
+  // Per-stage latency table; empty until tracing has seen a request.
+  std::vector<StageStatWire> stages;
+};
+
+// TRACE_CONFIG payload: runtime tracer retuning. Unset knobs (mask bit
+// clear) keep their current value; the reply echoes what is in effect.
+struct TraceConfigRequest {
+  std::optional<uint64_t> sample_every;  // 0 disables head sampling
+  std::optional<uint64_t> slow_micros;   // obs/trace.h kTraceSlowDisabled = off
+};
+
+struct TraceConfigResponse {
+  uint64_t sample_every = 0;
+  uint64_t slow_micros = 0;
 };
 
 // Upper bound on a frame body. Large enough for a path response over
@@ -116,6 +165,8 @@ std::string EncodeStatsRequest();
 std::string EncodeStatsResponse(const StatsResponse& stats);
 std::string EncodeShutdownRequest();
 std::string EncodeShutdownResponse();
+std::string EncodeTraceConfigRequest(const TraceConfigRequest& req);
+std::string EncodeTraceConfigResponse(const TraceConfigResponse& resp);
 
 // --- Body decoding. nullopt on short/trailing bytes or a bad type. ---
 
@@ -125,6 +176,10 @@ std::optional<MessageType> PeekType(const std::string& body);
 std::optional<QueryRequest> DecodeQueryRequest(const std::string& body);
 std::optional<QueryResponse> DecodeQueryResponse(const std::string& body);
 std::optional<StatsResponse> DecodeStatsResponse(const std::string& body);
+std::optional<TraceConfigRequest> DecodeTraceConfigRequest(
+    const std::string& body);
+std::optional<TraceConfigResponse> DecodeTraceConfigResponse(
+    const std::string& body);
 
 }  // namespace wire
 }  // namespace roadnet

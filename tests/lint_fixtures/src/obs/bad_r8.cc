@@ -1,0 +1,33 @@
+// Lint fixture: R8 must flag every non-monotonic clock read on a
+// serving/observability timing path.
+#include <chrono>
+#include <cstdint>
+#include <sys/time.h>
+
+namespace roadnet {
+
+uint64_t BadWallClockStamp() {
+  // system_clock steps under NTP: stage windows stamped with it can run
+  // backwards across threads.
+  auto now = std::chrono::system_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+uint64_t BadGettimeofdayStamp() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  return static_cast<uint64_t>(tv.tv_sec) * 1000000ull +
+         static_cast<uint64_t>(tv.tv_usec);
+}
+
+uint64_t BadHighResolutionStamp() {
+  // high_resolution_clock is allowed to alias system_clock — unspecified
+  // monotonicity is as bad as none.
+  auto now = std::chrono::high_resolution_clock::now();
+  return static_cast<uint64_t>(now.time_since_epoch().count());
+}
+
+}  // namespace roadnet

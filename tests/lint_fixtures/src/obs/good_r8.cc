@@ -1,0 +1,15 @@
+// Lint fixture: the steady_clock idiom R8 wants — one monotonic clock,
+// durations as nanosecond deltas against a fixed epoch.
+#include <chrono>
+#include <cstdint>
+
+namespace roadnet {
+
+uint64_t GoodMonotonicStamp(std::chrono::steady_clock::time_point epoch) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+}  // namespace roadnet

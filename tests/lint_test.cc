@@ -56,6 +56,7 @@ const RuleFixture kFixtures[] = {
     {"R5", "src/workload/bad_r5.cc", "src/workload/good_r5.cc"},
     {"R6", "src/engine2/bad_r6.cc", "src/engine2/good_r6.cc"},
     {"R7", "src/include/bad_r7.h", "src/include/good_r7.h"},
+    {"R8", "src/obs/bad_r8.cc", "src/obs/good_r8.cc"},
 };
 
 TEST(LintRules, EachBadFixtureIsFlaggedByItsRule) {
@@ -94,6 +95,14 @@ TEST(LintRules, BadR5FlagsEveryNondeterminismKind) {
 TEST(LintRules, BadR7FlagsBothBitsAndUsingNamespace) {
   LintResult result = LintFiles({"src/include/bad_r7.h"});
   EXPECT_EQ(result.UnwaivedCount(), 2);
+}
+
+TEST(LintRules, BadR8FlagsEveryNonMonotonicClockKind) {
+  LintResult result = LintFiles({"src/obs/bad_r8.cc"});
+  // system_clock, gettimeofday, and high_resolution_clock are three
+  // distinct findings (the comment mentions of the banned words are
+  // stripped before scanning).
+  EXPECT_GE(result.UnwaivedCount(), 3);
 }
 
 TEST(LintWaivers, ReasonedWaiverSuppressesAndIsCounted) {

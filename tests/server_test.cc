@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -68,6 +69,98 @@ TEST(Wire, StatsResponseRoundTrips) {
   EXPECT_EQ(decoded->distance_count, stats.distance_count);
   EXPECT_EQ(decoded->distance_p99_ns, stats.distance_p99_ns);
   EXPECT_EQ(decoded->path_p50_ns, stats.path_p50_ns);
+}
+
+TEST(Wire, StatsResponseV2RoundTripsGaugesAndStages) {
+  wire::StatsResponse stats;
+  stats.served = 42;
+  stats.queue_depth = 5;
+  stats.in_flight_batches = 2;
+  stats.open_connections = 7;
+  stats.traces_finished = 100;
+  stats.traces_captured = 25;
+  stats.traces_dropped = 1;
+  stats.traces_slow = 3;
+  stats.stages.push_back(wire::StageStatWire{3, 100, 1500, 9000});
+  stats.stages.push_back(wire::StageStatWire{5, 100, 40000, 220000});
+  const std::string body = wire::EncodeStatsResponse(stats);
+  const auto decoded = wire::DecodeStatsResponse(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->served, stats.served);
+  EXPECT_EQ(decoded->queue_depth, 5u);
+  EXPECT_EQ(decoded->in_flight_batches, 2u);
+  EXPECT_EQ(decoded->open_connections, 7u);
+  EXPECT_EQ(decoded->traces_finished, 100u);
+  EXPECT_EQ(decoded->traces_captured, 25u);
+  EXPECT_EQ(decoded->traces_dropped, 1u);
+  EXPECT_EQ(decoded->traces_slow, 3u);
+  ASSERT_EQ(decoded->stages.size(), 2u);
+  EXPECT_EQ(decoded->stages[0].stage, 3u);
+  EXPECT_EQ(decoded->stages[0].count, 100u);
+  EXPECT_EQ(decoded->stages[0].p50_ns, 1500u);
+  EXPECT_EQ(decoded->stages[0].p99_ns, 9000u);
+  EXPECT_EQ(decoded->stages[1].stage, 5u);
+  EXPECT_EQ(decoded->stages[1].p99_ns, 220000u);
+
+  // A reply stamped with an unknown stats version is rejected, not
+  // misparsed: byte 1 is the version.
+  std::string wrong_version = body;
+  wrong_version[1] = static_cast<char>(wire::kStatsVersion + 1);
+  EXPECT_FALSE(wire::DecodeStatsResponse(wrong_version).has_value());
+
+  // Truncation anywhere (including mid stage entry) is rejected.
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(wire::DecodeStatsResponse(body.substr(0, cut)).has_value())
+        << "cut " << cut;
+  }
+  EXPECT_FALSE(wire::DecodeStatsResponse(body + "x").has_value());
+}
+
+TEST(Wire, TraceConfigRoundTripsPartialKnobs) {
+  {
+    wire::TraceConfigRequest req;
+    req.sample_every = 10;
+    req.slow_micros = 2500;
+    const auto decoded =
+        wire::DecodeTraceConfigRequest(wire::EncodeTraceConfigRequest(req));
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_TRUE(decoded->sample_every.has_value());
+    ASSERT_TRUE(decoded->slow_micros.has_value());
+    EXPECT_EQ(*decoded->sample_every, 10u);
+    EXPECT_EQ(*decoded->slow_micros, 2500u);
+  }
+  {
+    wire::TraceConfigRequest req;  // neither knob: a pure read
+    const auto decoded =
+        wire::DecodeTraceConfigRequest(wire::EncodeTraceConfigRequest(req));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_FALSE(decoded->sample_every.has_value());
+    EXPECT_FALSE(decoded->slow_micros.has_value());
+  }
+  {
+    wire::TraceConfigRequest req;
+    req.slow_micros = 0;  // 0 is meaningful (capture everything)
+    const std::string body = wire::EncodeTraceConfigRequest(req);
+    const auto decoded = wire::DecodeTraceConfigRequest(body);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_FALSE(decoded->sample_every.has_value());
+    ASSERT_TRUE(decoded->slow_micros.has_value());
+    EXPECT_EQ(*decoded->slow_micros, 0u);
+
+    // An undefined mask bit is a malformed frame.
+    std::string bad_mask = body;
+    bad_mask[1] = 0x7;
+    EXPECT_FALSE(wire::DecodeTraceConfigRequest(bad_mask).has_value());
+  }
+
+  wire::TraceConfigResponse resp;
+  resp.sample_every = 4;
+  resp.slow_micros = kTraceSlowDisabled;
+  const auto decoded =
+      wire::DecodeTraceConfigResponse(wire::EncodeTraceConfigResponse(resp));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sample_every, 4u);
+  EXPECT_EQ(decoded->slow_micros, kTraceSlowDisabled);
 }
 
 TEST(Wire, RejectsTruncatedAndTrailingBytes) {
@@ -415,6 +508,125 @@ TEST(QueryServer, EnforcesConnectionCap) {
   }
   EXPECT_TRUE(rejected);
   EXPECT_GE(server.Stats().connections_rejected, 1u);
+  server.Shutdown();
+}
+
+TEST(QueryServer, TracedRunWritesJsonlAndServesStageStats) {
+  if constexpr (!kTracingCompiledIn) GTEST_SKIP();
+  const Graph g = TestNetwork(200, 21);
+  BidirectionalDijkstra index(g);
+  ServerOptions options;
+  options.trace_sample_every = 1;  // capture every request
+  options.trace_out = testing::TempDir() + "/server_test_traces.jsonl";
+  QueryServer server(index, wire::kAnyTechnique, g.NumVertices(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  auto client = MustConnect(server.Port());
+  ASSERT_NE(client, nullptr);
+  for (auto [s, t] : RandomPairs(g, 25, 37)) {
+    wire::QueryRequest req;
+    req.source = s;
+    req.target = t;
+    wire::QueryResponse resp;
+    ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+  }
+
+  // Live introspection mid-run: this connection is still open, and the
+  // tracer has finished one trace per query.
+  wire::StatsResponse stats;
+  ASSERT_TRUE(client->GetStats(&stats, &error)) << error;
+  EXPECT_GE(stats.open_connections, 1u);
+  EXPECT_GE(stats.traces_finished, 25u);
+  EXPECT_GE(stats.traces_captured, 25u);
+  ASSERT_FALSE(stats.stages.empty());
+  bool saw_execute = false, saw_queue_wait = false, saw_reply = false;
+  for (const wire::StageStatWire& st : stats.stages) {
+    if (st.stage == static_cast<uint8_t>(TraceStage::kExecute)) {
+      saw_execute = st.count >= 25;
+    }
+    if (st.stage == static_cast<uint8_t>(TraceStage::kQueueWait)) {
+      saw_queue_wait = st.count >= 25;
+    }
+    if (st.stage == static_cast<uint8_t>(TraceStage::kReplyWrite)) {
+      saw_reply = st.count >= 25;
+    }
+  }
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_reply);
+
+  client.reset();
+  server.Shutdown();  // stops the exporter: the file is complete
+
+  std::FILE* f = std::fopen(options.trace_out.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  for (int c = std::fgetc(f); c != EOF; c = std::fgetc(f)) {
+    content.push_back(static_cast<char>(c));
+  }
+  std::fclose(f);
+  std::remove(options.trace_out.c_str());
+
+  size_t lines = 0;
+  for (char c : content) lines += c == '\n';
+  EXPECT_GE(lines, 25u);
+  // The full lifecycle shows up: the first request carries the accept
+  // stage, every request carries frame_read through reply_write.
+  EXPECT_NE(content.find("\"stage\":\"accept\""), std::string::npos);
+  for (const char* stage : {"frame_read", "enqueue", "queue_wait",
+                            "batch_assembly", "execute", "reply_write"}) {
+    EXPECT_NE(content.find(std::string("\"stage\":\"") + stage + "\""),
+              std::string::npos)
+        << stage;
+  }
+  EXPECT_NE(content.find("\"status\":\"OK\""), std::string::npos);
+}
+
+TEST(QueryServer, TraceConfigOverWireTakesEffect) {
+  if constexpr (!kTracingCompiledIn) GTEST_SKIP();
+  const Graph g = TestNetwork(200, 23);
+  BidirectionalDijkstra index(g);
+  // Tracing starts OFF (defaults): requests run untraced.
+  QueryServer server(index, wire::kAnyTechnique, g.NumVertices(), {});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto client = MustConnect(server.Port());
+  ASSERT_NE(client, nullptr);
+
+  wire::QueryRequest req;
+  wire::QueryResponse resp;
+  ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+  wire::StatsResponse stats;
+  ASSERT_TRUE(client->GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.traces_finished, 0u);
+
+  // Flip sampling on over the wire; the ack echoes the live settings.
+  wire::TraceConfigRequest cfg;
+  cfg.sample_every = 2;
+  wire::TraceConfigResponse effective;
+  ASSERT_TRUE(client->ConfigureTracing(cfg, &effective, &error)) << error;
+  EXPECT_EQ(effective.sample_every, 2u);
+  EXPECT_EQ(effective.slow_micros, kTraceSlowDisabled);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+  }
+  ASSERT_TRUE(client->GetStats(&stats, &error)) << error;
+  EXPECT_GE(stats.traces_finished, 10u);
+  EXPECT_GE(stats.traces_captured, 5u);  // every 2nd head-sampled
+
+  // And off again: subsequent requests leave the counters untouched.
+  cfg.sample_every = 0;
+  ASSERT_TRUE(client->ConfigureTracing(cfg, &effective, &error)) << error;
+  EXPECT_EQ(effective.sample_every, 0u);
+  ASSERT_TRUE(client->GetStats(&stats, &error)) << error;
+  const uint64_t frozen = stats.traces_finished;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+  }
+  ASSERT_TRUE(client->GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.traces_finished, frozen);
   server.Shutdown();
 }
 

@@ -16,7 +16,8 @@
 //                          [--technique bidi|ch|alt|hl] [--port P]
 //                          [--port-file FILE] [--threads T]
 //                          [--queue-cap N] [--max-conns N]
-//                          [--metrics-out FILE]
+//                          [--metrics-out FILE] [--trace-out FILE]
+//                          [--trace-sample N] [--slow-us T] [--trace-seed S]
 //
 // Unknown flags are errors (util/flags.h), so typos fail loudly instead
 // of being silently ignored.
@@ -75,9 +76,15 @@ int Usage() {
       " [--technique bidi|ch|alt|hl]\n"
       "             [--port P] [--port-file FILE] [--threads T]\n"
       "             [--queue-cap N] [--max-conns N] [--metrics-out FILE]\n"
+      "             [--trace-out FILE] [--trace-sample N] [--slow-us T]\n"
+      "             [--trace-seed S]\n"
       "    Runs the TCP query service until SIGINT or a SHUTDOWN frame,\n"
       "    then drains in-flight requests and exits.\n"
-      "    --metrics-out writes JSONL metrics (CSV if FILE ends in .csv).\n");
+      "    --metrics-out writes JSONL metrics (CSV if FILE ends in .csv).\n"
+      "    --trace-out writes captured request traces as JSONL; capture\n"
+      "    every Nth request (--trace-sample) plus everything slower than\n"
+      "    T microseconds (--slow-us; 0 captures all). roadnet_trace\n"
+      "    renders the per-stage breakdown.\n");
   return 2;
 }
 
@@ -406,6 +413,15 @@ int Serve(const FlagMap& flags) {
   options.engine_threads = FlagOr(flags, "threads", 4);
   options.queue_capacity = FlagOr(flags, "queue-cap", 256);
   options.max_connections = FlagOr(flags, "max-conns", 64);
+  // Tracing: --trace-sample N captures every Nth request, --slow-us T
+  // additionally captures anything slower than T microseconds (0 =
+  // everything), --trace-out appends captured traces as JSONL.
+  options.trace_sample_every = FlagOr(flags, "trace-sample", 0);
+  options.trace_slow_us = FlagOr(flags, "slow-us", kTraceSlowDisabled);
+  options.trace_seed = FlagOr(flags, "trace-seed", 1);
+  if (auto it = flags.find("trace-out"); it != flags.end()) {
+    options.trace_out = it->second;
+  }
   QueryServer server(*index, wire::TechniqueId(technique), g->NumVertices(),
                      options);
   if (!server.Start(&error)) {
@@ -450,6 +466,21 @@ int Serve(const FlagMap& flags) {
               " path p50 %.1f us p99 %.1f us\n",
               stats.distance_p50_ns * 1e-3, stats.distance_p99_ns * 1e-3,
               stats.path_p50_ns * 1e-3, stats.path_p99_ns * 1e-3);
+  const wire::StatsResponse v2 = server.StatsV2();
+  if (v2.traces_finished > 0) {
+    std::printf("traces:    %llu finished, %llu captured, %llu slow,"
+                " %llu dropped\n",
+                static_cast<unsigned long long>(v2.traces_finished),
+                static_cast<unsigned long long>(v2.traces_captured),
+                static_cast<unsigned long long>(v2.traces_slow),
+                static_cast<unsigned long long>(v2.traces_dropped));
+    for (const wire::StageStatWire& s : v2.stages) {
+      std::printf("  %-15s %8llu  p50 %9.1f us  p99 %9.1f us\n",
+                  TraceStageName(static_cast<TraceStage>(s.stage)),
+                  static_cast<unsigned long long>(s.count), s.p50_ns * 1e-3,
+                  s.p99_ns * 1e-3);
+    }
+  }
   if (auto it = flags.find("metrics-out"); it != flags.end()) {
     MetricsRegistry metrics;
     server.ExportMetrics(&metrics);
@@ -479,7 +510,8 @@ const std::map<std::string, FlagSpec>& CommandSpecs() {
         {"paths"}}},
       {"serve",
        {{"graph", "index", "technique", "port", "port-file", "threads",
-         "queue-cap", "max-conns", "metrics-out"},
+         "queue-cap", "max-conns", "metrics-out", "trace-out", "trace-sample",
+         "slow-us", "trace-seed"},
         {}}},
   };
   return specs;

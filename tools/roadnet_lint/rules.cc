@@ -641,6 +641,44 @@ class IncludeHygieneRule : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// R8: steady_clock-only timing on serving/engine/observability paths.
+//
+// Grounding: the tracing subsystem (src/obs/trace.h) stamps every stage
+// of a request with nanoseconds relative to one steady_clock epoch, and
+// stage windows recorded on four different threads only line up because
+// that clock is monotonic. One system_clock / gettimeofday read mixed
+// in (NTP steps it backwards, suspend jumps it forwards) produces
+// negative or overlapping stage durations that validate_metrics.py
+// rejects — and silently corrupts every latency histogram.
+class SteadyClockTimingRule : public Rule {
+ public:
+  std::string Id() const override { return "R8"; }
+  std::string Name() const override { return "steady-clock-timing"; }
+  std::string Description() const override {
+    return "timing code in src/obs, src/server, src/engine reads "
+           "steady_clock only — no system_clock, gettimeofday, or "
+           "high_resolution_clock (non-monotonic or unspecified)";
+  }
+  bool AppliesTo(const SourceFile& f) const override {
+    return PathStartsWith(f, "src/obs/") || PathStartsWith(f, "src/server/") ||
+           PathStartsWith(f, "src/engine/");
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    for (const char* banned :
+         {"system_clock", "gettimeofday", "high_resolution_clock"}) {
+      ForEachWord(f.code, banned, [&](size_t li, size_t) {
+        out->push_back(MakeFinding(
+            static_cast<int>(li) + 1,
+            std::string(banned) +
+                " in serving/observability timing code; trace spans and "
+                "latency histograms require a monotonic clock — use "
+                "std::chrono::steady_clock (see obs/trace.h)"));
+      });
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> BuildAllRules() {
@@ -652,6 +690,7 @@ std::vector<std::unique_ptr<Rule>> BuildAllRules() {
   rules.push_back(std::make_unique<DeterministicRandomRule>());
   rules.push_back(std::make_unique<CounterGuardRule>());
   rules.push_back(std::make_unique<IncludeHygieneRule>());
+  rules.push_back(std::make_unique<SteadyClockTimingRule>());
   return rules;
 }
 

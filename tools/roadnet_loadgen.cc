@@ -5,6 +5,7 @@
 //                   [--workload random|Q1..Q10] [--seed S] [--paths]
 //                   [--deadline-us D] [--verify-every K]
 //                   [--technique any|bidi|ch|alt|hl] [--stats] [--shutdown]
+//                   [--trace-sample N] [--slow-us T]
 //
 // Opens N concurrent connections and drives them closed-loop (each
 // connection keeps exactly one request in flight), replaying either
@@ -14,6 +15,12 @@
 // must be real paths of the right weight. Reports achieved qps and
 // client-observed p50/p99, which include the server's queueing — the
 // end-to-end numbers a capacity plan is written against.
+//
+// --trace-sample / --slow-us retune the server's request tracer over
+// the wire (TRACE_CONFIG frame) before the workload starts, and the
+// post-run --stats report then includes the server's per-stage latency
+// breakdown (accept -> reply_write) and live gauges — the decomposition
+// the client-side percentiles cannot see.
 //
 // Exit status: 0 on success, 1 on any oracle mismatch or transport
 // error, 2 on usage errors.
@@ -27,6 +34,7 @@
 #include "graph/graph.h"
 #include "io/serialize.h"
 #include "obs/histogram.h"
+#include "obs/trace.h"
 #include "routing/path.h"
 #include "server/client.h"
 #include "server/wire.h"
@@ -46,7 +54,8 @@ int Usage() {
       "  [--host 127.0.0.1] [--connections N] [--queries N]\n"
       "  [--workload random|Q1..Q10] [--seed S] [--paths]\n"
       "  [--deadline-us D] [--verify-every K (0=off)]\n"
-      "  [--technique any|bidi|ch|alt|hl] [--stats] [--shutdown]\n");
+      "  [--technique any|bidi|ch|alt|hl] [--stats] [--shutdown]\n"
+      "  [--trace-sample N (head-sample 1-in-N)] [--slow-us T (0=all)]\n");
   return 2;
 }
 
@@ -93,7 +102,7 @@ std::string FlagOr(const FlagMap& flags, const std::string& name,
 int main(int argc, char** argv) {
   const FlagSpec spec{{"host", "port", "graph", "connections", "queries",
                        "workload", "seed", "deadline-us", "verify-every",
-                       "technique"},
+                       "technique", "trace-sample", "slow-us"},
                       {"paths", "stats", "shutdown"}};
   std::string parse_error;
   const auto flags = ParseFlags(argc, argv, 1, spec, &parse_error);
@@ -156,6 +165,38 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < total_queries; ++i) {
       queries.push_back(found->pairs[i % found->pairs.size()]);
     }
+  }
+
+  // Retune the server's tracer before any load arrives, so the whole
+  // run is recorded under the requested sampling policy.
+  if (flags->count("trace-sample") > 0 || flags->count("slow-us") > 0) {
+    auto admin = BlockingClient::Connect(host, port, &error);
+    if (admin == nullptr) {
+      std::fprintf(stderr, "trace config connect: %s\n", error.c_str());
+      return 1;
+    }
+    wire::TraceConfigRequest cfg;
+    if (flags->count("trace-sample") > 0) {
+      cfg.sample_every = FlagOr(*flags, "trace-sample", 0);
+    }
+    if (flags->count("slow-us") > 0) {
+      cfg.slow_micros = FlagOr(*flags, "slow-us", kTraceSlowDisabled);
+    }
+    wire::TraceConfigResponse effective;
+    if (!admin->ConfigureTracing(cfg, &effective, &error)) {
+      std::fprintf(stderr, "trace config: %s\n", error.c_str());
+      return 1;
+    }
+    std::string sampling =
+        effective.sample_every == 0
+            ? "head sampling off"
+            : "sample 1-in-" + std::to_string(effective.sample_every);
+    std::string slow =
+        effective.slow_micros == kTraceSlowDisabled
+            ? "slow capture off"
+            : "slow threshold " + std::to_string(effective.slow_micros) +
+                  " us";
+    std::printf("tracing:     %s, %s\n", sampling.c_str(), slow.c_str());
   }
 
   std::vector<WorkerResult> results(connections);
@@ -295,6 +336,30 @@ int main(int argc, char** argv) {
                   " path p50 %.1f us p99 %.1f us\n",
                   s.distance_p50_ns * 1e-3, s.distance_p99_ns * 1e-3,
                   s.path_p50_ns * 1e-3, s.path_p99_ns * 1e-3);
+      std::printf("server live: queue depth %llu, in-flight batches %llu,"
+                  " open connections %llu\n",
+                  static_cast<unsigned long long>(s.queue_depth),
+                  static_cast<unsigned long long>(s.in_flight_batches),
+                  static_cast<unsigned long long>(s.open_connections));
+      if (s.traces_finished > 0) {
+        std::printf("traces:      %llu finished, %llu captured"
+                    " (%llu slow), %llu dropped\n",
+                    static_cast<unsigned long long>(s.traces_finished),
+                    static_cast<unsigned long long>(s.traces_captured),
+                    static_cast<unsigned long long>(s.traces_slow),
+                    static_cast<unsigned long long>(s.traces_dropped));
+      }
+      if (!s.stages.empty()) {
+        std::printf("stage breakdown (server-side, all finished requests):\n");
+        std::printf("  %-15s %10s %12s %12s\n", "stage", "count", "p50_us",
+                    "p99_us");
+        for (const wire::StageStatWire& st : s.stages) {
+          std::printf("  %-15s %10llu %12.1f %12.1f\n",
+                      TraceStageName(static_cast<TraceStage>(st.stage)),
+                      static_cast<unsigned long long>(st.count),
+                      st.p50_ns * 1e-3, st.p99_ns * 1e-3);
+        }
+      }
     }
     if (flags->count("shutdown") > 0) {
       if (!admin->SendShutdown(&error)) {
