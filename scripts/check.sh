@@ -6,7 +6,7 @@
 # engine/server tests.
 #
 #   scripts/check.sh                 # everything
-#   scripts/check.sh <stage>         # one stage: build smoke trace lint asan-ubsan tsan
+#   scripts/check.sh <stage>         # one stage: build smoke trace knn lint asan-ubsan tsan
 #   scripts/check.sh <ctest-filter>  # everything, regular ctest narrowed to -R filter
 #
 # Each sanitizer gets its own build directory (build-asan-ubsan/,
@@ -24,7 +24,10 @@ cleanup() {
     kill "$SERVER_PID" 2>/dev/null || true
     wait "$SERVER_PID" 2>/dev/null || true
   fi
-  [[ -n "$SMOKE" ]] && rm -rf "$SMOKE"
+  # No `[[ ]] &&` tail here: a false test as the trap's last command
+  # would become the script's exit status and fail passing stages that
+  # never created a smoke dir.
+  if [[ -n "$SMOKE" ]]; then rm -rf "$SMOKE"; fi
 }
 trap cleanup EXIT
 
@@ -177,6 +180,52 @@ stage_trace() {
   SMOKE=""
 }
 
+stage_knn() {
+  echo "==> kNN smoke: POI build + serve + oracle-verified loadgen + gate"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j"$(nproc)" --target \
+    roadnet_cli roadnet_loadgen bench_knn
+  SMOKE="$(mktemp -d)"
+  build/tools/roadnet_cli generate --vertices 3000 --seed 5 \
+    --out "$SMOKE/g.bin" >/dev/null
+  build/tools/roadnet_cli preprocess --graph "$SMOKE/g.bin" \
+    --out "$SMOKE/g.ch" >/dev/null
+  # Deterministic POI placement: the default category sweep spans three
+  # densities (power-of-ten selectivities), including a near-empty one.
+  build/tools/roadnet_cli poi --graph "$SMOKE/g.bin" --seed 11 \
+    --out "$SMOKE/pois.bin" >/dev/null
+
+  # Serve with the kNN endpoints enabled; the loadgen sweeps both
+  # methods (bucket-CH and IER), k in {1,4,10,50}, and one-to-many, and
+  # verifies EVERY answered result list against its local Dijkstra
+  # oracle before sending the SHUTDOWN frame.
+  build/tools/roadnet_cli serve --graph "$SMOKE/g.bin" --index "$SMOKE/g.ch" \
+    --technique ch --poi "$SMOKE/pois.bin" --port 0 \
+    --port-file "$SMOKE/port" \
+    --metrics-out "$SMOKE/server_metrics.jsonl" >/dev/null &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$SMOKE/port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$SMOKE/port" ]] || { echo "server never wrote port file"; exit 1; }
+  build/tools/roadnet_loadgen --port "$(cat "$SMOKE/port")" \
+    --graph "$SMOKE/g.bin" --poi "$SMOKE/pois.bin" --workload knn \
+    --connections 4 --queries 600 --verify-every 1 --shutdown >/dev/null
+  wait "$SERVER_PID"
+  SERVER_PID=""
+  python3 scripts/validate_metrics.py "$SMOKE/server_metrics.jsonl"
+
+  echo "==> kNN bench: bucket-CH vs IER vs brute-force (quick gate)"
+  # Exits nonzero if the three strategies disagree on any result list,
+  # if one-to-many != k=|category| kNN, or if bucket-CH is not faster
+  # than brute-force Dijkstra on the aggregate sweep.
+  build/bench/bench_knn --quick --out "$SMOKE/BENCH_knn.json" >/dev/null
+  python3 scripts/validate_metrics.py "$SMOKE/BENCH_knn.json"
+  rm -rf "$SMOKE"
+  SMOKE=""
+}
+
 stage_lint() {
   echo "==> roadnet_lint: project-specific static analysis (hard gate)"
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -232,6 +281,7 @@ case "$ARG" in
   build)      stage_build ;;
   smoke)      stage_smoke ;;
   trace)      stage_trace ;;
+  knn)        stage_knn ;;
   lint)       stage_lint ;;
   asan-ubsan) stage_asan_ubsan ;;
   tsan)       stage_tsan ;;
@@ -239,6 +289,7 @@ case "$ARG" in
     stage_build
     stage_smoke
     stage_trace
+    stage_knn
     stage_lint
     stage_asan_ubsan
     stage_tsan
@@ -248,6 +299,7 @@ case "$ARG" in
     stage_build "$ARG"
     stage_smoke
     stage_trace
+    stage_knn
     stage_lint
     stage_asan_ubsan
     stage_tsan

@@ -14,7 +14,7 @@ with no other keys.
 Lint files (roadnet_lint --json) are detected by the "rule" key on the
 first record. Finding records are
 
-    {"rule": "R1".."R8"|"W1", "name": <str>, "file": <str>,
+    {"rule": "R1".."R9"|"W1", "name": <str>, "file": <str>,
      "line": <positive int>, "message": <non-empty str>,
      "waived": <bool>, "waiver_reason": <str, only when waived>}
 
@@ -26,7 +26,8 @@ and the file ends with exactly one summary record
 Trace files (the server's --trace-out slow-query log, obs/trace.h) are
 detected by the "trace_id" key on the first record. Each line is
 
-    {"trace_id": <16 hex chars>, "seq": <int>, "kind": "distance"|"path",
+    {"trace_id": <16 hex chars>, "seq": <int>,
+     "kind": "distance"|"path"|"knn"|"one_to_many",
      "source": <int>, "target": <int>, "status": <non-empty str>,
      "sampled": "head"|"slow"|"head+slow", "total_ns": <int>,
      "counters": {<str>: <int>},
@@ -140,8 +141,9 @@ def check_trace_line(obj):
     for key in ("seq", "source", "target", "total_ns"):
         if not _is_int(obj.get(key)) or obj.get(key) < 0:
             problems.append("'%s' must be a non-negative integer" % key)
-    if obj.get("kind") not in ("distance", "path"):
-        problems.append("'kind' must be 'distance' or 'path'")
+    if obj.get("kind") not in ("distance", "path", "knn", "one_to_many"):
+        problems.append(
+            "'kind' must be distance, path, knn, or one_to_many")
     if not isinstance(obj.get("status"), str) or not obj.get("status"):
         problems.append("'status' must be a non-empty string")
     if obj.get("sampled") not in ("head", "slow", "head+slow"):

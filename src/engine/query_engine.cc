@@ -60,7 +60,6 @@ void QueryEngine::RunChunk(size_t worker_id, Batch* batch, size_t begin,
   const bool traced = batch->query_start_ns != nullptr;
   const auto trace_epoch = batch->options.trace_epoch;
   for (size_t i = begin; i < end; ++i) {
-    const auto [s, t] = batch->queries[i];
     if (traced) {
       (*batch->query_start_ns)[i] = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -68,15 +67,23 @@ void QueryEngine::RunChunk(size_t worker_id, Batch* batch, size_t begin,
               .count());
     }
     Timer timer;
-    (*batch->distances)[i] = index_.DistanceQuery(ctx, s, t);
-    if (counted) worker.counters += ctx->counters;
-    if (traced) (*batch->query_counters)[i] = ctx->counters;
-    if (batch->paths != nullptr) {
-      // A path batch answers both query types (Section 2's two queries);
-      // the reported latency covers the pair.
-      (*batch->paths)[i] = index_.PathQuery(ctx, s, t);
+    if (batch->task != nullptr) {
+      QueryCounters task_counters;
+      (*batch->task)(worker_id, i, &task_counters);
+      if (counted) worker.counters += task_counters;
+      if (traced) (*batch->query_counters)[i] = task_counters;
+    } else {
+      const auto [s, t] = batch->queries[i];
+      (*batch->distances)[i] = index_.DistanceQuery(ctx, s, t);
       if (counted) worker.counters += ctx->counters;
-      if (traced) (*batch->query_counters)[i] += ctx->counters;
+      if (traced) (*batch->query_counters)[i] = ctx->counters;
+      if (batch->paths != nullptr) {
+        // A path batch answers both query types (Section 2's two
+        // queries); the reported latency covers the pair.
+        (*batch->paths)[i] = index_.PathQuery(ctx, s, t);
+        if (counted) worker.counters += ctx->counters;
+        if (traced) (*batch->query_counters)[i] += ctx->counters;
+      }
     }
     if (timed) worker.histogram.Record(timer.ElapsedNanos());
     if (traced) {
@@ -111,6 +118,17 @@ void QueryEngine::DrainBatch(size_t worker_id, Batch* batch) {
 BatchResult QueryEngine::Run(
     std::span<const std::pair<VertexId, VertexId>> queries,
     const BatchOptions& options) {
+  return RunInternal(queries, queries.size(), nullptr, options);
+}
+
+BatchResult QueryEngine::RunTasks(size_t count, const QueryTask& task,
+                                  const BatchOptions& options) {
+  return RunInternal({}, count, &task, options);
+}
+
+BatchResult QueryEngine::RunInternal(
+    std::span<const std::pair<VertexId, VertexId>> queries, size_t count,
+    const QueryTask* task, const BatchOptions& options) {
   // Loud failure on the classic misuse: Run() from two threads at once
   // would hand the same worker contexts to overlapping batches.
   const bool already_running = run_active_.exchange(true);
@@ -119,12 +137,14 @@ BatchResult QueryEngine::Run(
   (void)already_running;
 
   BatchResult result;
-  result.distances.assign(queries.size(), kInfDistance);
-  if (options.collect_paths) result.paths.resize(queries.size());
+  if (task == nullptr) {
+    result.distances.assign(count, kInfDistance);
+    if (options.collect_paths) result.paths.resize(count);
+  }
   if (options.record_per_query) {
-    result.query_start_ns.assign(queries.size(), 0);
-    result.query_end_ns.assign(queries.size(), 0);
-    result.query_counters.assign(queries.size(), QueryCounters{});
+    result.query_start_ns.assign(count, 0);
+    result.query_end_ns.assign(count, 0);
+    result.query_counters.assign(count, QueryCounters{});
   }
 
   // Reset the per-worker sinks before workers see the new epoch.
@@ -135,9 +155,11 @@ BatchResult QueryEngine::Run(
 
   Batch batch;
   batch.queries = queries;
+  batch.task = task;
   batch.options = options;
   batch.distances = &result.distances;
-  batch.paths = options.collect_paths ? &result.paths : nullptr;
+  batch.paths =
+      (task == nullptr && options.collect_paths) ? &result.paths : nullptr;
   if (options.record_per_query) {
     batch.query_start_ns = &result.query_start_ns;
     batch.query_end_ns = &result.query_end_ns;
@@ -150,12 +172,12 @@ BatchResult QueryEngine::Run(
   batch.chunk_size =
       options.chunk_size > 0
           ? options.chunk_size
-          : std::clamp<size_t>(queries.size() / (num_workers * 8), 1, 64);
+          : std::clamp<size_t>(count / (num_workers * 8), 1, 64);
 
   // Static split into equal contiguous segments, one per worker.
   batch.segments = std::vector<Segment>(num_workers);
-  const size_t per_worker = queries.size() / num_workers;
-  const size_t remainder = queries.size() % num_workers;
+  const size_t per_worker = count / num_workers;
+  const size_t remainder = count % num_workers;
   size_t pos = 0;
   for (size_t i = 0; i < num_workers; ++i) {
     const size_t len = per_worker + (i < remainder ? 1 : 0);
@@ -179,13 +201,13 @@ BatchResult QueryEngine::Run(
   }
 
   BatchStats& stats = result.stats;
-  stats.num_queries = queries.size();
+  stats.num_queries = count;
   stats.num_threads = num_workers;
   stats.chunk_size = batch.chunk_size;
   stats.stolen_chunks = batch.stolen_chunks.load();
   stats.wall_seconds = wall.ElapsedSeconds();
   stats.queries_per_second =
-      stats.wall_seconds > 0 ? queries.size() / stats.wall_seconds : 0;
+      stats.wall_seconds > 0 ? count / stats.wall_seconds : 0;
 
   // Merge the per-worker sinks: histograms add element-wise, so the
   // result is identical to one thread having recorded every query.

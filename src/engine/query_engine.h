@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -71,6 +72,14 @@ struct BatchOptions {
   std::chrono::steady_clock::time_point trace_epoch{};
 };
 
+// Type-erased per-item task for query families that are not
+// (source, target) pairs — kNN, one-to-many. Invoked once for every
+// index in [0, count) on some worker thread; `worker_id` selects the
+// caller's per-worker scratch (contexts indexed [0, NumThreads())), and
+// the task reports its operation counts through *counters (pre-reset).
+using QueryTask =
+    std::function<void(size_t worker_id, size_t index, QueryCounters*)>;
+
 struct BatchResult {
   // distances[i] answers queries[i] (kInfDistance if unreachable).
   std::vector<Distance> distances;
@@ -120,6 +129,15 @@ class QueryEngine {
   BatchResult Run(std::span<const std::pair<VertexId, VertexId>> queries,
                   const BatchOptions& options = {});
 
+  // Executes `count` generic tasks on the worker pool with the same
+  // chunking, stealing, latency/counter recording, and per-query trace
+  // stamping as Run(). BatchResult::distances/paths stay empty — the
+  // task writes its own outputs (workers touch disjoint indices, so no
+  // synchronization is needed beyond the join). collect_paths is
+  // ignored. Same no-concurrent-entry contract as Run().
+  BatchResult RunTasks(size_t count, const QueryTask& task,
+                       const BatchOptions& options = {});
+
   size_t NumThreads() const { return workers_.size(); }
 
  private:
@@ -134,6 +152,9 @@ class QueryEngine {
   // The batch being executed, shared by all workers.
   struct Batch {
     std::span<const std::pair<VertexId, VertexId>> queries;
+    // Non-null for RunTasks() batches; `queries` is empty then and the
+    // item count lives in the segment table.
+    const QueryTask* task = nullptr;
     BatchOptions options;
     size_t chunk_size = 1;
     std::vector<Segment> segments;
@@ -166,6 +187,12 @@ class QueryEngine {
 
   // Runs queries [begin, end) of the batch on this worker's context.
   void RunChunk(size_t worker_id, Batch* batch, size_t begin, size_t end);
+
+  // Shared implementation of Run() and RunTasks(): `count` items, pair
+  // queries when `task` is null.
+  BatchResult RunInternal(
+      std::span<const std::pair<VertexId, VertexId>> queries, size_t count,
+      const QueryTask* task, const BatchOptions& options);
 
   const PathIndex& index_;
   std::vector<Worker> workers_;

@@ -1,0 +1,110 @@
+#include "knn/ier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace roadnet {
+
+namespace {
+
+// Max-heap ordering on (dist, vertex id): the root is the worst of the
+// current k results.
+inline bool ResultLess(const KnnResult& a, const KnnResult& b) {
+  return a.dist != b.dist ? a.dist < b.dist : a.poi < b.poi;
+}
+
+}  // namespace
+
+IerKnnIndex::IerKnnIndex(const Graph& g, const PathIndex& oracle,
+                         const PoiSet& pois)
+    : graph_(g), oracle_(oracle), pois_(pois) {
+  // Certified lower-bound scale: the minimum weight/length ratio over
+  // all positive-length edges. Zero-length edges (duplicate coordinates)
+  // satisfy weight >= rho * 0 for any rho and impose no constraint. The
+  // tiny haircut absorbs floating-point rounding so the bound can never
+  // exceed the true network distance.
+  double rho = std::numeric_limits<double>::infinity();
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      if (a.to < u) continue;  // each undirected edge once
+      const int64_t sq = SquaredEuclidean(g.Coord(u), g.Coord(a.to));
+      if (sq == 0) continue;
+      rho = std::min(
+          rho, static_cast<double>(a.weight) /
+                   std::sqrt(static_cast<double>(sq)));
+    }
+  }
+  rho_ = std::isfinite(rho) ? rho * (1.0 - 1e-9) : 0.0;
+  grids_.reserve(pois_.NumCategories());
+  for (uint32_t c = 0; c < pois_.NumCategories(); ++c) {
+    grids_.push_back(std::make_unique<PoiGrid>(g, pois_.Vertices(c)));
+  }
+}
+
+IerKnnIndex::Context IerKnnIndex::NewContext() const {
+  Context ctx;
+  ctx.oracle_ctx = oracle_.NewContext();
+  return ctx;
+}
+
+Distance IerKnnIndex::EuclideanLowerBound(int64_t sq_dist) const {
+  const double bound = rho_ * std::sqrt(static_cast<double>(sq_dist));
+  if (bound >= static_cast<double>(kInfDistance)) return kInfDistance;
+  return static_cast<Distance>(bound);  // floor keeps the bound valid
+}
+
+void IerKnnIndex::KnnQuery(Context* ctx, uint32_t category, VertexId s,
+                           size_t k, std::vector<KnnResult>* out) const {
+  out->clear();
+  ctx->counters.Reset();
+  if (k == 0) return;
+  const PoiGrid& grid = *grids_[category];
+  grid.Begin(&ctx->cursor, graph_.Coord(s));
+  std::vector<KnnResult>& results = ctx->results;
+  results.clear();
+  auto heap_cmp = [](const KnnResult& a, const KnnResult& b) {
+    return ResultLess(a, b);  // std heap: max-heap under this order
+  };
+  VertexId cand = kInvalidVertex;
+  int64_t sq = 0;
+  while (grid.Next(&ctx->cursor, &cand, &sq)) {
+    if (results.size() == k) {
+      // Candidates arrive in ascending Euclidean order, so once the
+      // certified lower bound passes the kth-best network distance no
+      // later candidate can enter the result. Strict comparison: a
+      // candidate tying the kth distance could still win the vertex-id
+      // tie-break and must be probed.
+      const Distance lb = EuclideanLowerBound(sq);
+      if (lb > results.front().dist) break;
+    }
+    const Distance d = oracle_.DistanceQuery(ctx->oracle_ctx.get(), s, cand);
+    QueryCounters probe = ctx->oracle_ctx->counters;
+    probe.TableLookup();  // one probe per candidate evaluated
+    ctx->counters += probe;
+    if (d == kInfDistance) continue;
+    const KnnResult result{cand, d};
+    if (results.size() < k) {
+      results.push_back(result);
+      std::push_heap(results.begin(), results.end(), heap_cmp);
+    } else if (ResultLess(result, results.front())) {
+      std::pop_heap(results.begin(), results.end(), heap_cmp);
+      results.back() = result;
+      std::push_heap(results.begin(), results.end(), heap_cmp);
+    }
+  }
+  *out = results;
+  std::sort(out->begin(), out->end(), ResultLess);
+}
+
+size_t IerKnnIndex::IndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& grid : grids_) {
+    bytes += grid->NumPois() * sizeof(VertexId) +
+             (static_cast<size_t>(grid->CellsX()) * grid->CellsY() + 1) *
+                 sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,93 @@
+#ifndef ROADNET_KNN_IER_H_
+#define ROADNET_KNN_IER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "obs/query_counters.h"
+#include "poi/poi_set.h"
+#include "routing/knn.h"
+#include "routing/path_index.h"
+#include "spatial/poi_grid.h"
+
+namespace roadnet {
+
+// IER (Incremental Euclidean Restriction) kNN: fetch POIs in ascending
+// Euclidean order from a spatial grid, probe each with an exact
+// network-distance oracle (any PathIndex — the CH core in practice), and
+// stop once the Euclidean lower bound of the next candidate exceeds the
+// kth-best network distance (Abeywickrama et al., PAPERS.md).
+//
+// Exactness does not assume edge weights equal Euclidean lengths.
+// Instead the constructor derives the largest rho such that every edge
+// satisfies weight >= rho * euclidean_length; then any path obeys
+// d_net(s,t) >= rho * euclid(s,t) by the triangle inequality, making
+// rho * euclid a certified lower bound even for travel-time weights
+// (the generator scales lengths by road-class factors and truncates).
+// Termination stays strict — the loop only stops when the bound
+// *strictly* exceeds the kth distance, so vertex-id tie-breaks match
+// the Dijkstra oracle exactly.
+//
+// Immutable after construction; per-thread Context per R2/R3.
+class IerKnnIndex {
+ public:
+  class Context {
+   public:
+    Context() = default;
+    Context(Context&&) = default;
+    Context& operator=(Context&&) = default;
+
+    // Counters of the most recent query: accumulated oracle-probe work
+    // plus one table_lookup per candidate POI evaluated.
+    QueryCounters counters;
+
+   private:
+    friend class IerKnnIndex;
+    std::unique_ptr<QueryContext> oracle_ctx;
+    PoiGrid::Cursor cursor;
+    std::vector<KnnResult> results;  // bounded max-heap by (dist, id)
+  };
+
+  // The graph, oracle, and POI set must outlive the index; `oracle` must
+  // be built over `g`, and `pois` placed on it.
+  IerKnnIndex(const Graph& g, const PathIndex& oracle, const PoiSet& pois);
+
+  Context NewContext() const;
+
+  // The k POIs of `category` nearest to s by network distance, sorted
+  // ascending by (distance, vertex id) — bit-identical to the bucket-CH
+  // and brute-force Dijkstra answers. Fewer than k results when the
+  // category is small or partly unreachable; k == 0 yields empty.
+  void KnnQuery(Context* ctx, uint32_t category, VertexId s, size_t k,
+                std::vector<KnnResult>* out) const;
+
+  // Oracle probes issued by the most recent KnnQuery on `ctx` — the
+  // bench's efficiency metric for candidate expansion.
+  // (Stored in counters.table_lookups; this is a readable alias.)
+  static uint64_t ProbesIssued(const Context& ctx) {
+    return ctx.counters.table_lookups;
+  }
+
+  // The certified lower-bound scale (0 when the graph has no
+  // positive-length edge; the bound degenerates to 0 and IER scans
+  // candidates until exhaustion, which is slow but still exact).
+  double LowerBoundScale() const { return rho_; }
+
+  size_t IndexBytes() const;
+
+ private:
+  Distance EuclideanLowerBound(int64_t sq_dist) const;
+
+  const Graph& graph_;
+  const PathIndex& oracle_;
+  const PoiSet& pois_;
+  double rho_ = 0;
+  std::vector<std::unique_ptr<PoiGrid>> grids_;  // one per category
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_KNN_IER_H_

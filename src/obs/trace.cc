@@ -76,7 +76,12 @@ void AppendTraceJson(const RequestTrace& trace,
   out->append("\",\"seq\":");
   AppendU64(out, trace.seq);
   out->append(",\"kind\":\"");
-  out->append(trace.kind == 0 ? "distance" : "path");
+  switch (trace.kind) {
+    case 1: out->append("path"); break;
+    case 2: out->append("knn"); break;
+    case 3: out->append("one_to_many"); break;
+    default: out->append("distance"); break;
+  }
   out->append("\",\"source\":");
   AppendU64(out, trace.source);
   out->append(",\"target\":");

@@ -95,7 +95,7 @@ struct RequestTrace {
   bool active = false;        // runtime capture decision for this request
   bool head_sampled = false;  // chosen by the 1-in-N head sampler
   bool slow = false;          // set by Finish() against the threshold
-  uint8_t kind = 0;           // wire::QueryKind value (0 dist, 1 path)
+  uint8_t kind = 0;  // 0 dist, 1 path (wire::QueryKind), 2 knn, 3 one-to-many
   uint8_t status = 0;         // wire::Status value
   uint32_t source = 0;
   uint32_t target = 0;

@@ -1,0 +1,214 @@
+#include "poi/poi_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "io/crc32.h"
+#include "util/rng.h"
+
+namespace roadnet {
+
+namespace {
+
+constexpr char kPoiMagic[8] = {'R', 'N', 'E', 'T', 'P', 'O', 'I', 'S'};
+constexpr uint32_t kPoiVersion = 1;
+
+// Corruption guards for the length-prefixed blocks.
+constexpr uint32_t kMaxCategories = 1u << 16;
+constexpr uint32_t kMaxNameBytes = 1u << 12;
+
+}  // namespace
+
+PoiSet PoiSet::Generate(const Graph& g, const PoiConfig& config) {
+  PoiSet set;
+  const uint32_t n = g.NumVertices();
+  set.num_vertices_ = n;
+  set.offsets_.push_back(0);
+  Rng rng(config.seed);
+  // Sampling scratch: a partial Fisher-Yates over the identity
+  // permutation draws `count` distinct vertices uniformly; refilled per
+  // category so every category is an independent draw from one seeded
+  // stream.
+  std::vector<VertexId> perm(n);
+  for (const PoiCategorySpec& spec : config.categories) {
+    set.names_.push_back(spec.name);
+    size_t count = static_cast<size_t>(
+        std::llround(spec.density * static_cast<double>(n)));
+    count = std::min<size_t>(count, n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t j = i + rng.NextBelow(n - i);
+      std::swap(perm[i], perm[j]);
+    }
+    const size_t begin = set.vertices_.size();
+    set.vertices_.insert(set.vertices_.end(), perm.begin(),
+                         perm.begin() + count);
+    std::sort(set.vertices_.begin() + begin, set.vertices_.end());
+    set.offsets_.push_back(set.vertices_.size());
+  }
+  return set;
+}
+
+int32_t PoiSet::CategoryId(const std::string& name) const {
+  for (size_t c = 0; c < names_.size(); ++c) {
+    if (names_[c] == name) return static_cast<int32_t>(c);
+  }
+  return -1;
+}
+
+void PoiSet::Serialize(std::ostream& out) const {
+  WriteMagic(out, kPoiMagic);
+  WriteScalar<uint32_t>(out, kPoiVersion);
+  std::ostringstream payload;
+  WriteScalar<uint32_t>(payload, num_vertices_);
+  WriteScalar<uint32_t>(payload, NumCategories());
+  for (const std::string& name : names_) {
+    WriteScalar<uint32_t>(payload, static_cast<uint32_t>(name.size()));
+    payload.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  WriteVector(payload, offsets_);
+  WriteVector(payload, vertices_);
+  WriteChecksummedPayload(out, payload.view());
+}
+
+std::unique_ptr<PoiSet> PoiSet::Deserialize(std::istream& in,
+                                            std::string* error) {
+  auto fail = [error](const char* message) {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  if (!CheckMagic(in, kPoiMagic)) return fail("poi: bad magic");
+  uint32_t version = 0;
+  if (!ReadScalar(in, &version) || version != kPoiVersion) {
+    return fail("poi: unsupported version (regenerate with this build)");
+  }
+  std::string buffer;
+  if (!ReadChecksummedPayload(in, &buffer, "poi", error)) return nullptr;
+  std::istringstream body(buffer);
+  std::unique_ptr<PoiSet> set(new PoiSet());
+  uint32_t num_categories = 0;
+  if (!ReadScalar(body, &set->num_vertices_) ||
+      !ReadScalar(body, &num_categories) || num_categories > kMaxCategories) {
+    return fail("poi: bad header");
+  }
+  set->names_.reserve(num_categories);
+  for (uint32_t c = 0; c < num_categories; ++c) {
+    uint32_t len = 0;
+    if (!ReadScalar(body, &len) || len > kMaxNameBytes) {
+      return fail("poi: bad category name");
+    }
+    std::string name(len, '\0');
+    body.read(name.data(), static_cast<std::streamsize>(len));
+    if (!body) return fail("poi: bad category name");
+    set->names_.push_back(std::move(name));
+  }
+  if (!ReadVector(body, &set->offsets_) ||
+      set->offsets_.size() != static_cast<size_t>(num_categories) + 1) {
+    return fail("poi: bad offset block");
+  }
+  if (!ReadVector(body, &set->vertices_)) {
+    return fail("poi: bad vertex block");
+  }
+  // Structural validation: the offsets must form a CSR over the vertex
+  // array and every category list must be strictly ascending with ids in
+  // range, so corrupt input cannot cause out-of-range bucket builds or
+  // nondeterministic tie-breaks later.
+  if (set->offsets_[0] != 0) return fail("poi: bad offset block");
+  for (uint32_t c = 0; c < num_categories; ++c) {
+    if (set->offsets_[c + 1] < set->offsets_[c] ||
+        set->offsets_[c + 1] > set->vertices_.size()) {
+      return fail("poi: offsets are not monotone");
+    }
+  }
+  if (set->offsets_[num_categories] != set->vertices_.size()) {
+    return fail("poi: offsets do not cover the vertex block");
+  }
+  for (uint32_t c = 0; c < num_categories; ++c) {
+    const std::span<const VertexId> list = set->Vertices(c);
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i] >= set->num_vertices_) {
+        return fail("poi: vertex id out of range");
+      }
+      if (i > 0 && list[i] <= list[i - 1]) {
+        return fail("poi: category list not strictly ascending");
+      }
+    }
+  }
+  return set;
+}
+
+bool PoiSet::SerializeToFile(const std::string& path,
+                             std::string* error) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "poi: cannot open " + path;
+    return false;
+  }
+  Serialize(out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "poi: write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<PoiSet> PoiSet::DeserializeFromFile(const std::string& path,
+                                                    std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "poi: cannot open " + path;
+    return nullptr;
+  }
+  return Deserialize(in, error);
+}
+
+size_t PoiSet::MemoryBytes() const {
+  size_t bytes = offsets_.size() * sizeof(uint64_t) +
+                 vertices_.size() * sizeof(VertexId);
+  for (const std::string& name : names_) bytes += name.size();
+  return bytes;
+}
+
+bool ParsePoiCategories(const std::string& spec,
+                        std::vector<PoiCategorySpec>* out,
+                        std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  out->clear();
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return fail("bad category spec '" + item + "' (want name:density)");
+    }
+    PoiCategorySpec cat;
+    cat.name = item.substr(0, colon);
+    for (const PoiCategorySpec& existing : *out) {
+      if (existing.name == cat.name) {
+        return fail("duplicate category name '" + cat.name + "'");
+      }
+    }
+    try {
+      size_t used = 0;
+      cat.density = std::stod(item.substr(colon + 1), &used);
+      if (used != item.size() - colon - 1) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      return fail("bad density in category spec '" + item + "'");
+    }
+    if (!(cat.density >= 0.0 && cat.density <= 1.0)) {
+      return fail("density out of [0,1] in category spec '" + item + "'");
+    }
+    out->push_back(std::move(cat));
+  }
+  if (out->empty()) return fail("empty category spec");
+  return true;
+}
+
+}  // namespace roadnet

@@ -1,0 +1,100 @@
+#ifndef ROADNET_POI_POI_SET_H_
+#define ROADNET_POI_POI_SET_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace roadnet {
+
+// One POI category to place: a name ("restaurant", "fuel") and the
+// fraction of graph vertices that carry such a POI. Density follows the
+// paper's R-set convention of sweeping selectivity in powers of ten; a
+// density of 0 is legal and yields an empty category (the serving path
+// must answer it with an empty OK result, not an error).
+struct PoiCategorySpec {
+  std::string name;
+  double density = 0.01;
+};
+
+struct PoiConfig {
+  std::vector<PoiCategorySpec> categories;
+  uint64_t seed = 1;
+};
+
+// Immutable set of points of interest over one graph: named categories,
+// each a sorted list of distinct vertex ids. Placement is deterministic
+// from PoiConfig::seed (util/rng.h SplitMix64), so a loadgen or bench on
+// another host regenerates bit-identical POI sets — the same contract the
+// graph generator and workload samplers follow.
+//
+// Storage is CSR: one flat vertex array plus per-category offsets, so a
+// category's list is a contiguous span and the whole set serializes as
+// two vectors.
+class PoiSet {
+ public:
+  // Samples each category's vertices without replacement over g's vertex
+  // ids. Category c gets round(density * NumVertices) POIs (clamped to
+  // the vertex count); an all-vertices category is legal.
+  static PoiSet Generate(const Graph& g, const PoiConfig& config);
+
+  uint32_t NumCategories() const {
+    return static_cast<uint32_t>(names_.size());
+  }
+  // Total POIs across all categories.
+  size_t NumPois() const { return vertices_.size(); }
+  // Vertex count of the graph this set was placed on; request validation
+  // and index construction check it against their graph.
+  uint32_t NumVertices() const { return num_vertices_; }
+
+  const std::string& CategoryName(uint32_t c) const { return names_[c]; }
+  // Index of the named category, or -1 if unknown.
+  int32_t CategoryId(const std::string& name) const;
+
+  // The category's POI vertices, sorted ascending (distinct ids). The
+  // position of a vertex in this span is its stable "poi index" within
+  // the category — the id bucket entries and result tie-breaks use.
+  std::span<const VertexId> Vertices(uint32_t c) const {
+    return {vertices_.data() + offsets_[c], offsets_[c + 1] - offsets_[c]};
+  }
+
+  // --- v1 container: magic "RNETPOIS", u32 version, CRC'd payload ---
+  void Serialize(std::ostream& out) const;
+  // Returns nullptr + *error on malformed input. Full structural
+  // validation: CSR monotone and covering, vertex ids in range and
+  // strictly ascending per category.
+  static std::unique_ptr<PoiSet> Deserialize(std::istream& in,
+                                             std::string* error);
+
+  bool SerializeToFile(const std::string& path, std::string* error) const;
+  static std::unique_ptr<PoiSet> DeserializeFromFile(const std::string& path,
+                                                     std::string* error);
+
+  size_t MemoryBytes() const;
+
+ private:
+  PoiSet() = default;
+
+  uint32_t num_vertices_ = 0;
+  std::vector<std::string> names_;
+  std::vector<uint64_t> offsets_;  // size NumCategories()+1, offsets_[0]==0
+  std::vector<VertexId> vertices_;
+};
+
+// Parses a "name:density,name:density" spec string (the roadnet_cli
+// --poi-categories flag) into PoiConfig categories. Returns false +
+// *error on malformed input, duplicate names, or a density outside
+// [0, 1].
+bool ParsePoiCategories(const std::string& spec,
+                        std::vector<PoiCategorySpec>* out,
+                        std::string* error);
+
+}  // namespace roadnet
+
+#endif  // ROADNET_POI_POI_SET_H_

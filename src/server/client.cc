@@ -38,6 +38,34 @@ bool BlockingClient::Query(const wire::QueryRequest& req,
   return true;
 }
 
+bool BlockingClient::Knn(const wire::KnnRequest& req,
+                         wire::KnnResponse* resp, std::string* error) {
+  std::string body;
+  if (!RoundTrip(wire::EncodeKnnRequest(req), &body, error)) return false;
+  auto decoded = wire::DecodeKnnResponse(wire::kKnnReply, body);
+  if (!decoded.has_value()) {
+    if (error != nullptr) *error = "malformed KNN_REPLY frame";
+    return false;
+  }
+  *resp = std::move(*decoded);
+  return true;
+}
+
+bool BlockingClient::OneToMany(const wire::OneToManyRequest& req,
+                               wire::KnnResponse* resp, std::string* error) {
+  std::string body;
+  if (!RoundTrip(wire::EncodeOneToManyRequest(req), &body, error)) {
+    return false;
+  }
+  auto decoded = wire::DecodeKnnResponse(wire::kOneToManyReply, body);
+  if (!decoded.has_value()) {
+    if (error != nullptr) *error = "malformed ONE_TO_MANY_REPLY frame";
+    return false;
+  }
+  *resp = std::move(*decoded);
+  return true;
+}
+
 bool BlockingClient::GetStats(wire::StatsResponse* stats,
                               std::string* error) {
   std::string body;

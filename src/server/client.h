@@ -28,6 +28,16 @@ class BlockingClient {
   bool Query(const wire::QueryRequest& req, wire::QueryResponse* resp,
              std::string* error);
 
+  // Sends a KNN_QUERY frame and reads its reply. Same failure contract
+  // as Query(); a short (or empty) entry list with kOk is a complete
+  // answer.
+  bool Knn(const wire::KnnRequest& req, wire::KnnResponse* resp,
+           std::string* error);
+
+  // Sends a ONE_TO_MANY_QUERY frame and reads its reply.
+  bool OneToMany(const wire::OneToManyRequest& req, wire::KnnResponse* resp,
+                 std::string* error);
+
   // Fetches the server's STATS snapshot.
   bool GetStats(wire::StatsResponse* stats, std::string* error);
 

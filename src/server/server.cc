@@ -40,14 +40,32 @@ TracerOptions MakeTracerOptions(const ServerOptions& options) {
 }  // namespace
 
 QueryServer::QueryServer(const PathIndex& index, uint8_t technique_id,
-                         uint32_t num_vertices, const ServerOptions& options)
+                         uint32_t num_vertices, const ServerOptions& options,
+                         const KnnServing& knn)
     : index_(index),
       technique_id_(technique_id),
       num_vertices_(num_vertices),
       options_(options),
+      knn_(knn),
       engine_(index, options.engine_threads),
       queue_(options.queue_capacity),
-      tracer_(MakeTracerOptions(options)) {}
+      tracer_(MakeTracerOptions(options)) {
+  // One kNN context and scratch vector per engine worker: the task path
+  // hands each worker its own slot.
+  if (knn_.Enabled()) {
+    knn_scratch_.resize(engine_.NumThreads());
+    bucket_ctxs_.reserve(engine_.NumThreads());
+    for (size_t i = 0; i < engine_.NumThreads(); ++i) {
+      bucket_ctxs_.push_back(knn_.bucket->NewContext());
+    }
+    if (knn_.ier != nullptr) {
+      ier_ctxs_.reserve(engine_.NumThreads());
+      for (size_t i = 0; i < engine_.NumThreads(); ++i) {
+        ier_ctxs_.push_back(knn_.ier->NewContext());
+      }
+    }
+  }
+}
 
 QueryServer::~QueryServer() { Shutdown(); }
 
@@ -227,19 +245,77 @@ void QueryServer::HandleConnection(Connection* conn) {
       if (!WriteFrame(fd, wire::EncodeTraceConfigResponse(ack))) break;
       continue;
     }
-    if (*type != wire::kQuery) break;
-
-    const auto req = wire::DecodeQueryRequest(body);
-    pending.received = std::chrono::steady_clock::now();
-    if (req.has_value()) {
-      trace.kind = static_cast<uint8_t>(req->kind);
-      trace.source = req->source;
-      trace.target = req->target;
+    if (*type != wire::kQuery && *type != wire::kKnnQuery &&
+        *type != wire::kOneToManyQuery) {
+      break;
     }
-    if (!req.has_value() || req->source >= num_vertices_ ||
-        req->target >= num_vertices_ ||
-        (req->technique != wire::kAnyTechnique &&
-         req->technique != technique_id_)) {
+
+    pending.received = std::chrono::steady_clock::now();
+    // Encodes the reply frame of whatever family this request is; kNN
+    // families carry status/latency in the shared KnnResponse layout.
+    auto encode_reply = [&pending]() {
+      switch (pending.family) {
+        case Pending::Family::kKnn:
+          pending.knn_resp.status = pending.resp.status;
+          pending.knn_resp.server_latency_ns = pending.resp.server_latency_ns;
+          return wire::EncodeKnnResponse(wire::kKnnReply, pending.knn_resp);
+        case Pending::Family::kOneToMany:
+          pending.knn_resp.status = pending.resp.status;
+          pending.knn_resp.server_latency_ns = pending.resp.server_latency_ns;
+          return wire::EncodeKnnResponse(wire::kOneToManyReply,
+                                         pending.knn_resp);
+        case Pending::Family::kPoint:
+          break;
+      }
+      return wire::EncodeQueryResponse(pending.resp);
+    };
+
+    // Decode + validate per family. A short answer (empty category,
+    // k > |POIs|) is NOT a bad request — only malformed frames, ids out
+    // of range, and techniques/methods the server does not host are.
+    bool valid = false;
+    if (*type == wire::kQuery) {
+      const auto req = wire::DecodeQueryRequest(body);
+      if (req.has_value()) {
+        trace.kind = static_cast<uint8_t>(req->kind);
+        trace.source = req->source;
+        trace.target = req->target;
+        valid = req->source < num_vertices_ &&
+                req->target < num_vertices_ &&
+                (req->technique == wire::kAnyTechnique ||
+                 req->technique == technique_id_);
+        pending.req = *req;
+      }
+    } else if (*type == wire::kKnnQuery) {
+      // Family follows the frame type even when decode fails, so a
+      // malformed KNN_QUERY still gets a KNN_REPLY bad-request frame.
+      pending.family = Pending::Family::kKnn;
+      const auto req = wire::DecodeKnnRequest(body);
+      if (req.has_value()) {
+        trace.kind = 2;
+        trace.source = req->source;
+        trace.target = req->category;  // category stands in for target
+        valid = knn_.Enabled() && req->source < num_vertices_ &&
+                req->category < knn_.pois->NumCategories() &&
+                (req->method != wire::KnnMethod::kIer ||
+                 knn_.ier != nullptr);
+        pending.knn_req = *req;
+        pending.req.deadline_micros = req->deadline_micros;
+      }
+    } else {
+      pending.family = Pending::Family::kOneToMany;
+      const auto req = wire::DecodeOneToManyRequest(body);
+      if (req.has_value()) {
+        trace.kind = 3;
+        trace.source = req->source;
+        trace.target = req->category;
+        valid = knn_.Enabled() && req->source < num_vertices_ &&
+                req->category < knn_.pois->NumCategories();
+        pending.otm_req = *req;
+        pending.req.deadline_micros = req->deadline_micros;
+      }
+    }
+    if (!valid) {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       pending.resp.status = wire::Status::kBadRequest;
       pending.resp.server_latency_ns = ElapsedNanos(pending.received);
@@ -247,13 +323,12 @@ void QueryServer::HandleConnection(Connection* conn) {
       bool write_ok;
       {
         TraceSpan reply_span(&trace, TraceStage::kReplyWrite);
-        write_ok = WriteFrame(fd, wire::EncodeQueryResponse(pending.resp));
+        write_ok = WriteFrame(fd, encode_reply());
       }
       if (shard >= 0) tracer_.Finish(shard, &trace);
       if (!write_ok) break;
       continue;
     }
-    pending.req = *req;
 
     // The enqueue span must close BEFORE TryPush: once the request is in
     // the queue the dispatcher may pop it immediately and derive the
@@ -278,7 +353,7 @@ void QueryServer::HandleConnection(Connection* conn) {
       bool write_ok;
       {
         TraceSpan reply_span(&trace, TraceStage::kReplyWrite);
-        write_ok = WriteFrame(fd, wire::EncodeQueryResponse(pending.resp));
+        write_ok = WriteFrame(fd, encode_reply());
       }
       if (shard >= 0) tracer_.Finish(shard, &trace);
       if (!write_ok) break;
@@ -292,7 +367,7 @@ void QueryServer::HandleConnection(Connection* conn) {
     bool write_ok;
     {
       TraceSpan reply_span(&trace, TraceStage::kReplyWrite);
-      write_ok = WriteFrame(fd, wire::EncodeQueryResponse(pending.resp));
+      write_ok = WriteFrame(fd, encode_reply());
     }
     if (shard >= 0) tracer_.Finish(shard, &trace);
     if (!write_ok) break;
@@ -360,13 +435,84 @@ void QueryServer::RunSubBatch(std::vector<Pending*>& reqs, bool paths) {
   }
 }
 
+void QueryServer::RunKnnSubBatch(std::vector<Pending*>& reqs) {
+  if (reqs.empty()) return;
+  BatchOptions options;
+  options.record_latencies = false;  // server latency is recorded below
+  const bool traced = tracer_.RuntimeEnabled();
+  uint64_t assembly_end = 0;
+  if (traced) {
+    options.record_per_query = true;
+    options.trace_epoch = tracer_.Epoch();
+    assembly_end = tracer_.NowNs();
+  }
+  // The engine's task path: each request runs on one worker's own kNN
+  // contexts and writes its own Pending, so workers never share state.
+  QueryTask task = [this, &reqs](size_t worker, size_t i,
+                                 QueryCounters* counters) {
+    Pending* p = reqs[i];
+    std::vector<KnnResult>& out = knn_scratch_[worker];
+    if (p->family == Pending::Family::kOneToMany) {
+      knn_.bucket->OneToManyQuery(&bucket_ctxs_[worker],
+                                  p->otm_req.category, p->otm_req.source,
+                                  &out);
+      *counters = bucket_ctxs_[worker].counters;
+    } else if (p->knn_req.method == wire::KnnMethod::kIer) {
+      knn_.ier->KnnQuery(&ier_ctxs_[worker], p->knn_req.category,
+                         p->knn_req.source, p->knn_req.k, &out);
+      *counters = ier_ctxs_[worker].counters;
+    } else {
+      knn_.bucket->KnnQuery(&bucket_ctxs_[worker], p->knn_req.category,
+                            p->knn_req.source, p->knn_req.k, &out);
+      *counters = bucket_ctxs_[worker].counters;
+    }
+    p->knn_resp.entries.clear();
+    p->knn_resp.entries.reserve(out.size());
+    for (const KnnResult& r : out) {
+      p->knn_resp.entries.emplace_back(r.poi, r.dist);
+    }
+  };
+  in_flight_batches_.fetch_add(1, std::memory_order_relaxed);
+  BatchResult result = engine_.RunTasks(reqs.size(), task, options);
+  in_flight_batches_.fetch_sub(1, std::memory_order_relaxed);
+  if (traced && result.query_start_ns.size() == reqs.size()) {
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      RequestTrace& trace = reqs[i]->trace;
+      trace.RecordStage(
+          TraceStage::kBatchAssembly,
+          trace.stages[static_cast<size_t>(TraceStage::kQueueWait)].end_ns,
+          assembly_end);
+      trace.RecordStage(TraceStage::kExecute, result.query_start_ns[i],
+                        result.query_end_ns[i]);
+      trace.counters = result.query_counters[i];
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const Pending* p : reqs) {
+      Histogram& latency = p->family == Pending::Family::kOneToMany
+                               ? one_to_many_latency_
+                               : knn_latency_;
+      latency.Record(ElapsedNanos(p->received));
+    }
+    counters_ += result.stats.counters;
+  }
+  served_.fetch_add(reqs.size(), std::memory_order_relaxed);
+  // A short (even empty) list is a complete OK answer: unreachable or
+  // absent POIs are simply not in it.
+  for (Pending* p : reqs) Complete(p, wire::Status::kOk);
+}
+
 void QueryServer::DispatchLoop() {
   std::vector<Pending*> batch;
   std::vector<Pending*> distance_reqs;
   std::vector<Pending*> path_reqs;
+  std::vector<Pending*> knn_reqs;
   while (queue_.PopBatch(&batch, options_.max_dispatch_batch)) {
     distance_reqs.clear();
     path_reqs.clear();
+    knn_reqs.clear();
     const auto now = std::chrono::steady_clock::now();
     // One pop stamp for the whole batch: each request's queue_wait runs
     // from its own enqueue end to this pop.
@@ -391,11 +537,16 @@ void QueryServer::DispatchLoop() {
           continue;
         }
       }
-      (p->req.kind == wire::QueryKind::kPath ? path_reqs : distance_reqs)
-          .push_back(p);
+      if (p->family != Pending::Family::kPoint) {
+        knn_reqs.push_back(p);
+      } else {
+        (p->req.kind == wire::QueryKind::kPath ? path_reqs : distance_reqs)
+            .push_back(p);
+      }
     }
     RunSubBatch(distance_reqs, /*paths=*/false);
     RunSubBatch(path_reqs, /*paths=*/true);
+    RunKnnSubBatch(knn_reqs);
   }
 }
 
@@ -470,6 +621,12 @@ void QueryServer::ExportMetrics(MetricsRegistry* registry) const {
                          with_endpoint("distance"));
   registry->AddHistogram("latency_micros", path_latency_, 1e-3,
                          with_endpoint("path"));
+  if (knn_.Enabled()) {
+    registry->AddHistogram("latency_micros", knn_latency_, 1e-3,
+                           with_endpoint("knn"));
+    registry->AddHistogram("latency_micros", one_to_many_latency_, 1e-3,
+                           with_endpoint("one_to_many"));
+  }
   registry->AddCounters(counters_, labels);
   tracer_.ExportMetrics(registry, labels);
 }

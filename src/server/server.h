@@ -13,15 +13,30 @@
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "knn/ier.h"
+#include "knn/knn_index.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "poi/poi_set.h"
 #include "routing/path_index.h"
 #include "server/bounded_queue.h"
 #include "server/socket.h"
 #include "server/wire.h"
 
 namespace roadnet {
+
+// Optional kNN / one-to-many serving backends. All-null = the server
+// answers only point-to-point queries (KNN_QUERY gets BAD_REQUEST).
+// `bucket` and `pois` enable the family; `ier` additionally enables
+// method=ier. All referents must outlive the server.
+struct KnnServing {
+  const PoiSet* pois = nullptr;
+  const KnnBucketIndex* bucket = nullptr;
+  const IerKnnIndex* ier = nullptr;
+
+  bool Enabled() const { return pois != nullptr && bucket != nullptr; }
+};
 
 struct ServerOptions {
   uint16_t port = 0;             // 0 = ephemeral (read back via Port())
@@ -62,7 +77,8 @@ class QueryServer {
   // `technique_id` is the wire id clients must send (or kAnyTechnique);
   // `num_vertices` bounds request validation.
   QueryServer(const PathIndex& index, uint8_t technique_id,
-              uint32_t num_vertices, const ServerOptions& options);
+              uint32_t num_vertices, const ServerOptions& options,
+              const KnnServing& knn = {});
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -111,9 +127,21 @@ class QueryServer {
   // connection handler's stack; the handler blocks on `cv` until the
   // dispatcher fills `resp` and flips `done`.
   struct Pending {
+    // Which request family this is; selects the active request struct
+    // and the reply frame the handler encodes.
+    enum class Family : uint8_t { kPoint = 0, kKnn = 1, kOneToMany = 2 };
+    Family family = Family::kPoint;
+    // kPoint requests decode into `req`. kKnn / kOneToMany decode into
+    // their own structs, but `req.deadline_micros` is mirrored so the
+    // dispatcher's deadline shedding is family-agnostic.
     wire::QueryRequest req;
+    wire::KnnRequest knn_req;
+    wire::OneToManyRequest otm_req;
     std::chrono::steady_clock::time_point received;
     wire::QueryResponse resp;
+    // Entry list of a kKnn / kOneToMany reply; status and latency are
+    // copied out of `resp` when the handler encodes the frame.
+    wire::KnnResponse knn_resp;
     // Lifecycle trace. The handler owns it; the dispatcher and engine
     // stamp the queue_wait / batch_assembly / execute windows while the
     // handler is blocked on `cv`, so writes never overlap. Finish() runs
@@ -141,16 +169,27 @@ class QueryServer {
   // the engine and fills the responses.
   void RunSubBatch(std::vector<Pending*>& reqs, bool paths);
 
+  // Runs a mixed kNN / one-to-many sub-batch through the engine's task
+  // path on the per-worker kNN contexts.
+  void RunKnnSubBatch(std::vector<Pending*>& reqs);
+
   static void Complete(Pending* p, wire::Status status);
 
   const PathIndex& index_;
   const uint8_t technique_id_;
   const uint32_t num_vertices_;
   const ServerOptions options_;
+  const KnnServing knn_;
 
   QueryEngine engine_;
   BoundedQueue<Pending*> queue_;
   Tracer tracer_;
+  // Per-engine-worker kNN scratch, indexed by worker id (empty when the
+  // matching backend is absent). Only the engine's task path touches
+  // them, one worker per slot, so no locking.
+  std::vector<KnnBucketIndex::Context> bucket_ctxs_;
+  std::vector<IerKnnIndex::Context> ier_ctxs_;
+  std::vector<std::vector<KnnResult>> knn_scratch_;
 
   ScopedFd listen_fd_;
   uint16_t port_ = 0;
@@ -185,6 +224,8 @@ class QueryServer {
   mutable std::mutex stats_mu_;
   Histogram distance_latency_;
   Histogram path_latency_;
+  Histogram knn_latency_;
+  Histogram one_to_many_latency_;
   QueryCounters counters_;  // summed over every served batch
 };
 

@@ -272,10 +272,112 @@ std::optional<TraceConfigResponse> DecodeTraceConfigResponse(
   return resp;
 }
 
+const char* KnnMethodName(KnnMethod m) {
+  switch (m) {
+    case KnnMethod::kBucketCh: return "bucket-ch";
+    case KnnMethod::kIer: return "ier";
+  }
+  return "?";
+}
+
+std::string EncodeKnnRequest(const KnnRequest& req) {
+  std::string body;
+  body.reserve(1 + 1 + 4 + 4 + 4 + 8);
+  Append<uint8_t>(&body, kKnnQuery);
+  Append<uint8_t>(&body, static_cast<uint8_t>(req.method));
+  Append<uint32_t>(&body, req.category);
+  Append<uint32_t>(&body, req.k);
+  Append<uint32_t>(&body, req.source);
+  Append<uint64_t>(&body, req.deadline_micros);
+  return body;
+}
+
+std::optional<KnnRequest> DecodeKnnRequest(const std::string& body) {
+  Reader r{body};
+  uint8_t type = 0, method = 0;
+  KnnRequest req;
+  r.Take(&type);
+  r.Take(&method);
+  r.Take(&req.category);
+  r.Take(&req.k);
+  r.Take(&req.source);
+  r.Take(&req.deadline_micros);
+  if (!r.Done() || type != kKnnQuery ||
+      method > static_cast<uint8_t>(KnnMethod::kIer)) {
+    return std::nullopt;
+  }
+  req.method = static_cast<KnnMethod>(method);
+  return req;
+}
+
+std::string EncodeOneToManyRequest(const OneToManyRequest& req) {
+  std::string body;
+  body.reserve(1 + 4 + 4 + 8);
+  Append<uint8_t>(&body, kOneToManyQuery);
+  Append<uint32_t>(&body, req.category);
+  Append<uint32_t>(&body, req.source);
+  Append<uint64_t>(&body, req.deadline_micros);
+  return body;
+}
+
+std::optional<OneToManyRequest> DecodeOneToManyRequest(
+    const std::string& body) {
+  Reader r{body};
+  uint8_t type = 0;
+  OneToManyRequest req;
+  r.Take(&type);
+  r.Take(&req.category);
+  r.Take(&req.source);
+  r.Take(&req.deadline_micros);
+  if (!r.Done() || type != kOneToManyQuery) return std::nullopt;
+  return req;
+}
+
+std::string EncodeKnnResponse(MessageType reply_type,
+                              const KnnResponse& resp) {
+  std::string body;
+  body.reserve(1 + 1 + 8 + 4 + resp.entries.size() * 12);
+  Append<uint8_t>(&body, reply_type);
+  Append<uint8_t>(&body, static_cast<uint8_t>(resp.status));
+  Append<uint64_t>(&body, resp.server_latency_ns);
+  Append<uint32_t>(&body, static_cast<uint32_t>(resp.entries.size()));
+  for (const auto& [v, d] : resp.entries) {
+    Append<uint32_t>(&body, v);
+    Append<uint64_t>(&body, d);
+  }
+  return body;
+}
+
+std::optional<KnnResponse> DecodeKnnResponse(MessageType reply_type,
+                                             const std::string& body) {
+  Reader r{body};
+  uint8_t type = 0, status = 0;
+  KnnResponse resp;
+  uint32_t count = 0;
+  r.Take(&type);
+  r.Take(&status);
+  r.Take(&resp.server_latency_ns);
+  r.Take(&count);
+  if (!r.ok || type != reply_type ||
+      status > static_cast<uint8_t>(Status::kShuttingDown)) {
+    return std::nullopt;
+  }
+  // The remaining bytes must be exactly the declared entry list.
+  if (body.size() - r.pos != size_t{count} * 12) return std::nullopt;
+  resp.status = static_cast<Status>(status);
+  resp.entries.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    r.Take(&resp.entries[i].first);
+    r.Take(&resp.entries[i].second);
+  }
+  if (!r.Done()) return std::nullopt;
+  return resp;
+}
+
 std::optional<MessageType> PeekType(const std::string& body) {
   if (body.empty()) return std::nullopt;
   const uint8_t t = static_cast<uint8_t>(body[0]);
-  if (t < kQuery || t > kTraceConfigReply) return std::nullopt;
+  if (t < kQuery || t > kOneToManyReply) return std::nullopt;
   return static_cast<MessageType>(t);
 }
 

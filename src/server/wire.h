@@ -33,6 +33,13 @@ namespace wire {
 //                  u64 sample_every, u64 slow_micros (admin request:
 //                  retune the tracer at runtime)
 //   TRACE_CONFIG_REPLY  u64 sample_every, u64 slow_micros now in effect
+//   KNN_QUERY      u8 method (0 = bucket-CH, 1 = IER), u32 category,
+//                  u32 k, u32 source, u64 deadline_micros
+//   KNN_REPLY      u8 status, u64 server_latency_ns, u32 count,
+//                  (u32 vertex, u64 distance) * count — ascending by
+//                  (distance, vertex); count < k is an OK short answer
+//   ONE_TO_MANY_QUERY  u32 category, u32 source, u64 deadline_micros
+//   ONE_TO_MANY_REPLY  same layout as KNN_REPLY; every reachable POI
 //
 // Frame bodies are capped (kMaxFrameBytes) so a corrupt or hostile
 // length prefix cannot trigger an unbounded allocation.
@@ -46,6 +53,10 @@ enum MessageType : uint8_t {
   kShutdownReply = 6,
   kTraceConfig = 7,
   kTraceConfigReply = 8,
+  kKnnQuery = 9,
+  kKnnReply = 10,
+  kOneToManyQuery = 11,
+  kOneToManyReply = 12,
 };
 
 enum class QueryKind : uint8_t {
@@ -91,6 +102,42 @@ struct QueryResponse {
   // Receipt-to-completion time on the server (includes queueing).
   uint64_t server_latency_ns = 0;
   std::vector<VertexId> path;  // filled for kPath queries that succeed
+};
+
+// kNN technique ids carried in KNN_QUERY frames. Unlike point-to-point
+// techniques there is no "any": the client always names the algorithm
+// it wants measured.
+enum class KnnMethod : uint8_t {
+  kBucketCh = 0,  // bucket-based CH join
+  kIer = 1,       // incremental Euclidean restriction over the oracle
+};
+
+const char* KnnMethodName(KnnMethod m);
+
+struct KnnRequest {
+  KnnMethod method = KnnMethod::kBucketCh;
+  uint32_t category = 0;
+  uint32_t k = 0;
+  VertexId source = 0;
+  uint64_t deadline_micros = 0;
+};
+
+struct OneToManyRequest {
+  uint32_t category = 0;
+  VertexId source = 0;
+  uint64_t deadline_micros = 0;
+};
+
+// Shared reply payload of KNN_REPLY and ONE_TO_MANY_REPLY (the frames
+// differ only in type byte so a client can never mistake one family's
+// answer for the other's). Entries are (vertex, network distance)
+// sorted ascending by (distance, vertex id). A list shorter than k —
+// small category, unreachable POIs, or an empty category — is a
+// well-formed kOk answer, not an error.
+struct KnnResponse {
+  Status status = Status::kOk;
+  uint64_t server_latency_ns = 0;
+  std::vector<std::pair<VertexId, Distance>> entries;
 };
 
 // STATS_REPLY version byte. v2 added the live gauges, trace counters,
@@ -167,6 +214,11 @@ std::string EncodeShutdownRequest();
 std::string EncodeShutdownResponse();
 std::string EncodeTraceConfigRequest(const TraceConfigRequest& req);
 std::string EncodeTraceConfigResponse(const TraceConfigResponse& resp);
+std::string EncodeKnnRequest(const KnnRequest& req);
+std::string EncodeOneToManyRequest(const OneToManyRequest& req);
+// `reply_type` selects kKnnReply or kOneToManyReply.
+std::string EncodeKnnResponse(MessageType reply_type,
+                              const KnnResponse& resp);
 
 // --- Body decoding. nullopt on short/trailing bytes or a bad type. ---
 
@@ -180,6 +232,11 @@ std::optional<TraceConfigRequest> DecodeTraceConfigRequest(
     const std::string& body);
 std::optional<TraceConfigResponse> DecodeTraceConfigResponse(
     const std::string& body);
+std::optional<KnnRequest> DecodeKnnRequest(const std::string& body);
+std::optional<OneToManyRequest> DecodeOneToManyRequest(
+    const std::string& body);
+std::optional<KnnResponse> DecodeKnnResponse(MessageType reply_type,
+                                             const std::string& body);
 
 }  // namespace wire
 }  // namespace roadnet

@@ -1,0 +1,129 @@
+#include "spatial/poi_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadnet {
+
+PoiGrid::PoiGrid(const Graph& g, std::span<const VertexId> pois)
+    : graph_(g) {
+  // Bounding box of the POI coordinates (not the whole graph: a tight
+  // box keeps cells small where the POIs actually are).
+  int64_t max_x = 0, max_y = 0;
+  if (!pois.empty()) {
+    min_x_ = max_x = g.Coord(pois[0]).x;
+    min_y_ = max_y = g.Coord(pois[0]).y;
+    for (VertexId v : pois) {
+      const Point p = g.Coord(v);
+      min_x_ = std::min<int64_t>(min_x_, p.x);
+      min_y_ = std::min<int64_t>(min_y_, p.y);
+      max_x = std::max<int64_t>(max_x, p.x);
+      max_y = std::max<int64_t>(max_y, p.y);
+    }
+  }
+  // Square cells, roughly one POI per cell: side = ceil(sqrt(|P|)),
+  // capped so a huge sparse set cannot allocate an absurd cell table. A
+  // degenerate box (duplicate coordinates everywhere) collapses to one
+  // cell, which the ring walk handles naturally.
+  const uint32_t side = std::clamp<uint32_t>(
+      static_cast<uint32_t>(
+          std::ceil(std::sqrt(static_cast<double>(pois.size())))),
+      1, 4096);
+  const int64_t extent = std::max(max_x - min_x_, max_y - min_y_) + 1;
+  cell_w_ = std::max<int64_t>(1, (extent + side - 1) / side);
+  nx_ = static_cast<uint32_t>((max_x - min_x_) / cell_w_ + 1);
+  ny_ = static_cast<uint32_t>((max_y - min_y_) / cell_w_ + 1);
+
+  // Counting sort into cell-major order; within a cell POIs are sorted
+  // by vertex id so heap tie-breaks (and therefore the whole stream) are
+  // deterministic regardless of input order.
+  const size_t num_cells = static_cast<size_t>(nx_) * ny_;
+  std::vector<uint32_t> counts(num_cells, 0);
+  auto cell_of = [&](VertexId v) {
+    const Point p = graph_.Coord(v);
+    const size_t cx = static_cast<size_t>((p.x - min_x_) / cell_w_);
+    const size_t cy = static_cast<size_t>((p.y - min_y_) / cell_w_);
+    return cy * nx_ + cx;
+  };
+  for (VertexId v : pois) ++counts[cell_of(v)];
+  offsets_.assign(num_cells + 1, 0);
+  for (size_t c = 0; c < num_cells; ++c) {
+    offsets_[c + 1] = offsets_[c] + counts[c];
+  }
+  pois_.resize(pois.size());
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (VertexId v : pois) pois_[cursor[cell_of(v)]++] = v;
+  for (size_t c = 0; c < num_cells; ++c) {
+    std::sort(pois_.begin() + offsets_[c], pois_.begin() + offsets_[c + 1]);
+  }
+}
+
+void PoiGrid::Begin(Cursor* cursor, Point query) const {
+  cursor->query = query;
+  cursor->qcx = std::clamp<int64_t>((query.x - min_x_) / cell_w_, 0, nx_ - 1);
+  cursor->qcy = std::clamp<int64_t>((query.y - min_y_) / cell_w_, 0, ny_ - 1);
+  cursor->next_ring = 0;
+  // The furthest ring that still intersects the grid from the clamped
+  // query cell; beyond it every cell has been visited.
+  cursor->max_ring = static_cast<uint32_t>(std::max(
+      std::max(cursor->qcx, int64_t{nx_ - 1} - cursor->qcx),
+      std::max(cursor->qcy, int64_t{ny_ - 1} - cursor->qcy)));
+  cursor->grid_exhausted = pois_.empty();
+  while (!cursor->heap.empty()) cursor->heap.pop();
+}
+
+void PoiGrid::LoadCell(Cursor* cursor, int64_t cx, int64_t cy) const {
+  if (cx < 0 || cy < 0 || cx >= nx_ || cy >= ny_) return;
+  const size_t cell = static_cast<size_t>(cy) * nx_ + cx;
+  for (uint32_t i = offsets_[cell]; i < offsets_[cell + 1]; ++i) {
+    const VertexId v = pois_[i];
+    cursor->heap.push(
+        {SquaredEuclidean(graph_.Coord(v), cursor->query), v});
+  }
+}
+
+void PoiGrid::LoadRing(Cursor* cursor, uint32_t ring) const {
+  const int64_t r = ring, qx = cursor->qcx, qy = cursor->qcy;
+  if (r == 0) {
+    LoadCell(cursor, qx, qy);
+    return;
+  }
+  for (int64_t cx = qx - r; cx <= qx + r; ++cx) {
+    LoadCell(cursor, cx, qy - r);
+    LoadCell(cursor, cx, qy + r);
+  }
+  for (int64_t cy = qy - r + 1; cy <= qy + r - 1; ++cy) {
+    LoadCell(cursor, qx - r, cy);
+    LoadCell(cursor, qx + r, cy);
+  }
+}
+
+bool PoiGrid::Next(Cursor* cursor, VertexId* poi, int64_t* sq_dist) const {
+  if (pois_.empty()) return false;
+  for (;;) {
+    // After loading every ring < next_ring, any still-unloaded POI lies
+    // at Euclidean distance >= (next_ring - 1) * cell_w from the query
+    // point, so a heap entry strictly below that bound is safe to emit.
+    // (Strict: an unloaded POI at exactly the bound could tie and lose
+    // the vertex-id tie-break.)
+    bool safe = false;
+    if (cursor->next_ring > cursor->max_ring) {
+      safe = !cursor->heap.empty();  // whole grid loaded
+    } else if (!cursor->heap.empty() && cursor->next_ring > 0) {
+      const int64_t bound =
+          static_cast<int64_t>(cursor->next_ring - 1) * cell_w_;
+      safe = cursor->heap.top().sq < bound * bound;
+    }
+    if (safe) {
+      *poi = cursor->heap.top().v;
+      *sq_dist = cursor->heap.top().sq;
+      cursor->heap.pop();
+      return true;
+    }
+    if (cursor->next_ring > cursor->max_ring) return false;  // exhausted
+    LoadRing(cursor, cursor->next_ring);
+    ++cursor->next_ring;
+  }
+}
+
+}  // namespace roadnet

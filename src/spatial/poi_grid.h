@@ -1,0 +1,86 @@
+#ifndef ROADNET_SPATIAL_POI_GRID_H_
+#define ROADNET_SPATIAL_POI_GRID_H_
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "spatial/point.h"
+
+namespace roadnet {
+
+// Uniform grid over one POI list supporting incremental Euclidean
+// nearest-neighbour retrieval — the candidate generator of the IER kNN
+// baseline (Abeywickrama et al.: fetch Euclidean-nearest candidates one
+// at a time, probe the network-distance oracle, stop once the Euclidean
+// lower bound passes the kth network distance).
+//
+// Cells are square, sized so the grid holds roughly one POI per cell;
+// duplicate coordinates and a degenerate bounding box (every POI at one
+// point, or an empty list) collapse to a single cell and stay correct.
+// The grid itself is immutable after construction; all retrieval state
+// lives in a caller-owned Cursor, so one grid serves any number of
+// threads (same contract as the index/QueryContext split).
+class PoiGrid {
+ public:
+  // Per-query retrieval state. Reusing one cursor across queries keeps
+  // retrieval allocation-free after the first few rings.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+   private:
+    friend class PoiGrid;
+    struct Entry {
+      int64_t sq;   // squared Euclidean distance to the query point
+      VertexId v;   // POI vertex id (ties broken ascending)
+      friend bool operator>(const Entry& a, const Entry& b) {
+        return a.sq != b.sq ? a.sq > b.sq : a.v > b.v;
+      }
+    };
+    Point query{};
+    int64_t qcx = 0, qcy = 0;   // clamped query cell
+    uint32_t next_ring = 0;     // first cell ring not yet loaded
+    uint32_t max_ring = 0;      // last ring that intersects the grid
+    bool grid_exhausted = true;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  };
+
+  // Builds the grid over `pois` using g's vertex coordinates. The graph
+  // must outlive the grid; the POI list is copied.
+  PoiGrid(const Graph& g, std::span<const VertexId> pois);
+
+  // Starts a nearest-neighbour stream from `query`.
+  void Begin(Cursor* cursor, Point query) const;
+
+  // Pops the next POI in ascending (squared Euclidean distance, vertex
+  // id) order. Returns false when every POI has been emitted. The order
+  // is total and deterministic, so IER candidate evaluation is
+  // reproducible bit-for-bit.
+  bool Next(Cursor* cursor, VertexId* poi, int64_t* sq_dist) const;
+
+  size_t NumPois() const { return pois_.size(); }
+  uint32_t CellsX() const { return nx_; }
+  uint32_t CellsY() const { return ny_; }
+  int64_t CellWidth() const { return cell_w_; }
+
+ private:
+  // Pushes every POI of one cell ring (Chebyshev cell-distance exactly
+  // `ring` from the cursor's cell) into the cursor's heap.
+  void LoadRing(Cursor* cursor, uint32_t ring) const;
+  void LoadCell(Cursor* cursor, int64_t cx, int64_t cy) const;
+
+  const Graph& graph_;
+  std::vector<VertexId> pois_;     // cell-major, vertex-id-sorted per cell
+  std::vector<uint32_t> offsets_;  // CSR over pois_, nx_*ny_+1 entries
+  int64_t min_x_ = 0, min_y_ = 0;
+  int64_t cell_w_ = 1;
+  uint32_t nx_ = 1, ny_ = 1;
+};
+
+}  // namespace roadnet
+
+#endif  // ROADNET_SPATIAL_POI_GRID_H_

@@ -15,6 +15,10 @@
 #include "dijkstra/bidirectional.h"
 #include "dijkstra/dijkstra.h"
 #include "hl/hl_index.h"
+#include "knn/ier.h"
+#include "knn/knn_index.h"
+#include "poi/poi_set.h"
+#include "routing/knn.h"
 #include "tests/test_util.h"
 #include "gtest/gtest.h"
 
@@ -95,8 +99,75 @@ void RunDifferential(uint32_t target_vertices, uint64_t graph_seed,
   }
 }
 
+// kNN differential: bucket-CH, IER, and the index-free Dijkstra
+// expansion must return identical result lists — same POIs, same
+// distances, same (distance, vertex id) order — and one-to-many must
+// equal kNN with k = |category|. Densities span three powers of ten
+// (plus an empty category), so the sweep crosses k < |category|,
+// k > |category|, and |category| == 0.
+void RunKnnDifferential(uint32_t target_vertices, uint64_t graph_seed,
+                        size_t num_queries) {
+  const uint64_t query_seed = graph_seed + 1;
+  Graph g = TestNetwork(target_vertices, graph_seed);
+  ChIndex ch(g);
+
+  PoiConfig config;
+  config.categories = {{"dense", 0.05}, {"mid", 0.005},
+                       {"sparse", 0.001}, {"none", 0.0}};
+  config.seed = graph_seed + 2;
+  const PoiSet pois = PoiSet::Generate(g, config);
+  ASSERT_EQ(pois.Vertices(3).size(), 0u) << "density 0 must be empty";
+
+  KnnBucketIndex bucket(ch, pois);
+  IerKnnIndex ier(g, ch, pois);
+  KnnBucketIndex::Context bucket_ctx = bucket.NewContext();
+  IerKnnIndex::Context ier_ctx = ier.NewContext();
+
+  std::vector<std::vector<VertexId>> cat_vecs;
+  for (uint32_t c = 0; c < pois.NumCategories(); ++c) {
+    const auto span = pois.Vertices(c);
+    cat_vecs.emplace_back(span.begin(), span.end());
+  }
+
+  const size_t ks[] = {0, 1, 2, 5, 23, 1000};
+  Rng rng(query_seed);
+  std::vector<KnnResult> from_bucket, from_ier, one_to_many;
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    const auto s = static_cast<VertexId>(rng.NextBelow(g.NumVertices()));
+    const auto c = static_cast<uint32_t>(rng.NextBelow(pois.NumCategories()));
+    const size_t k = ks[qi % (sizeof(ks) / sizeof(ks[0]))];
+    const std::vector<KnnResult> truth = KnnByDijkstra(g, cat_vecs[c], s, k);
+    bucket.KnnQuery(&bucket_ctx, c, s, k, &from_bucket);
+    ier.KnnQuery(&ier_ctx, c, s, k, &from_ier);
+    ASSERT_EQ(from_bucket, truth)
+        << "bucket-CH disagrees with the Dijkstra oracle; graph seed "
+        << graph_seed << ", s=" << s << " category=" << c << " k=" << k;
+    ASSERT_EQ(from_ier, truth)
+        << "IER disagrees with the Dijkstra oracle; graph seed "
+        << graph_seed << ", s=" << s << " category=" << c << " k=" << k;
+    // One-to-many is definitionally kNN with k = |category| — check on a
+    // sample (it is the most expensive of the three calls).
+    if (qi % 8 != 0) continue;
+    bucket.OneToManyQuery(&bucket_ctx, c, s, &one_to_many);
+    bucket.KnnQuery(&bucket_ctx, c, s, cat_vecs[c].size(), &from_bucket);
+    ASSERT_EQ(one_to_many, from_bucket)
+        << "one-to-many != k=|category| kNN; graph seed " << graph_seed
+        << ", s=" << s << " category=" << c;
+  }
+}
+
 TEST(Differential, AllTechniquesAgreeOnTenThousandQueries) {
   RunDifferential(700, 20260809, 10000);
+}
+
+TEST(Differential, KnnStrategiesAgreeOnTwelveHundredQueries) {
+  RunKnnDifferential(700, 20260810, 1200);
+}
+
+// A second network for the kNN family too, denser in POIs relative to
+// its size so bucket scans regularly cross category boundaries.
+TEST(Differential, KnnStrategiesAgreeOnSecondNetwork) {
+  RunKnnDifferential(250, 661, 600);
 }
 
 // A second, structurally different network (other seed and size), so a

@@ -1,0 +1,23 @@
+// Fixture: R9 must flag nondeterministic randomness and wall-clock
+// seeding in POI placement / kNN workload code (R5's contract extended
+// to src/poi and src/knn).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace roadnet {
+
+unsigned PlacePoi(unsigned n) {
+  return static_cast<unsigned>(rand()) % n;  // libc PRNG: unseeded, global
+}
+
+unsigned SampleCategory(unsigned n) {
+  std::mt19937 gen;  // default-constructed: implementation-defined seed
+  return static_cast<unsigned>(gen()) % n;
+}
+
+unsigned WallClockSeed() {
+  return static_cast<unsigned>(time(nullptr));  // irreproducible placement
+}
+
+}  // namespace roadnet

@@ -1,0 +1,27 @@
+// Fixture: explicit-seed POI placement — R9 stays silent. A seeded
+// mt19937 is tolerated; the repo convention is roadnet::Rng.
+#include <cstdint>
+#include <random>
+
+namespace roadnet {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() { return state_ += 0x9e3779b97f4a7c15ULL; }
+
+ private:
+  uint64_t state_;
+};
+
+uint64_t PlacePoi(uint64_t seed, uint64_t n) {
+  Rng rng(seed);
+  return rng.Next() % n;
+}
+
+uint64_t SampleStd(uint64_t seed, uint64_t n) {
+  std::mt19937 gen(static_cast<unsigned>(seed));  // explicitly seeded
+  return gen() % n;
+}
+
+}  // namespace roadnet

@@ -1,4 +1,4 @@
-// Self-test of tools/roadnet_lint: every rule R1..R7 must flag its
+// Self-test of tools/roadnet_lint: every rule R1..R9 must flag its
 // known-bad fixture and stay silent on the known-good twin; the waiver
 // mechanism must suppress with a reason, fail without one (W1), and
 // ignore waivers naming the wrong rule. The binary is exercised too:
@@ -57,6 +57,7 @@ const RuleFixture kFixtures[] = {
     {"R6", "src/engine2/bad_r6.cc", "src/engine2/good_r6.cc"},
     {"R7", "src/include/bad_r7.h", "src/include/good_r7.h"},
     {"R8", "src/obs/bad_r8.cc", "src/obs/good_r8.cc"},
+    {"R9", "src/poi/bad_r9.cc", "src/poi/good_r9.cc"},
 };
 
 TEST(LintRules, EachBadFixtureIsFlaggedByItsRule) {
@@ -89,6 +90,14 @@ TEST(LintRules, BadR5FlagsEveryNondeterminismKind) {
   LintResult result = LintFiles({"src/workload/bad_r5.cc"});
   // rand(), default-constructed mt19937, and time(nullptr) are three
   // distinct findings.
+  EXPECT_GE(result.UnwaivedCount(), 3);
+}
+
+TEST(LintRules, BadR9FlagsEveryNondeterminismKindInPoiCode) {
+  LintResult result = LintFiles({"src/poi/bad_r9.cc"});
+  // rand(), default-constructed mt19937, and time(nullptr) — flagged by
+  // R9 (the fixture lives outside R5's subtree, so R5 must not co-fire;
+  // EachBadFixtureIsFlaggedByItsRule pins that).
   EXPECT_GE(result.UnwaivedCount(), 3);
 }
 

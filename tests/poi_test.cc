@@ -1,0 +1,222 @@
+// POI set invariants: deterministic seeded placement, CSR structure,
+// the v1 serialization container, the category spec parser, and the
+// kNN edge cases the serving path leans on (empty category and
+// k > |POIs| are complete OK answers, not errors).
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ch/ch_index.h"
+#include "knn/ier.h"
+#include "knn/knn_index.h"
+#include "poi/poi_set.h"
+#include "routing/knn.h"
+#include "tests/test_util.h"
+#include "gtest/gtest.h"
+
+namespace roadnet {
+namespace {
+
+PoiConfig ThreeCategoryConfig(uint64_t seed) {
+  PoiConfig config;
+  config.categories = {{"dense", 0.05}, {"sparse", 0.005}, {"empty", 0.0}};
+  config.seed = seed;
+  return config;
+}
+
+TEST(PoiSet, PlacementIsDeterministicPerSeed) {
+  Graph g = TestNetwork(400, 11);
+  const PoiSet a = PoiSet::Generate(g, ThreeCategoryConfig(42));
+  const PoiSet b = PoiSet::Generate(g, ThreeCategoryConfig(42));
+  ASSERT_EQ(a.NumCategories(), b.NumCategories());
+  for (uint32_t c = 0; c < a.NumCategories(); ++c) {
+    const auto va = a.Vertices(c);
+    const auto vb = b.Vertices(c);
+    ASSERT_EQ(va.size(), vb.size());
+    for (size_t i = 0; i < va.size(); ++i) EXPECT_EQ(va[i], vb[i]);
+  }
+  // Another seed moves at least one POI of the dense category.
+  const PoiSet other = PoiSet::Generate(g, ThreeCategoryConfig(43));
+  const auto va = a.Vertices(0);
+  const auto vo = other.Vertices(0);
+  ASSERT_EQ(va.size(), vo.size());
+  bool differs = false;
+  for (size_t i = 0; i < va.size(); ++i) differs |= va[i] != vo[i];
+  EXPECT_TRUE(differs);
+}
+
+TEST(PoiSet, CategoriesAreSortedDistinctAndSized) {
+  Graph g = TestNetwork(500, 12);
+  const PoiSet pois = PoiSet::Generate(g, ThreeCategoryConfig(7));
+  EXPECT_EQ(pois.NumVertices(), g.NumVertices());
+  for (uint32_t c = 0; c < pois.NumCategories(); ++c) {
+    const auto list = pois.Vertices(c);
+    const auto want = static_cast<size_t>(
+        std::llround(ThreeCategoryConfig(7).categories[c].density *
+                     static_cast<double>(g.NumVertices())));
+    EXPECT_EQ(list.size(), want) << pois.CategoryName(c);
+    for (size_t i = 0; i < list.size(); ++i) {
+      EXPECT_LT(list[i], g.NumVertices());
+      if (i > 0) {
+        EXPECT_LT(list[i - 1], list[i]) << "not strictly ascending";
+      }
+    }
+  }
+  EXPECT_EQ(pois.Vertices(2).size(), 0u);
+  EXPECT_EQ(pois.CategoryId("dense"), 0);
+  EXPECT_EQ(pois.CategoryId("empty"), 2);
+  EXPECT_EQ(pois.CategoryId("nosuch"), -1);
+}
+
+TEST(PoiSet, DensityOneCoversEveryVertex) {
+  Graph g = TestNetwork(120, 13);
+  PoiConfig config;
+  config.categories = {{"all", 1.0}};
+  config.seed = 5;
+  const PoiSet pois = PoiSet::Generate(g, config);
+  const auto list = pois.Vertices(0);
+  ASSERT_EQ(list.size(), g.NumVertices());
+  for (size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ(list[i], static_cast<VertexId>(i));
+  }
+}
+
+TEST(PoiSet, RoundTripPreservesEverything) {
+  Graph g = TestNetwork(300, 14);
+  const PoiSet original = PoiSet::Generate(g, ThreeCategoryConfig(9));
+  std::stringstream buffer;
+  original.Serialize(buffer);
+  std::string error;
+  auto restored = PoiSet::Deserialize(buffer, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  EXPECT_EQ(restored->NumVertices(), original.NumVertices());
+  ASSERT_EQ(restored->NumCategories(), original.NumCategories());
+  EXPECT_EQ(restored->NumPois(), original.NumPois());
+  for (uint32_t c = 0; c < original.NumCategories(); ++c) {
+    EXPECT_EQ(restored->CategoryName(c), original.CategoryName(c));
+    const auto a = original.Vertices(c);
+    const auto b = restored->Vertices(c);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(PoiSet, RejectsEverySingleByteFlip) {
+  Graph g = TestNetwork(150, 15);
+  const PoiSet pois = PoiSet::Generate(g, ThreeCategoryConfig(3));
+  std::stringstream buffer;
+  pois.Serialize(buffer);
+  const std::string full = buffer.str();
+  // POI files are small; flip every byte — magic, version, length,
+  // payload, and CRC trailer must all be load-bearing.
+  for (size_t i = 0; i < full.size(); ++i) {
+    std::string corrupt = full;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    std::stringstream in(corrupt);
+    std::string error;
+    EXPECT_EQ(PoiSet::Deserialize(in, &error), nullptr)
+        << "flip at byte " << i;
+    EXPECT_FALSE(error.empty()) << "flip at byte " << i;
+  }
+}
+
+TEST(PoiSet, RejectsTruncation) {
+  Graph g = TestNetwork(150, 16);
+  const PoiSet pois = PoiSet::Generate(g, ThreeCategoryConfig(3));
+  std::stringstream buffer;
+  pois.Serialize(buffer);
+  const std::string full = buffer.str();
+  for (size_t len : {size_t{0}, size_t{4}, size_t{11}, full.size() / 2,
+                     full.size() - 1}) {
+    std::stringstream in(full.substr(0, len));
+    std::string error;
+    EXPECT_EQ(PoiSet::Deserialize(in, &error), nullptr)
+        << "truncated to " << len << " bytes";
+  }
+}
+
+TEST(PoiSet, DeserializeFromMissingFileFails) {
+  std::string error;
+  EXPECT_EQ(PoiSet::DeserializeFromFile("/nonexistent/pois.bin", &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParsePoiCategories, AcceptsWellFormedSpecs) {
+  std::vector<PoiCategorySpec> cats;
+  std::string error;
+  ASSERT_TRUE(
+      ParsePoiCategories("restaurant:0.01,fuel:0.001,all:1", &cats, &error))
+      << error;
+  ASSERT_EQ(cats.size(), 3u);
+  EXPECT_EQ(cats[0].name, "restaurant");
+  EXPECT_DOUBLE_EQ(cats[0].density, 0.01);
+  EXPECT_EQ(cats[2].name, "all");
+  EXPECT_DOUBLE_EQ(cats[2].density, 1.0);
+  ASSERT_TRUE(ParsePoiCategories("hotel:0", &cats, &error)) << error;
+  EXPECT_DOUBLE_EQ(cats[0].density, 0.0);
+}
+
+TEST(ParsePoiCategories, RejectsMalformedSpecs) {
+  std::vector<PoiCategorySpec> cats;
+  std::string error;
+  for (const char* bad :
+       {"", "restaurant", ":0.5", "a:0.1,a:0.2", "a:1.5", "a:-0.1",
+        "a:zero", "a:0.1extra"}) {
+    EXPECT_FALSE(ParsePoiCategories(bad, &cats, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+// The serving-path edge cases: an empty category and k > |POIs| are
+// complete OK answers; k == 0 is empty; both strategies and the oracle
+// agree on all of them.
+TEST(KnnEdgeCases, EmptyCategoryAndOversizedKAreOkAnswers) {
+  Graph g = TestNetwork(300, 17);
+  PoiConfig config;
+  config.categories = {{"few", 0.01}, {"none", 0.0}};
+  config.seed = 21;
+  const PoiSet pois = PoiSet::Generate(g, config);
+  const auto few = pois.Vertices(0);
+  ASSERT_GT(few.size(), 0u);
+  const std::vector<VertexId> few_vec(few.begin(), few.end());
+
+  ChIndex ch(g);
+  KnnBucketIndex bucket(ch, pois);
+  IerKnnIndex ier(g, ch, pois);
+  auto bucket_ctx = bucket.NewContext();
+  auto ier_ctx = ier.NewContext();
+  std::vector<KnnResult> out;
+
+  for (VertexId s : {VertexId{0}, VertexId{17}, VertexId{299}}) {
+    // Empty category: empty result from every strategy.
+    bucket.KnnQuery(&bucket_ctx, 1, s, 5, &out);
+    EXPECT_TRUE(out.empty());
+    ier.KnnQuery(&ier_ctx, 1, s, 5, &out);
+    EXPECT_TRUE(out.empty());
+    bucket.OneToManyQuery(&bucket_ctx, 1, s, &out);
+    EXPECT_TRUE(out.empty());
+
+    // k > |POIs|: every reachable POI, equal to the oracle and to
+    // one-to-many.
+    const auto truth =
+        KnnByDijkstra(g, few_vec, s, few_vec.size() + 100);
+    bucket.KnnQuery(&bucket_ctx, 0, s, few_vec.size() + 100, &out);
+    EXPECT_EQ(out, truth);
+    ier.KnnQuery(&ier_ctx, 0, s, few_vec.size() + 100, &out);
+    EXPECT_EQ(out, truth);
+    bucket.OneToManyQuery(&bucket_ctx, 0, s, &out);
+    EXPECT_EQ(out, truth);
+
+    // k == 0 yields empty.
+    bucket.KnnQuery(&bucket_ctx, 0, s, 0, &out);
+    EXPECT_TRUE(out.empty());
+    ier.KnnQuery(&ier_ctx, 0, s, 0, &out);
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+}  // namespace
+}  // namespace roadnet

@@ -5,6 +5,7 @@
 
 #include "ch/ch_index.h"
 #include "hl/hl_index.h"
+#include "poi/poi_set.h"
 #include "tests/test_util.h"
 #include "gtest/gtest.h"
 
@@ -256,6 +257,21 @@ TEST(HeaderRegionSerialization, HlRejectsEveryHeaderByteFlip) {
       buffer.str(), [&](const std::string& bytes, std::string* error) {
         std::stringstream in(bytes);
         return HlIndex::Deserialize(g, ch, in, error) != nullptr;
+      });
+}
+
+TEST(HeaderRegionSerialization, PoiRejectsEveryHeaderByteFlip) {
+  Graph g = TestNetwork(150, 37);
+  PoiConfig config;
+  config.categories = {{"restaurant", 0.05}, {"fuel", 0.01}};
+  config.seed = 37;
+  const PoiSet pois = PoiSet::Generate(g, config);
+  std::stringstream buffer;
+  pois.Serialize(buffer);
+  ExpectHeaderFlipsRejected(
+      buffer.str(), [](const std::string& bytes, std::string* error) {
+        std::stringstream in(bytes);
+        return PoiSet::Deserialize(in, error) != nullptr;
       });
 }
 

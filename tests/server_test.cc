@@ -8,6 +8,10 @@
 
 #include "ch/ch_index.h"
 #include "dijkstra/bidirectional.h"
+#include "knn/ier.h"
+#include "knn/knn_index.h"
+#include "poi/poi_set.h"
+#include "routing/knn.h"
 #include "server/bounded_queue.h"
 #include "server/client.h"
 #include "server/wire.h"
@@ -188,6 +192,96 @@ TEST(Wire, TechniqueIdsRoundTrip) {
     EXPECT_EQ(wire::TechniqueName(wire::TechniqueId(name)), name);
   }
   EXPECT_EQ(wire::TechniqueId("no-such-technique"), wire::kAnyTechnique);
+}
+
+TEST(Wire, KnnRequestRoundTrips) {
+  wire::KnnRequest req;
+  req.method = wire::KnnMethod::kIer;
+  req.category = 3;
+  req.k = 17;
+  req.source = 987654;
+  req.deadline_micros = 4200;
+  const std::string body = wire::EncodeKnnRequest(req);
+  EXPECT_EQ(wire::PeekType(body), wire::kKnnQuery);
+  const auto decoded = wire::DecodeKnnRequest(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->method, req.method);
+  EXPECT_EQ(decoded->category, req.category);
+  EXPECT_EQ(decoded->k, req.k);
+  EXPECT_EQ(decoded->source, req.source);
+  EXPECT_EQ(decoded->deadline_micros, req.deadline_micros);
+
+  // An undefined method byte is a malformed frame, not a surprise enum.
+  std::string bad_method = body;
+  bad_method[1] = 0x7;
+  EXPECT_FALSE(wire::DecodeKnnRequest(bad_method).has_value());
+
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(wire::DecodeKnnRequest(body.substr(0, cut)).has_value())
+        << "cut " << cut;
+  }
+  EXPECT_FALSE(wire::DecodeKnnRequest(body + "x").has_value());
+}
+
+TEST(Wire, OneToManyRequestRoundTrips) {
+  wire::OneToManyRequest req;
+  req.category = 2;
+  req.source = 31337;
+  req.deadline_micros = 900;
+  const std::string body = wire::EncodeOneToManyRequest(req);
+  EXPECT_EQ(wire::PeekType(body), wire::kOneToManyQuery);
+  const auto decoded = wire::DecodeOneToManyRequest(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->category, req.category);
+  EXPECT_EQ(decoded->source, req.source);
+  EXPECT_EQ(decoded->deadline_micros, req.deadline_micros);
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(
+        wire::DecodeOneToManyRequest(body.substr(0, cut)).has_value())
+        << "cut " << cut;
+  }
+  EXPECT_FALSE(wire::DecodeOneToManyRequest(body + "x").has_value());
+}
+
+TEST(Wire, KnnResponseRoundTripsUnderBothReplyTypes) {
+  wire::KnnResponse resp;
+  resp.status = wire::Status::kOk;
+  resp.server_latency_ns = 123456789;
+  resp.entries = {{42, 1000}, {7, 2500}, {99, 2500}};
+  for (const wire::MessageType reply_type :
+       {wire::kKnnReply, wire::kOneToManyReply}) {
+    const std::string body = wire::EncodeKnnResponse(reply_type, resp);
+    EXPECT_EQ(wire::PeekType(body), reply_type);
+    const auto decoded = wire::DecodeKnnResponse(reply_type, body);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->status, resp.status);
+    EXPECT_EQ(decoded->server_latency_ns, resp.server_latency_ns);
+    EXPECT_EQ(decoded->entries, resp.entries);
+    // The wrong reply type must not decode a frame of the other kind.
+    const wire::MessageType other = reply_type == wire::kKnnReply
+                                        ? wire::kOneToManyReply
+                                        : wire::kKnnReply;
+    EXPECT_FALSE(wire::DecodeKnnResponse(other, body).has_value());
+    // The declared entry count must match the remaining bytes exactly.
+    EXPECT_FALSE(wire::DecodeKnnResponse(
+                     reply_type, body.substr(0, body.size() - 1))
+                     .has_value());
+    EXPECT_FALSE(
+        wire::DecodeKnnResponse(reply_type, body + "zzzz").has_value());
+  }
+
+  // An empty entry list with kOk round-trips: a complete OK answer.
+  resp.entries.clear();
+  const std::string body = wire::EncodeKnnResponse(wire::kKnnReply, resp);
+  const auto decoded = wire::DecodeKnnResponse(wire::kKnnReply, body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, wire::Status::kOk);
+  EXPECT_TRUE(decoded->entries.empty());
+}
+
+TEST(Wire, KnnMethodNamesRoundTrip) {
+  EXPECT_STREQ(wire::KnnMethodName(wire::KnnMethod::kBucketCh), "bucket-ch");
+  EXPECT_STREQ(wire::KnnMethodName(wire::KnnMethod::kIer), "ier");
 }
 
 // --- Bounded queue semantics ---
@@ -627,6 +721,144 @@ TEST(QueryServer, TraceConfigOverWireTakesEffect) {
   }
   ASSERT_TRUE(client->GetStats(&stats, &error)) << error;
   EXPECT_EQ(stats.traces_finished, frozen);
+  server.Shutdown();
+}
+
+TEST(QueryServer, AnswersKnnAndOneToManyCorrectly) {
+  const Graph g = TestNetwork(400, 27);
+  ChIndex ch(g);
+  PoiConfig config;
+  config.categories = {{"restaurant", 0.03}, {"fuel", 0.005},
+                       {"empty", 0.0}};
+  config.seed = 31;
+  const PoiSet pois = PoiSet::Generate(g, config);
+  KnnBucketIndex bucket(ch, pois);
+  IerKnnIndex ier(g, ch, pois);
+  QueryServer server(ch, wire::TechniqueId("ch"), g.NumVertices(), {},
+                     KnnServing{&pois, &bucket, &ier});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto client = MustConnect(server.Port());
+  ASSERT_NE(client, nullptr);
+
+  std::vector<std::vector<VertexId>> cat_vecs;
+  for (uint32_t c = 0; c < pois.NumCategories(); ++c) {
+    const auto span = pois.Vertices(c);
+    cat_vecs.emplace_back(span.begin(), span.end());
+  }
+
+  Rng rng(55);
+  for (int qi = 0; qi < 60; ++qi) {
+    const auto s = static_cast<VertexId>(rng.NextBelow(g.NumVertices()));
+    const auto c =
+        static_cast<uint32_t>(rng.NextBelow(pois.NumCategories()));
+    const uint32_t k = 1 + static_cast<uint32_t>(rng.NextBelow(20));
+    const auto truth = KnnByDijkstra(g, cat_vecs[c], s, k);
+
+    wire::KnnRequest req;
+    req.method = qi % 2 == 0 ? wire::KnnMethod::kBucketCh
+                             : wire::KnnMethod::kIer;
+    req.category = c;
+    req.k = k;
+    req.source = s;
+    wire::KnnResponse resp;
+    ASSERT_TRUE(client->Knn(req, &resp, &error)) << error;
+    ASSERT_EQ(resp.status, wire::Status::kOk);
+    ASSERT_EQ(resp.entries.size(), truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(resp.entries[i].first, truth[i].poi);
+      EXPECT_EQ(resp.entries[i].second, truth[i].dist);
+    }
+
+    wire::OneToManyRequest otm;
+    otm.category = c;
+    otm.source = s;
+    const auto all = KnnByDijkstra(g, cat_vecs[c], s, cat_vecs[c].size());
+    ASSERT_TRUE(client->OneToMany(otm, &resp, &error)) << error;
+    ASSERT_EQ(resp.status, wire::Status::kOk);
+    ASSERT_EQ(resp.entries.size(), all.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(resp.entries[i].first, all[i].poi);
+      EXPECT_EQ(resp.entries[i].second, all[i].dist);
+    }
+  }
+
+  // The kNN latency histograms show up in the stats snapshot.
+  EXPECT_GT(server.Stats().served, 0u);
+  server.Shutdown();
+}
+
+TEST(QueryServer, RejectsBadKnnRequests) {
+  const Graph g = TestNetwork(200, 29);
+  ChIndex ch(g);
+  PoiConfig config;
+  config.categories = {{"restaurant", 0.05}};
+  config.seed = 33;
+  const PoiSet pois = PoiSet::Generate(g, config);
+  KnnBucketIndex bucket(ch, pois);
+  // No IER backend: ier-method requests must be rejected cleanly.
+  QueryServer server(ch, wire::TechniqueId("ch"), g.NumVertices(), {},
+                     KnnServing{&pois, &bucket, nullptr});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto client = MustConnect(server.Port());
+  ASSERT_NE(client, nullptr);
+
+  wire::KnnRequest req;
+  req.k = 3;
+  req.source = g.NumVertices();  // out of range
+  wire::KnnResponse resp;
+  ASSERT_TRUE(client->Knn(req, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kBadRequest);
+
+  req.source = 0;
+  req.category = pois.NumCategories();  // out of range
+  ASSERT_TRUE(client->Knn(req, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kBadRequest);
+
+  req.category = 0;
+  req.method = wire::KnnMethod::kIer;  // backend absent
+  ASSERT_TRUE(client->Knn(req, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kBadRequest);
+
+  req.method = wire::KnnMethod::kBucketCh;  // valid again
+  ASSERT_TRUE(client->Knn(req, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kOk);
+
+  wire::OneToManyRequest otm;
+  otm.category = 1;  // out of range
+  otm.source = 0;
+  ASSERT_TRUE(client->OneToMany(otm, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kBadRequest);
+
+  EXPECT_GE(server.Stats().bad_requests, 4u);
+  server.Shutdown();
+}
+
+TEST(QueryServer, KnnDisabledServerRejectsKnnFrames) {
+  const Graph g = TestNetwork(100, 31);
+  BidirectionalDijkstra index(g);
+  QueryServer server(index, wire::kAnyTechnique, g.NumVertices(), {});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto client = MustConnect(server.Port());
+  ASSERT_NE(client, nullptr);
+
+  wire::KnnRequest req;
+  req.k = 1;
+  wire::KnnResponse resp;
+  ASSERT_TRUE(client->Knn(req, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kBadRequest);
+
+  wire::OneToManyRequest otm;
+  ASSERT_TRUE(client->OneToMany(otm, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, wire::Status::kBadRequest);
+
+  // Point queries still work on the same connection.
+  wire::QueryRequest q;
+  wire::QueryResponse qresp;
+  ASSERT_TRUE(client->Query(q, &qresp, &error)) << error;
+  EXPECT_NE(qresp.status, wire::Status::kBadRequest);
   server.Shutdown();
 }
 

@@ -1,6 +1,13 @@
 #include "spatial/point.h"
+#include "spatial/poi_grid.h"
 #include "spatial/rect.h"
 
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tests/test_util.h"
 #include "gtest/gtest.h"
 
 namespace roadnet {
@@ -53,6 +60,80 @@ TEST(Rect, BoundingBox) {
   EXPECT_EQ(r.max_x, 7);
   EXPECT_EQ(r.min_y, 0);
   EXPECT_EQ(r.max_y, 9);
+}
+
+// --- PoiGrid: the IER candidate generator ---
+
+// Streams every POI and checks the order is exactly ascending
+// (squared Euclidean distance, vertex id) — the total order IER's
+// strict termination rule depends on.
+void ExpectGridStreamsInOrder(const Graph& g,
+                              const std::vector<VertexId>& pois,
+                              Point query) {
+  PoiGrid grid(g, pois);
+  std::vector<std::pair<int64_t, VertexId>> want;
+  want.reserve(pois.size());
+  for (VertexId v : pois) {
+    want.emplace_back(SquaredEuclidean(g.Coord(v), query), v);
+  }
+  std::sort(want.begin(), want.end());
+
+  PoiGrid::Cursor cursor;
+  grid.Begin(&cursor, query);
+  VertexId poi = 0;
+  int64_t sq = 0;
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_TRUE(grid.Next(&cursor, &poi, &sq)) << "stream short at " << i;
+    EXPECT_EQ(sq, want[i].first) << "at position " << i;
+    EXPECT_EQ(poi, want[i].second) << "at position " << i;
+  }
+  EXPECT_FALSE(grid.Next(&cursor, &poi, &sq)) << "stream did not end";
+  // A cursor that already ended stays ended.
+  EXPECT_FALSE(grid.Next(&cursor, &poi, &sq));
+}
+
+TEST(PoiGrid, EmptyListYieldsNothing) {
+  Graph g = TestNetwork(50, 41);
+  PoiGrid grid(g, std::span<const VertexId>{});
+  EXPECT_EQ(grid.NumPois(), 0u);
+  PoiGrid::Cursor cursor;
+  grid.Begin(&cursor, Point{3, 3});
+  VertexId poi = 0;
+  int64_t sq = 0;
+  EXPECT_FALSE(grid.Next(&cursor, &poi, &sq));
+}
+
+TEST(PoiGrid, DuplicateCoordinatesCollapseToOneCellAndStreamById) {
+  // Every vertex at the same point: a degenerate bounding box. The grid
+  // must collapse to one cell and emit the POIs ascending by id (all
+  // squared distances tie).
+  GraphBuilder b(6);
+  for (VertexId v = 0; v < 6; ++v) b.SetCoord(v, Point{7, -3});
+  for (VertexId v = 0; v + 1 < 6; ++v) b.AddEdge(v, v + 1, 1);
+  Graph g = std::move(b).Build();
+  const std::vector<VertexId> pois = {5, 1, 3};  // builder order irrelevant
+  PoiGrid grid(g, pois);
+  EXPECT_EQ(grid.CellsX(), 1u);
+  EXPECT_EQ(grid.CellsY(), 1u);
+  ExpectGridStreamsInOrder(g, pois, Point{7, -3});   // on the point
+  ExpectGridStreamsInOrder(g, pois, Point{-100, 50});  // far away
+}
+
+TEST(PoiGrid, StreamOrderMatchesBruteForceSort) {
+  Graph g = TestNetwork(400, 42);
+  Rng rng(99);
+  std::vector<VertexId> pois;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (rng.NextBool(0.05)) pois.push_back(v);
+  }
+  ASSERT_GT(pois.size(), 4u);
+  for (int qi = 0; qi < 20; ++qi) {
+    const auto v = static_cast<VertexId>(rng.NextBelow(g.NumVertices()));
+    ExpectGridStreamsInOrder(g, pois, g.Coord(v));
+  }
+  // Query points outside the bounding box exercise ring clamping.
+  ExpectGridStreamsInOrder(g, pois, Point{-1000000, -1000000});
+  ExpectGridStreamsInOrder(g, pois, Point{1000000, 0});
 }
 
 }  // namespace

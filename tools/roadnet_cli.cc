@@ -12,7 +12,10 @@
 //   roadnet_cli batch-query --graph graph.bin --index index.ch
 //                          (--queries FILE | --random N [--seed S])
 //                          [--threads T] [--paths] [--metrics-out FILE]
+//   roadnet_cli poi        --graph graph.bin --out pois.bin [--seed S]
+//                          [--categories "name:density,..."]
 //   roadnet_cli serve      --graph graph.bin [--index index.ch]
+//                          [--poi pois.bin]
 //                          [--technique bidi|ch|alt|hl] [--port P]
 //                          [--port-file FILE] [--threads T]
 //                          [--queue-cap N] [--max-conns N]
@@ -43,7 +46,10 @@
 #include "graph/dimacs.h"
 #include "graph/generator.h"
 #include "io/serialize.h"
+#include "knn/ier.h"
+#include "knn/knn_index.h"
 #include "obs/metrics.h"
+#include "poi/poi_set.h"
 #include "server/index_factory.h"
 #include "server/server.h"
 #include "server/wire.h"
@@ -59,12 +65,16 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: roadnet_cli"
-      " <generate|convert|export|preprocess|stats|query|batch-query|serve>"
-      " [flags]\n"
+      " <generate|convert|export|preprocess|poi|stats|query|batch-query|"
+      "serve> [flags]\n"
       "  generate   --vertices N [--seed S] --out graph.bin\n"
       "  convert    --gr FILE --co FILE --out graph.bin\n"
       "  export     --graph graph.bin --gr FILE --co FILE\n"
       "  preprocess --graph graph.bin --out index.ch\n"
+      "  poi        --graph graph.bin --out pois.bin [--seed S]\n"
+      "             [--categories \"name:density,...\"]\n"
+      "    Places seeded POI categories on the graph (density = fraction\n"
+      "    of vertices) and writes the checksummed POI container.\n"
       "  stats      --graph graph.bin [--index index.ch]\n"
       "  query      --graph graph.bin --index index.ch --from S --to T"
       " [--path] [--metrics-out FILE]\n"
@@ -72,8 +82,10 @@ int Usage() {
       " (--queries FILE | --random N [--seed S])\n"
       "             [--threads T] [--paths] [--metrics-out FILE]\n"
       "    FILE holds one \"source target\" pair per line.\n"
-      "  serve      --graph graph.bin [--index index.ch]"
+      "  serve      --graph graph.bin [--index index.ch] [--poi pois.bin]"
       " [--technique bidi|ch|alt|hl]\n"
+      "    --poi enables the kNN / one-to-many endpoints (bucket-CH and\n"
+      "    IER backends built at startup from the POI container).\n"
       "             [--port P] [--port-file FILE] [--threads T]\n"
       "             [--queue-cap N] [--max-conns N] [--metrics-out FILE]\n"
       "             [--trace-out FILE] [--trace-sample N] [--slow-us T]\n"
@@ -179,6 +191,40 @@ int Preprocess(const std::map<std::string, std::string>& flags) {
   ch.Serialize(file);
   std::printf("wrote %s (%.1f MiB)\n", out->second.c_str(),
               ch.IndexBytes() / (1024.0 * 1024.0));
+  return 0;
+}
+
+int Poi(const std::map<std::string, std::string>& flags) {
+  auto out = flags.find("out");
+  if (out == flags.end()) return Usage();
+  auto g = LoadGraph(flags);
+  if (!g.has_value()) return 1;
+  PoiConfig config;
+  // Default sweep mirrors the paper's R-set selectivities: one dense and
+  // one sparse category per power of ten.
+  std::string spec = "restaurant:0.01,fuel:0.001,hotel:0.0001";
+  if (auto it = flags.find("categories"); it != flags.end()) {
+    spec = it->second;
+  }
+  std::string error;
+  if (!ParsePoiCategories(spec, &config.categories, &error)) {
+    std::fprintf(stderr, "--categories: %s\n", error.c_str());
+    return 1;
+  }
+  if (auto it = flags.find("seed"); it != flags.end()) {
+    config.seed = std::stoull(it->second);
+  }
+  const PoiSet pois = PoiSet::Generate(*g, config);
+  if (!pois.SerializeToFile(out->second, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu POIs in %u categories\n", out->second.c_str(),
+              pois.NumPois(), pois.NumCategories());
+  for (uint32_t c = 0; c < pois.NumCategories(); ++c) {
+    std::printf("  %-12s %zu\n", pois.CategoryName(c).c_str(),
+                pois.Vertices(c).size());
+  }
   return 0;
 }
 
@@ -408,6 +454,41 @@ int Serve(const FlagMap& flags) {
               index->Name().c_str(), build_timer.ElapsedSeconds(),
               index->IndexBytes() / (1024.0 * 1024.0));
 
+  // --poi enables the kNN family: the bucket backend (and IER's oracle)
+  // run on their own CH built here, so any point-to-point technique can
+  // be served alongside.
+  std::unique_ptr<PoiSet> pois;
+  std::unique_ptr<ChIndex> knn_ch;
+  std::unique_ptr<KnnBucketIndex> bucket;
+  std::unique_ptr<IerKnnIndex> ier;
+  KnnServing knn;
+  if (auto it = flags.find("poi"); it != flags.end()) {
+    pois = PoiSet::DeserializeFromFile(it->second, &error);
+    if (pois == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (pois->NumVertices() != g->NumVertices()) {
+      std::fprintf(stderr,
+                   "%s was placed on a %u-vertex graph, not this one (%u)\n",
+                   it->second.c_str(), pois->NumVertices(), g->NumVertices());
+      return 1;
+    }
+    Timer knn_timer;
+    knn_ch = std::make_unique<ChIndex>(*g);
+    bucket = std::make_unique<KnnBucketIndex>(*knn_ch, *pois);
+    ier = std::make_unique<IerKnnIndex>(*g, *knn_ch, *pois);
+    knn.pois = pois.get();
+    knn.bucket = bucket.get();
+    knn.ier = ier.get();
+    std::printf("knn:       %zu POIs, %zu bucket entries ready in %.2f s"
+                " (%.1f MiB)\n",
+                pois->NumPois(), bucket->NumBucketEntries(),
+                knn_timer.ElapsedSeconds(),
+                (bucket->IndexBytes() + ier->IndexBytes()) /
+                    (1024.0 * 1024.0));
+  }
+
   ServerOptions options;
   options.port = static_cast<uint16_t>(FlagOr(flags, "port", 0));
   options.engine_threads = FlagOr(flags, "threads", 4);
@@ -423,7 +504,7 @@ int Serve(const FlagMap& flags) {
     options.trace_out = it->second;
   }
   QueryServer server(*index, wire::TechniqueId(technique), g->NumVertices(),
-                     options);
+                     options, knn);
   if (!server.Start(&error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
@@ -502,6 +583,7 @@ const std::map<std::string, FlagSpec>& CommandSpecs() {
       {"convert", {{"gr", "co", "out"}, {}}},
       {"export", {{"gr", "co", "graph"}, {}}},
       {"preprocess", {{"graph", "out"}, {}}},
+      {"poi", {{"graph", "out", "seed", "categories"}, {}}},
       {"stats", {{"graph", "index"}, {}}},
       {"query", {{"graph", "index", "from", "to", "metrics-out"}, {"path"}}},
       {"batch-query",
@@ -509,7 +591,7 @@ const std::map<std::string, FlagSpec>& CommandSpecs() {
          "metrics-out"},
         {"paths"}}},
       {"serve",
-       {{"graph", "index", "technique", "port", "port-file", "threads",
+       {{"graph", "index", "poi", "technique", "port", "port-file", "threads",
          "queue-cap", "max-conns", "metrics-out", "trace-out", "trace-sample",
          "slow-us", "trace-seed"},
         {}}},
@@ -534,6 +616,7 @@ int main(int argc, char** argv) {
   if (command == "convert") return Convert(*flags);
   if (command == "export") return Export(*flags);
   if (command == "preprocess") return Preprocess(*flags);
+  if (command == "poi") return Poi(*flags);
   if (command == "stats") return Stats(*flags);
   if (command == "query") return Query(*flags);
   if (command == "batch-query") return BatchQuery(*flags);

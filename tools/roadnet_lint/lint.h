@@ -79,7 +79,7 @@ class Rule {
   virtual void Scan(const SourceFile& f, std::vector<Finding>* out) const = 0;
 };
 
-// The seven repo rules, R1..R7 (see rules.cc for the catalog).
+// The repo rules, R1..R9 (see rules.cc for the catalog).
 std::vector<std::unique_ptr<Rule>> BuildAllRules();
 
 struct LintResult {

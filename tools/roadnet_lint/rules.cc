@@ -679,6 +679,29 @@ class SteadyClockTimingRule : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// R9: POI placement and kNN code stays deterministic too.
+//
+// Grounding: a POI set is regenerated bit-identically from
+// PoiConfig::seed on other hosts (that is what makes the kNN
+// differential harness and the loadgen's Dijkstra-oracle verification
+// meaningful), and IER's strict termination tie-breaks assume a total
+// reproducible candidate order. Same banned constructs as R5 — the
+// Scan is inherited — applied to the POI/kNN subtree.
+class PoiKnnSeededRandomRule : public DeterministicRandomRule {
+ public:
+  std::string Id() const override { return "R9"; }
+  std::string Name() const override { return "poi-knn-seeded-random"; }
+  std::string Description() const override {
+    return "POI placement and kNN code (src/poi, src/knn) must use "
+           "seeded roadnet::Rng — no rand(), unseeded mt19937, "
+           "random_device, or wall-clock reads (R5's contract extended)";
+  }
+  bool AppliesTo(const SourceFile& f) const override {
+    return PathStartsWith(f, "src/poi/") || PathStartsWith(f, "src/knn/");
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> BuildAllRules() {
@@ -691,6 +714,7 @@ std::vector<std::unique_ptr<Rule>> BuildAllRules() {
   rules.push_back(std::make_unique<CounterGuardRule>());
   rules.push_back(std::make_unique<IncludeHygieneRule>());
   rules.push_back(std::make_unique<SteadyClockTimingRule>());
+  rules.push_back(std::make_unique<PoiKnnSeededRandomRule>());
   return rules;
 }
 

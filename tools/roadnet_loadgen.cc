@@ -2,7 +2,8 @@
 //
 //   roadnet_loadgen --port P --graph graph.bin
 //                   [--host 127.0.0.1] [--connections N] [--queries N]
-//                   [--workload random|Q1..Q10] [--seed S] [--paths]
+//                   [--workload random|Q1..Q10|knn] [--seed S] [--paths]
+//                   [--poi pois.bin (required for knn)]
 //                   [--deadline-us D] [--verify-every K]
 //                   [--technique any|bidi|ch|alt|hl] [--stats] [--shutdown]
 //                   [--trace-sample N] [--slow-us T]
@@ -15,6 +16,13 @@
 // must be real paths of the right weight. Reports achieved qps and
 // client-observed p50/p99, which include the server's queueing — the
 // end-to-end numbers a capacity plan is written against.
+//
+// --workload knn drives the kNN / one-to-many endpoints instead: it
+// cycles R-set-style buckets — every POI category (the density sweep)
+// x k in {1, 4, 10, 50} x method in {bucket-ch, ier} plus one
+// one-to-many bucket per category — from random sources, and verifies
+// every K-th reply (result set AND distances, vertex-id tie-breaks
+// included) against the expanding-Dijkstra kNN oracle.
 //
 // --trace-sample / --slow-us retune the server's request tracer over
 // the wire (TRACE_CONFIG frame) before the workload starts, and the
@@ -35,6 +43,8 @@
 #include "io/serialize.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
+#include "poi/poi_set.h"
+#include "routing/knn.h"
 #include "routing/path.h"
 #include "server/client.h"
 #include "server/wire.h"
@@ -52,7 +62,8 @@ int Usage() {
       stderr,
       "usage: roadnet_loadgen --port P --graph graph.bin\n"
       "  [--host 127.0.0.1] [--connections N] [--queries N]\n"
-      "  [--workload random|Q1..Q10] [--seed S] [--paths]\n"
+      "  [--workload random|Q1..Q10|knn] [--seed S] [--paths]\n"
+      "  [--poi pois.bin (required for --workload knn)]\n"
       "  [--deadline-us D] [--verify-every K (0=off)]\n"
       "  [--technique any|bidi|ch|alt|hl] [--stats] [--shutdown]\n"
       "  [--trace-sample N (head-sample 1-in-N)] [--slow-us T (0=all)]\n");
@@ -85,6 +96,16 @@ struct WorkerResult {
   }
 };
 
+// One request of the knn workload: a (bucket, source) pair. otm marks
+// the one-to-many buckets (k and method unused there).
+struct KnnWork {
+  bool otm = false;
+  wire::KnnMethod method = wire::KnnMethod::kBucketCh;
+  uint32_t category = 0;
+  uint32_t k = 0;
+  VertexId source = 0;
+};
+
 uint64_t FlagOr(const FlagMap& flags, const std::string& name,
                 uint64_t fallback) {
   auto it = flags.find(name);
@@ -101,8 +122,9 @@ std::string FlagOr(const FlagMap& flags, const std::string& name,
 
 int main(int argc, char** argv) {
   const FlagSpec spec{{"host", "port", "graph", "connections", "queries",
-                       "workload", "seed", "deadline-us", "verify-every",
-                       "technique", "trace-sample", "slow-us"},
+                       "workload", "seed", "poi", "deadline-us",
+                       "verify-every", "technique", "trace-sample",
+                       "slow-us"},
                       {"paths", "stats", "shutdown"}};
   std::string parse_error;
   const auto flags = ParseFlags(argc, argv, 1, spec, &parse_error);
@@ -137,10 +159,55 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // The replayed query stream: random pairs or one of the paper's
-  // L-infinity buckets. A short bucket is cycled to fill the run.
+  // The replayed query stream: random pairs, one of the paper's
+  // L-infinity buckets, or the knn bucket sweep. A short bucket is
+  // cycled to fill the run.
+  const bool knn_mode = workload == "knn";
   std::vector<std::pair<VertexId, VertexId>> queries;
-  if (workload == "random") {
+  std::vector<KnnWork> knn_work;
+  std::unique_ptr<PoiSet> pois;
+  // Per-category vertex lists for the verification oracle.
+  std::vector<std::vector<VertexId>> category_vertices;
+  if (knn_mode) {
+    auto it = flags->find("poi");
+    if (it == flags->end()) {
+      std::fprintf(stderr, "--workload knn requires --poi\n");
+      return Usage();
+    }
+    pois = PoiSet::DeserializeFromFile(it->second, &error);
+    if (pois == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (pois->NumVertices() != g->NumVertices()) {
+      std::fprintf(stderr, "--poi was placed on a different graph\n");
+      return 1;
+    }
+    category_vertices.reserve(pois->NumCategories());
+    for (uint32_t c = 0; c < pois->NumCategories(); ++c) {
+      const auto span = pois->Vertices(c);
+      category_vertices.emplace_back(span.begin(), span.end());
+    }
+    // R-set-style sweep: every category (density) x k x method, plus a
+    // one-to-many bucket per category.
+    std::vector<KnnWork> buckets;
+    const uint32_t ks[] = {1, 4, 10, 50};
+    for (uint32_t c = 0; c < pois->NumCategories(); ++c) {
+      for (uint32_t k : ks) {
+        for (auto m : {wire::KnnMethod::kBucketCh, wire::KnnMethod::kIer}) {
+          buckets.push_back({false, m, c, k, 0});
+        }
+      }
+      buckets.push_back({true, wire::KnnMethod::kBucketCh, c, 0, 0});
+    }
+    Rng rng(seed);
+    knn_work.reserve(total_queries);
+    for (size_t i = 0; i < total_queries; ++i) {
+      KnnWork w = buckets[i % buckets.size()];
+      w.source = static_cast<VertexId>(rng.NextBelow(g->NumVertices()));
+      knn_work.push_back(w);
+    }
+  } else if (workload == "random") {
     Rng rng(seed);
     queries.reserve(total_queries);
     for (size_t i = 0; i < total_queries; ++i) {
@@ -213,6 +280,65 @@ int main(int argc, char** argv) {
         r.first_problem = "connect: " + err;
         return;
       }
+      if (knn_mode) {
+        for (size_t i = tid; i < knn_work.size(); i += connections) {
+          const KnnWork& w = knn_work[i];
+          wire::KnnResponse resp;
+          Timer timer;
+          bool sent;
+          if (w.otm) {
+            wire::OneToManyRequest req;
+            req.category = w.category;
+            req.source = w.source;
+            req.deadline_micros = deadline_us;
+            sent = client->OneToMany(req, &resp, &err);
+          } else {
+            wire::KnnRequest req;
+            req.method = w.method;
+            req.category = w.category;
+            req.k = w.k;
+            req.source = w.source;
+            req.deadline_micros = deadline_us;
+            sent = client->Knn(req, &resp, &err);
+          }
+          if (!sent) {
+            ++r.transport_errors;
+            if (r.first_problem.empty()) r.first_problem = "knn: " + err;
+            return;
+          }
+          r.latency.Record(timer.ElapsedNanos());
+          r.CountStatus(resp.status);
+          if (resp.status == wire::Status::kOk && verify_every > 0 &&
+              i % verify_every == 0) {
+            ++r.verified;
+            // Exact result-set check: same POIs, same distances, same
+            // (distance, vertex id) order as the expanding-Dijkstra
+            // oracle. One-to-many must equal kNN with k = |category|.
+            const auto& cat = category_vertices[w.category];
+            const size_t want_k = w.otm ? cat.size() : w.k;
+            const auto truth = KnnByDijkstra(*g, cat, w.source, want_k);
+            bool bad = truth.size() != resp.entries.size();
+            for (size_t j = 0; !bad && j < truth.size(); ++j) {
+              bad = truth[j].poi != resp.entries[j].first ||
+                    truth[j].dist != resp.entries[j].second;
+            }
+            if (bad) {
+              ++r.mismatches;
+              if (r.first_problem.empty()) {
+                r.first_problem =
+                    "knn oracle mismatch: category " +
+                    std::to_string(w.category) + ", k " +
+                    std::to_string(want_k) + ", source " +
+                    std::to_string(w.source) + " (" +
+                    std::to_string(resp.entries.size()) + " entries, oracle " +
+                    std::to_string(truth.size()) + ")";
+              }
+            }
+          }
+        }
+        return;
+      }
+
       // Each thread owns its oracle: Dijkstra scratch is per-instance.
       std::unique_ptr<Dijkstra> oracle;
       if (verify_every > 0) oracle = std::make_unique<Dijkstra>(*g);
@@ -283,8 +409,10 @@ int main(int argc, char** argv) {
   const uint64_t completed = total.latency.Count();
 
   std::printf("workload:    %s, %zu queries over %zu connections, kind %s\n",
-              workload.c_str(), queries.size(), connections,
-              use_paths ? "path" : "distance");
+              workload.c_str(),
+              knn_mode ? knn_work.size() : queries.size(), connections,
+              knn_mode ? "knn+one_to_many"
+                       : (use_paths ? "path" : "distance"));
   std::printf("completed:   %llu (%llu ok, %llu unreachable)\n",
               static_cast<unsigned long long>(completed),
               static_cast<unsigned long long>(total.ok),
