@@ -6,7 +6,7 @@
 # engine/server tests.
 #
 #   scripts/check.sh                 # everything
-#   scripts/check.sh <stage>         # one stage: build smoke trace knn lint asan-ubsan tsan
+#   scripts/check.sh <stage>         # one stage: build smoke trace knn async lint asan-ubsan tsan
 #   scripts/check.sh <ctest-filter>  # everything, regular ctest narrowed to -R filter
 #
 # Each sanitizer gets its own build directory (build-asan-ubsan/,
@@ -226,6 +226,48 @@ stage_knn() {
   SMOKE=""
 }
 
+stage_async() {
+  echo "==> Async server core: open-loop pipelined smoke (build/)"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j"$(nproc)" --target \
+    roadnet_cli roadnet_loadgen bench_server_scale
+  SMOKE="$(mktemp -d)"
+  build/tools/roadnet_cli generate --vertices 1500 --seed 5 \
+    --out "$SMOKE/g.bin" >/dev/null
+  build/tools/roadnet_cli preprocess --graph "$SMOKE/g.bin" \
+    --out "$SMOKE/g.ch" >/dev/null
+  # Two event loops, idle reaping armed, open-loop Poisson arrivals over
+  # pipelined QUERY2 connections; EVERY reply is verified against the
+  # loadgen's local Dijkstra oracle, then the SHUTDOWN frame must drain
+  # the server cleanly (exit 0) with schema-valid metrics.
+  build/tools/roadnet_cli serve --graph "$SMOKE/g.bin" --index "$SMOKE/g.ch" \
+    --technique ch --port 0 --port-file "$SMOKE/port" \
+    --loops 2 --idle-timeout-ms 5000 \
+    --metrics-out "$SMOKE/server_metrics.jsonl" >/dev/null &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$SMOKE/port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$SMOKE/port" ]] || { echo "server never wrote port file"; exit 1; }
+  build/tools/roadnet_loadgen --port "$(cat "$SMOKE/port")" \
+    --graph "$SMOKE/g.bin" --connections 16 --queries 3000 \
+    --rate 5000 --pipeline 8 --verify-every 1 --stats --shutdown >/dev/null
+  wait "$SERVER_PID"
+  SERVER_PID=""
+  python3 scripts/validate_metrics.py "$SMOKE/server_metrics.jsonl"
+
+  echo "==> Connection-scale bench: open-loop latency gate (quick)"
+  # Exits nonzero if any curve point loses a request or disagrees with
+  # the oracle, or if p99 at 50% of the measured saturation rate blows
+  # past the latency gate (see bench_server_scale.cc).
+  build/bench/bench_server_scale --quick \
+    --out "$SMOKE/BENCH_server_scale.json" >/dev/null
+  python3 scripts/validate_metrics.py "$SMOKE/BENCH_server_scale.json"
+  rm -rf "$SMOKE"
+  SMOKE=""
+}
+
 stage_lint() {
   echo "==> roadnet_lint: project-specific static analysis (hard gate)"
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -268,9 +310,10 @@ stage_tsan() {
   cmake -B build-tsan -S . -DROADNET_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target \
     engine_equivalence_test engine_stress_test engine_edge_test \
-    ch_layout_test server_test hl_test trace_test bench_server
+    ch_layout_test server_test event_loop_test wire_fuzz_test hl_test \
+    trace_test bench_server
   (cd build-tsan && \
-    ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|ChLayout|QueryServer|Wire|BoundedQueue|HubLabel|Trace')
+    ctest --output-on-failure -R 'Engine(Equivalence|Stress|Edge)|ChLayout|QueryServer|EventLoopPool|Wire|BoundedQueue|HubLabel|Trace')
   # The serving bench under TSan covers the accept/handler/dispatcher/client
   # thread web end to end.
   ROADNET_BENCH_FAST=1 build-tsan/bench/bench_server >/dev/null
@@ -282,6 +325,7 @@ case "$ARG" in
   smoke)      stage_smoke ;;
   trace)      stage_trace ;;
   knn)        stage_knn ;;
+  async)      stage_async ;;
   lint)       stage_lint ;;
   asan-ubsan) stage_asan_ubsan ;;
   tsan)       stage_tsan ;;
@@ -290,6 +334,7 @@ case "$ARG" in
     stage_smoke
     stage_trace
     stage_knn
+    stage_async
     stage_lint
     stage_asan_ubsan
     stage_tsan
@@ -300,6 +345,7 @@ case "$ARG" in
     stage_smoke
     stage_trace
     stage_knn
+    stage_async
     stage_lint
     stage_asan_ubsan
     stage_tsan

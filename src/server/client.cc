@@ -105,4 +105,41 @@ bool BlockingClient::SendShutdown(std::string* error) {
   return true;
 }
 
+std::unique_ptr<PipelinedClient> PipelinedClient::Connect(
+    const std::string& host, uint16_t port, std::string* error) {
+  ScopedFd fd = ConnectTcp(host, port, error);
+  if (!fd.valid()) return nullptr;
+  return std::unique_ptr<PipelinedClient>(new PipelinedClient(std::move(fd)));
+}
+
+bool PipelinedClient::Send(const wire::QueryRequest& req,
+                           std::string* error) {
+  if (!fd_.valid()) {
+    if (error != nullptr) *error = "connection already closed";
+    return false;
+  }
+  if (!WriteFrame(fd_.get(), wire::EncodeQueryRequestV2(req))) {
+    if (error != nullptr) *error = "write failed";
+    return false;
+  }
+  return true;
+}
+
+bool PipelinedClient::Recv(wire::QueryResponse* resp, std::string* error) {
+  auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!fd_.valid()) return fail("connection already closed");
+  std::string body;
+  bool clean_eof = false;
+  if (!ReadFrame(fd_.get(), &body, wire::kMaxFrameBytes, &clean_eof)) {
+    return fail(clean_eof ? "server closed the connection" : "read failed");
+  }
+  auto decoded = wire::DecodeQueryResponseV2(body);
+  if (!decoded.has_value()) return fail("malformed QUERY_REPLY2 frame");
+  *resp = std::move(*decoded);
+  return true;
+}
+
 }  // namespace roadnet

@@ -62,6 +62,32 @@ class BlockingClient {
   ScopedFd fd_;
 };
 
+// Pipelined client for the QUERY2 frame pair: many requests may be
+// outstanding on the one connection, each tagged with a caller-chosen
+// request_id that the server echoes in the (possibly out-of-order)
+// reply. Send and Recv are independent blocking calls — the caller
+// decides the window. Not thread-safe; one client per thread.
+class PipelinedClient {
+ public:
+  // Connects to host:port; nullptr + *error on failure.
+  static std::unique_ptr<PipelinedClient> Connect(const std::string& host,
+                                                  uint16_t port,
+                                                  std::string* error);
+
+  // Writes one QUERY2 frame (req.request_id is the correlation tag).
+  // Does not wait for the reply.
+  bool Send(const wire::QueryRequest& req, std::string* error);
+
+  // Blocks for the next QUERY_REPLY2 frame, in whatever order the
+  // server completed them. Match resp->request_id against your sends.
+  bool Recv(wire::QueryResponse* resp, std::string* error);
+
+ private:
+  explicit PipelinedClient(ScopedFd fd) : fd_(std::move(fd)) {}
+
+  ScopedFd fd_;
+};
+
 }  // namespace roadnet
 
 #endif  // ROADNET_SERVER_CLIENT_H_

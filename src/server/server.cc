@@ -1,10 +1,5 @@
 #include "server/server.h"
 
-#include <cerrno>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
 #include <utility>
 
 namespace roadnet {
@@ -24,13 +19,16 @@ const char* TraceStatusName(uint8_t status) {
   return wire::StatusName(static_cast<wire::Status>(status));
 }
 
+// Requests are tiny fixed-size frames; cap far below response sizes.
+constexpr uint32_t kMaxRequestBytes = 1024;
+
 TracerOptions MakeTracerOptions(const ServerOptions& options) {
   TracerOptions t;
   t.sample_every = options.trace_sample_every;
   t.slow_micros = options.trace_slow_us;
-  // One shard per possible concurrent connection: the handler is the
-  // only producer into its shard's ring.
-  t.shards = options.max_connections;
+  // One shard per event loop: the loop thread is the only producer into
+  // its shard's ring (requests start and finish on their owning loop).
+  t.shards = options.num_loops == 0 ? 1 : options.num_loops;
   t.ring_capacity = options.trace_ring_capacity;
   t.id_seed = options.trace_seed;
   t.status_name = &TraceStatusName;
@@ -74,10 +72,33 @@ bool QueryServer::Start(std::string* error) {
       !tracer_.StartExporter(options_.trace_out, error)) {
     return false;
   }
-  listen_fd_ = ListenTcp(options_.port, &port_, error);
-  if (!listen_fd_.valid()) return false;
+  ScopedFd listen = ListenTcp(options_.port, &port_, error);
+  if (!listen.valid()) return false;
+
+  EventLoopOptions lo;
+  lo.num_loops = options_.num_loops == 0 ? 1 : options_.num_loops;
+  lo.max_connections = options_.max_connections;
+  lo.max_frame_bytes = kMaxRequestBytes;
+  lo.write_soft_cap = options_.write_queue_soft_cap;
+  lo.idle_timeout_ms = options_.idle_timeout_ms;
+  lo.sndbuf_bytes = options_.sndbuf_bytes;
+  lo.epoch = tracer_.Epoch();
+  // The cast happens here (not inside make_unique) because FrameHandler
+  // is a private base: only members may convert to it.
+  pool_ = std::make_unique<EventLoopPool>(lo, static_cast<FrameHandler*>(this));
+  loop_shards_.clear();
+  for (size_t i = 0; i < lo.num_loops; ++i) {
+    loop_shards_.push_back(tracer_.AcquireShard());
+  }
   dispatch_thread_ = std::thread([this] { DispatchLoop(); });
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (!pool_->Start(std::move(listen), error)) {
+    queue_.Close();
+    dispatch_thread_.join();
+    for (int shard : loop_shards_) tracer_.ReleaseShard(shard);
+    loop_shards_.clear();
+    pool_.reset();
+    return false;
+  }
   started_ = true;
   return true;
 }
@@ -105,276 +126,224 @@ void QueryServer::Shutdown() {
   }
   draining_.store(true);
 
-  // 1. Stop accepting: shutdown() unblocks accept(), then join.
   if (started_) {
-    ::shutdown(listen_fd_.get(), SHUT_RDWR);
-    accept_thread_.join();
-  }
+    // 1. Stop accepting. Established connections keep running; their
+    // loops reject new requests with SHUTTING_DOWN (draining_ is set).
+    pool_->StopAccepting();
 
-  // 2. Hang up the read side of every connection. Handlers finish the
-  // request they are on (the dispatcher is still running and will
-  // complete it), write the response, then see EOF and exit.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (Connection& c : conns_) {
-      if (c.fd.valid()) ::shutdown(c.fd.get(), SHUT_RD);
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (Connection& c : conns_) {
-      if (c.thread.joinable()) c.thread.join();
-    }
-    conns_.clear();
-  }
+    // 2. Close the queue: the dispatcher drains everything already
+    // admitted and exits. Every drained Pending is Complete()d, which
+    // posts its reply to the owning loop.
+    queue_.Close();
+    dispatch_thread_.join();
 
-  // 3. With every producer gone, close the queue; the dispatcher drains
-  // whatever is still admitted and exits.
-  queue_.Close();
-  if (started_) dispatch_thread_.join();
-  listen_fd_.Close();
+    // 3. Wait for the completion closures: once in_flight_ hits zero,
+    // every admitted request has its reply on a connection write queue.
+    {
+      std::unique_lock<std::mutex> lock(drain_mu_);
+      drain_cv_.wait_for(
+          lock, std::chrono::seconds(10),
+          [&] { return in_flight_.load(std::memory_order_acquire) == 0; });
+    }
+
+    // 4. Flush replies to peers that are reading (bounded: a peer that
+    // stopped reading cannot stall the drain forever), then stop.
+    pool_->FlushAndWait(std::chrono::seconds(2));
+    pool_->Stop();
+    for (int shard : loop_shards_) tracer_.ReleaseShard(shard);
+    loop_shards_.clear();
+  }
   // Every producer is gone: the final drain flushes all captured traces
   // to the slow-query log before the file closes.
   tracer_.StopExporter();
 }
 
-void QueryServer::AcceptLoop() {
-  while (!draining_.load(std::memory_order_relaxed)) {
-    sockaddr_in peer{};
-    socklen_t peer_len = sizeof(peer);
-    const int raw =
-        ::accept(listen_fd_.get(), reinterpret_cast<sockaddr*>(&peer),
-                 &peer_len);
-    if (raw < 0) {
-      if (errno == EINTR) continue;
-      break;  // listen socket shut down (drain) or fatal
-    }
-    ScopedFd fd(raw);
-    // Stamp before the reap/cap work below: the accept stage of this
-    // connection's first request starts when accept(2) returned.
-    const uint64_t accept_ns = tracer_.NowNs();
-    if (draining_.load(std::memory_order_relaxed)) break;
-
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    // Reap handlers that already finished so long-lived servers do not
-    // accumulate dead threads.
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if (it->finished.load(std::memory_order_acquire)) {
-        it->thread.join();
-        it = conns_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    // Connection cap: close immediately. The client sees EOF on its
-    // first read — connection-level shedding, distinct from the
-    // per-request OVERLOADED status.
-    if (conns_.size() >= options_.max_connections) {
-      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-      continue;  // ScopedFd closes raw
-    }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    open_connections_.fetch_add(1, std::memory_order_relaxed);
-    int one = 1;
-    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    conns_.emplace_back();
-    Connection& conn = conns_.back();  // std::list: address is stable
-    conn.fd = std::move(fd);
-    conn.accept_ns = accept_ns;
-    conn.thread = std::thread([this, &conn] { HandleConnection(&conn); });
+std::string QueryServer::EncodeReply(Pending* p) {
+  switch (p->family) {
+    case Pending::Family::kKnn:
+      p->knn_resp.status = p->resp.status;
+      p->knn_resp.server_latency_ns = p->resp.server_latency_ns;
+      return wire::EncodeKnnResponse(wire::kKnnReply, p->knn_resp);
+    case Pending::Family::kOneToMany:
+      p->knn_resp.status = p->resp.status;
+      p->knn_resp.server_latency_ns = p->resp.server_latency_ns;
+      return wire::EncodeKnnResponse(wire::kOneToManyReply, p->knn_resp);
+    case Pending::Family::kPoint:
+      break;
   }
+  return p->pipelined ? wire::EncodeQueryResponseV2(p->resp)
+                      : wire::EncodeQueryResponse(p->resp);
+}
+
+void QueryServer::ReplyNow(Pending* p, wire::Status status) {
+  p->resp.status = status;
+  p->resp.server_latency_ns = ElapsedNanos(p->received);
+  p->trace.status = static_cast<uint8_t>(status);
+  {
+    TraceSpan reply_span(&p->trace, TraceStage::kReplyWrite);
+    pool_->Send(p->conn, EncodeReply(p));
+  }
+  const int shard = loop_shards_[p->conn.loop];
+  if (shard >= 0) tracer_.Finish(shard, &p->trace);
 }
 
 void QueryServer::Complete(Pending* p, wire::Status status) {
-  // Notify while still holding the mutex: the Pending lives on the
-  // handler's stack and is destroyed the moment the handler observes
-  // done, so an after-unlock notify could touch a dead condvar.
-  std::lock_guard<std::mutex> lock(p->mu);
   p->resp.status = status;
   p->resp.server_latency_ns = ElapsedNanos(p->received);
-  p->done = true;
-  p->cv.notify_one();
+  p->trace.status = static_cast<uint8_t>(status);
+  // Encode on the dispatcher (cheap for the loops, and path replies can
+  // be large); the owning loop only appends bytes and finishes the
+  // trace. The Post hop orders these writes before the loop's reads.
+  std::string frame = EncodeReply(p);
+  pool_->Post(p->conn.loop, [this, p, frame = std::move(frame)] {
+    RequestTrace& trace = p->trace;
+    const uint64_t reply_start = trace.NowNs();
+    pool_->Send(p->conn, frame);  // false if the connection died: drop
+    trace.RecordStage(TraceStage::kReplyWrite, reply_start, trace.NowNs());
+    const int shard = loop_shards_[p->conn.loop];
+    if (shard >= 0) tracer_.Finish(shard, &trace);
+    delete p;
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      drain_cv_.notify_all();
+    }
+  });
 }
 
-void QueryServer::HandleConnection(Connection* conn) {
-  const int fd = conn->fd.get();
-  std::string body;
-  // Requests are tiny fixed-size frames; cap far below response sizes.
-  constexpr uint32_t kMaxRequestBytes = 1024;
-  // This handler is its shard's only trace producer; -1 (more handlers
-  // than shards can only happen if max_connections shrank) runs untraced.
-  const int shard = tracer_.AcquireShard();
-  bool first_request = true;
-  for (;;) {
-    Pending pending;
-    RequestTrace& trace = pending.trace;
-    if (shard >= 0) tracer_.StartRequest(&trace);
-    if (first_request) {
-      // The first request's accept stage: accept(2) return to the
-      // handler entering its read.
-      trace.RecordStage(TraceStage::kAccept, conn->accept_ns, trace.NowNs());
-    }
-    // frame_read covers waiting for the frame, reading, and decoding.
-    TraceSpan frame_span(&trace, TraceStage::kFrameRead);
-    if (!ReadFrame(fd, &body, kMaxRequestBytes)) break;
-    first_request = false;
-    const auto type = wire::PeekType(body);
-    if (!type.has_value()) break;  // garbage: hang up
+bool QueryServer::OnFrame(const ConnRef& conn, std::string&& body,
+                          const FrameMeta& meta) {
+  const auto type = wire::PeekType(body);
+  if (!type.has_value()) return false;  // garbage: hang up
 
-    // Admin frames are not traced as requests; their RequestTrace is
-    // simply abandoned (no spans recorded past this point, no Finish).
-    frame_span.Close();
-    if (*type == wire::kStats) {
-      if (!WriteFrame(fd, wire::EncodeStatsResponse(StatsV2()))) break;
-      continue;
-    }
-    if (*type == wire::kShutdown) {
-      // Ack first so the admin client gets a reply, then flag the drain;
-      // the owner thread (WaitForShutdownRequest) runs Shutdown().
-      WriteFrame(fd, wire::EncodeShutdownResponse());
-      RequestShutdown();
-      continue;  // drain will SHUT_RD this socket
-    }
-    if (*type == wire::kTraceConfig) {
-      const auto cfg = wire::DecodeTraceConfigRequest(body);
-      if (!cfg.has_value()) break;
-      tracer_.Configure(cfg->sample_every, cfg->slow_micros);
-      wire::TraceConfigResponse ack;
-      ack.sample_every = tracer_.SampleEvery();
-      ack.slow_micros = tracer_.SlowMicros();
-      if (!WriteFrame(fd, wire::EncodeTraceConfigResponse(ack))) break;
-      continue;
-    }
-    if (*type != wire::kQuery && *type != wire::kKnnQuery &&
-        *type != wire::kOneToManyQuery) {
-      break;
-    }
-
-    pending.received = std::chrono::steady_clock::now();
-    // Encodes the reply frame of whatever family this request is; kNN
-    // families carry status/latency in the shared KnnResponse layout.
-    auto encode_reply = [&pending]() {
-      switch (pending.family) {
-        case Pending::Family::kKnn:
-          pending.knn_resp.status = pending.resp.status;
-          pending.knn_resp.server_latency_ns = pending.resp.server_latency_ns;
-          return wire::EncodeKnnResponse(wire::kKnnReply, pending.knn_resp);
-        case Pending::Family::kOneToMany:
-          pending.knn_resp.status = pending.resp.status;
-          pending.knn_resp.server_latency_ns = pending.resp.server_latency_ns;
-          return wire::EncodeKnnResponse(wire::kOneToManyReply,
-                                         pending.knn_resp);
-        case Pending::Family::kPoint:
-          break;
-      }
-      return wire::EncodeQueryResponse(pending.resp);
-    };
-
-    // Decode + validate per family. A short answer (empty category,
-    // k > |POIs|) is NOT a bad request — only malformed frames, ids out
-    // of range, and techniques/methods the server does not host are.
-    bool valid = false;
-    if (*type == wire::kQuery) {
-      const auto req = wire::DecodeQueryRequest(body);
-      if (req.has_value()) {
-        trace.kind = static_cast<uint8_t>(req->kind);
-        trace.source = req->source;
-        trace.target = req->target;
-        valid = req->source < num_vertices_ &&
-                req->target < num_vertices_ &&
-                (req->technique == wire::kAnyTechnique ||
-                 req->technique == technique_id_);
-        pending.req = *req;
-      }
-    } else if (*type == wire::kKnnQuery) {
-      // Family follows the frame type even when decode fails, so a
-      // malformed KNN_QUERY still gets a KNN_REPLY bad-request frame.
-      pending.family = Pending::Family::kKnn;
-      const auto req = wire::DecodeKnnRequest(body);
-      if (req.has_value()) {
-        trace.kind = 2;
-        trace.source = req->source;
-        trace.target = req->category;  // category stands in for target
-        valid = knn_.Enabled() && req->source < num_vertices_ &&
-                req->category < knn_.pois->NumCategories() &&
-                (req->method != wire::KnnMethod::kIer ||
-                 knn_.ier != nullptr);
-        pending.knn_req = *req;
-        pending.req.deadline_micros = req->deadline_micros;
-      }
-    } else {
-      pending.family = Pending::Family::kOneToMany;
-      const auto req = wire::DecodeOneToManyRequest(body);
-      if (req.has_value()) {
-        trace.kind = 3;
-        trace.source = req->source;
-        trace.target = req->category;
-        valid = knn_.Enabled() && req->source < num_vertices_ &&
-                req->category < knn_.pois->NumCategories();
-        pending.otm_req = *req;
-        pending.req.deadline_micros = req->deadline_micros;
-      }
-    }
-    if (!valid) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
-      pending.resp.status = wire::Status::kBadRequest;
-      pending.resp.server_latency_ns = ElapsedNanos(pending.received);
-      trace.status = static_cast<uint8_t>(pending.resp.status);
-      bool write_ok;
-      {
-        TraceSpan reply_span(&trace, TraceStage::kReplyWrite);
-        write_ok = WriteFrame(fd, encode_reply());
-      }
-      if (shard >= 0) tracer_.Finish(shard, &trace);
-      if (!write_ok) break;
-      continue;
-    }
-
-    // The enqueue span must close BEFORE TryPush: once the request is in
-    // the queue the dispatcher may pop it immediately and derive the
-    // queue_wait start from this stage's end stamp.
-    TraceSpan enqueue_span(&trace, TraceStage::kEnqueue);
-    wire::Status shed = wire::Status::kOk;
-    if (draining_.load(std::memory_order_relaxed)) {
-      enqueue_span.Close();
-      shed = wire::Status::kShuttingDown;
-      shed_draining_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      enqueue_span.Close();
-      if (!queue_.TryPush(&pending)) {
-        shed = wire::Status::kOverloaded;
-        shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-    if (shed != wire::Status::kOk) {
-      pending.resp.status = shed;
-      pending.resp.server_latency_ns = ElapsedNanos(pending.received);
-      trace.status = static_cast<uint8_t>(shed);
-      bool write_ok;
-      {
-        TraceSpan reply_span(&trace, TraceStage::kReplyWrite);
-        write_ok = WriteFrame(fd, encode_reply());
-      }
-      if (shard >= 0) tracer_.Finish(shard, &trace);
-      if (!write_ok) break;
-      continue;
-    }
-    {
-      std::unique_lock<std::mutex> lock(pending.mu);
-      pending.cv.wait(lock, [&] { return pending.done; });
-    }
-    trace.status = static_cast<uint8_t>(pending.resp.status);
-    bool write_ok;
-    {
-      TraceSpan reply_span(&trace, TraceStage::kReplyWrite);
-      write_ok = WriteFrame(fd, encode_reply());
-    }
-    if (shard >= 0) tracer_.Finish(shard, &trace);
-    if (!write_ok) break;
+  // Admin frames are answered inline on the loop thread and not traced.
+  if (*type == wire::kStats) {
+    return pool_->Send(conn, wire::EncodeStatsResponse(StatsV2()));
   }
-  tracer_.ReleaseShard(shard);
-  open_connections_.fetch_sub(1, std::memory_order_relaxed);
-  conn->finished.store(true, std::memory_order_release);
+  if (*type == wire::kShutdown) {
+    // Ack first so the admin client gets a reply, then flag the drain;
+    // the owner thread (WaitForShutdownRequest) runs Shutdown().
+    const bool ok = pool_->Send(conn, wire::EncodeShutdownResponse());
+    RequestShutdown();
+    return ok;
+  }
+  if (*type == wire::kTraceConfig) {
+    const auto cfg = wire::DecodeTraceConfigRequest(body);
+    if (!cfg.has_value()) return false;
+    tracer_.Configure(cfg->sample_every, cfg->slow_micros);
+    wire::TraceConfigResponse ack;
+    ack.sample_every = tracer_.SampleEvery();
+    ack.slow_micros = tracer_.SlowMicros();
+    return pool_->Send(conn, wire::EncodeTraceConfigResponse(ack));
+  }
+  if (*type != wire::kQuery && *type != wire::kQueryV2 &&
+      *type != wire::kKnnQuery && *type != wire::kOneToManyQuery) {
+    return false;
+  }
+
+  auto owned = std::make_unique<Pending>();
+  Pending* p = owned.get();
+  p->conn = conn;
+  RequestTrace& trace = p->trace;
+  const int shard = loop_shards_[conn.loop];
+  if (shard >= 0) tracer_.StartRequest(&trace);
+  if (meta.first_frame) {
+    // The first request's accept stage: accept(2) return to the loop
+    // starting to wait for this connection's bytes.
+    trace.RecordStage(TraceStage::kAccept, meta.accept_ns,
+                      meta.read_start_ns);
+  }
+  // frame_read covers waiting for and incrementally reassembling the
+  // frame (timestamps come from the loop's read path).
+  trace.RecordStage(TraceStage::kFrameRead, meta.read_start_ns,
+                    meta.frame_end_ns);
+  p->received = std::chrono::steady_clock::now();
+
+  // Decode + validate per family. A short answer (empty category,
+  // k > |POIs|) is NOT a bad request — only malformed frames, ids out
+  // of range, and techniques/methods the server does not host are.
+  bool valid = false;
+  if (*type == wire::kQuery || *type == wire::kQueryV2) {
+    const auto req = *type == wire::kQueryV2
+                         ? wire::DecodeQueryRequestV2(body)
+                         : wire::DecodeQueryRequest(body);
+    if (req.has_value()) {
+      p->pipelined = *type == wire::kQueryV2;
+      p->resp.request_id = req->request_id;
+      trace.kind = static_cast<uint8_t>(req->kind);
+      trace.source = req->source;
+      trace.target = req->target;
+      valid = req->source < num_vertices_ && req->target < num_vertices_ &&
+              (req->technique == wire::kAnyTechnique ||
+               req->technique == technique_id_);
+      p->req = *req;
+    }
+  } else if (*type == wire::kKnnQuery) {
+    // Family follows the frame type even when decode fails, so a
+    // malformed KNN_QUERY still gets a KNN_REPLY bad-request frame.
+    p->family = Pending::Family::kKnn;
+    const auto req = wire::DecodeKnnRequest(body);
+    if (req.has_value()) {
+      trace.kind = 2;
+      trace.source = req->source;
+      trace.target = req->category;  // category stands in for target
+      valid = knn_.Enabled() && req->source < num_vertices_ &&
+              req->category < knn_.pois->NumCategories() &&
+              (req->method != wire::KnnMethod::kIer || knn_.ier != nullptr);
+      p->knn_req = *req;
+      p->req.deadline_micros = req->deadline_micros;
+    }
+  } else {
+    p->family = Pending::Family::kOneToMany;
+    const auto req = wire::DecodeOneToManyRequest(body);
+    if (req.has_value()) {
+      trace.kind = 3;
+      trace.source = req->source;
+      trace.target = req->category;
+      valid = knn_.Enabled() && req->source < num_vertices_ &&
+              req->category < knn_.pois->NumCategories();
+      p->otm_req = *req;
+      p->req.deadline_micros = req->deadline_micros;
+    }
+  }
+  if (!valid) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    ReplyNow(p, wire::Status::kBadRequest);
+    return true;
+  }
+
+  // The enqueue span must close BEFORE TryPush: once the request is in
+  // the queue the dispatcher may pop it immediately and derive the
+  // queue_wait start from this stage's end stamp.
+  TraceSpan enqueue_span(&trace, TraceStage::kEnqueue);
+  wire::Status shed = wire::Status::kOk;
+  if (draining_.load(std::memory_order_relaxed)) {
+    enqueue_span.Close();
+    shed = wire::Status::kShuttingDown;
+    shed_draining_.fetch_add(1, std::memory_order_relaxed);
+  } else if (options_.write_queue_hard_cap > 0 &&
+             meta.write_queue_bytes > options_.write_queue_hard_cap) {
+    // The peer is not draining its replies; shedding here keeps a
+    // non-reading client from pinning engine output in memory.
+    enqueue_span.Close();
+    shed = wire::Status::kOverloaded;
+    shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    enqueue_span.Close();
+    if (!queue_.TryPush(p)) {
+      shed = wire::Status::kOverloaded;
+      shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (shed != wire::Status::kOk) {
+    ReplyNow(p, shed);
+    return true;
+  }
+  // Admitted: the dispatcher owns the Pending now (no touching *p past
+  // the TryPush). The completion closure runs on this loop thread, so
+  // it cannot race this increment.
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  owned.release();
+  return true;
 }
 
 void QueryServer::RunSubBatch(std::vector<Pending*>& reqs, bool paths) {
@@ -557,10 +526,11 @@ wire::StatsResponse QueryServer::Stats() const {
   s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
   s.shed_draining = shed_draining_.load(std::memory_order_relaxed);
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
-  s.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
-  s.connections_rejected =
-      connections_rejected_.load(std::memory_order_relaxed);
+  if (pool_ != nullptr) {
+    const EventLoopPool::PoolStats ps = pool_->Stats();
+    s.connections_accepted = ps.accepted;
+    s.connections_rejected = ps.rejected;
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   s.distance_count = distance_latency_.Count();
   s.distance_p50_ns = distance_latency_.ValueAtQuantile(0.50);
@@ -577,7 +547,13 @@ wire::StatsResponse QueryServer::StatsV2() const {
   // are right now (waiting, executing, connected).
   s.queue_depth = queue_.Size();
   s.in_flight_batches = in_flight_batches_.load(std::memory_order_relaxed);
-  s.open_connections = open_connections_.load(std::memory_order_relaxed);
+  if (pool_ != nullptr) {
+    const EventLoopPool::PoolStats ps = pool_->Stats();
+    s.open_connections = ps.open_connections;
+    s.write_queue_bytes = ps.write_queue_bytes;
+    s.idle_reaped = ps.idle_reaped;
+    s.loop_connections = ps.loop_connections;
+  }
   const Tracer::Snapshot snap = tracer_.GetSnapshot();
   s.traces_finished = snap.finished;
   s.traces_captured = snap.captured;
@@ -596,7 +572,7 @@ wire::StatsResponse QueryServer::StatsV2() const {
 }
 
 void QueryServer::ExportMetrics(MetricsRegistry* registry) const {
-  const wire::StatsResponse s = Stats();
+  const wire::StatsResponse s = StatsV2();
   const std::vector<std::pair<std::string, std::string>> labels = {
       {"command", "serve"}, {"method", index_.Name()}};
   registry->Add("served", static_cast<double>(s.served), labels);
@@ -611,6 +587,17 @@ void QueryServer::ExportMetrics(MetricsRegistry* registry) const {
                 static_cast<double>(s.connections_accepted), labels);
   registry->Add("connections_rejected",
                 static_cast<double>(s.connections_rejected), labels);
+  // Event-loop core gauges (STATS v3).
+  registry->Add("write_queue_bytes", static_cast<double>(s.write_queue_bytes),
+                labels);
+  registry->Add("idle_connections_reaped",
+                static_cast<double>(s.idle_reaped), labels);
+  for (size_t i = 0; i < s.loop_connections.size(); ++i) {
+    auto l = labels;
+    l.emplace_back("loop", std::to_string(i));
+    registry->Add("loop_open_connections",
+                  static_cast<double>(s.loop_connections[i]), l);
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   auto with_endpoint = [&labels](const char* endpoint) {
     auto l = labels;

@@ -5,7 +5,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -21,6 +20,7 @@
 #include "poi/poi_set.h"
 #include "routing/path_index.h"
 #include "server/bounded_queue.h"
+#include "server/event_loop.h"
 #include "server/socket.h"
 #include "server/wire.h"
 
@@ -44,6 +44,15 @@ struct ServerOptions {
   size_t queue_capacity = 256;   // admission queue; full => OVERLOADED
   size_t engine_threads = 4;     // QueryEngine worker pool size
   size_t max_dispatch_batch = 64;  // requests per engine batch
+  // --- Event-loop front-end (src/server/event_loop.h) ---
+  size_t num_loops = 2;          // epoll event loops sharing the accepts
+  // Per-connection write-queue caps: above soft the loop stops reading
+  // the connection; requests decoded while the queue is above hard are
+  // shed with OVERLOADED.
+  size_t write_queue_soft_cap = 256u << 10;
+  size_t write_queue_hard_cap = 1u << 20;
+  uint64_t idle_timeout_ms = 0;  // reap idle connections (0 = never)
+  int sndbuf_bytes = 0;          // SO_SNDBUF per conn (0 = kernel default)
   // --- Request tracing (obs/trace.h; all runtime-retunable via the
   // TRACE_CONFIG frame). Both capture knobs off = tracing idle: every
   // request pays only the StartRequest early-out.
@@ -56,22 +65,28 @@ struct ServerOptions {
 
 // Long-running TCP front-end over one immutable PathIndex.
 //
-// Threading model (see DESIGN.md "Serving"):
-//   - one accept thread, thread-per-connection handlers (blocking reads;
-//     closed-loop clients have one request in flight per connection);
-//   - handlers validate, stamp a receipt time, and TryPush the request
-//     into a bounded queue — a full queue is answered OVERLOADED
-//     immediately (explicit load shedding, never silent buffering);
+// Threading model (see DESIGN.md "Async server core"):
+//   - a small pool of epoll event loops (EventLoopPool) owns every
+//     connection: nonblocking accepts sharded across loops, incremental
+//     frame reassembly from edge-triggered reads, pipelined requests
+//     (QUERY2 carries a request_id echoed in its reply, so many may be
+//     outstanding per connection and complete out of order);
+//   - OnFrame (on the loop thread) validates, stamps a receipt time, and
+//     TryPushes a heap-allocated Pending into the bounded queue — a full
+//     queue, a draining server, or a write queue over the hard cap is
+//     answered inline (OVERLOADED / SHUTTING_DOWN, explicit shedding);
 //   - one dispatcher thread drains the queue in batches, sheds requests
 //     whose deadline already passed (DEADLINE_EXCEEDED), and feeds the
-//     rest to the QueryEngine worker pool, completing each handler's
-//     wait when its response is filled.
+//     rest to the QueryEngine worker pool; each completed reply is
+//     posted back to the owning loop (wakeup fd), which writes it on
+//     the connection's bounded write queue and finishes the trace.
 //
 // Shutdown (SIGINT via RequestShutdown(), or a client SHUTDOWN frame)
 // drains: no new connections or requests are admitted (late requests get
-// SHUTTING_DOWN), everything already queued is answered, then threads
-// join. Shutdown() is idempotent and safe after a failed Start().
-class QueryServer {
+// SHUTTING_DOWN), everything already admitted is answered and flushed,
+// then threads join. Shutdown() is idempotent and safe after a failed
+// Start().
+class QueryServer : private FrameHandler {
  public:
   // The index (and the graph it was built on) must outlive the server.
   // `technique_id` is the wire id clients must send (or kAnyTechnique);
@@ -123,12 +138,15 @@ class QueryServer {
   void ExportMetrics(MetricsRegistry* registry) const;
 
  private:
-  // One admitted request waiting for the dispatcher. Lives on the
-  // connection handler's stack; the handler blocks on `cv` until the
-  // dispatcher fills `resp` and flips `done`.
+  // One admitted request between the loops and the dispatcher.
+  // Heap-allocated by OnFrame; ownership flows loop -> bounded queue ->
+  // dispatcher -> (Post) back to the owning loop, which writes the reply
+  // and deletes it. No locking: each stage hands the pointer off before
+  // the next one touches it, and the Post hop orders the dispatcher's
+  // writes before the loop's reads.
   struct Pending {
     // Which request family this is; selects the active request struct
-    // and the reply frame the handler encodes.
+    // and the reply frame encoded for it.
     enum class Family : uint8_t { kPoint = 0, kKnn = 1, kOneToMany = 2 };
     Family family = Family::kPoint;
     // kPoint requests decode into `req`. kKnn / kOneToMany decode into
@@ -140,29 +158,26 @@ class QueryServer {
     std::chrono::steady_clock::time_point received;
     wire::QueryResponse resp;
     // Entry list of a kKnn / kOneToMany reply; status and latency are
-    // copied out of `resp` when the handler encodes the frame.
+    // copied out of `resp` when the reply frame is encoded.
     wire::KnnResponse knn_resp;
-    // Lifecycle trace. The handler owns it; the dispatcher and engine
-    // stamp the queue_wait / batch_assembly / execute windows while the
-    // handler is blocked on `cv`, so writes never overlap. Finish() runs
-    // on the handler after the reply is written.
+    // Lifecycle trace. The loop thread stamps accept/frame_read/enqueue,
+    // the dispatcher and engine stamp queue_wait/batch_assembly/execute
+    // while the loop is not touching the Pending, and the completion
+    // closure stamps reply_write and Finishes on the loop's shard.
     RequestTrace trace;
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
+    // The connection this request came in on; replies route back through
+    // it (and fail harmlessly if the connection died meanwhile).
+    ConnRef conn;
+    // Arrived as a QUERY2 frame: reply with QUERY_REPLY2 (request_id is
+    // mirrored in resp). Old QUERY frames get old QUERY_REPLY frames.
+    bool pipelined = false;
   };
 
-  struct Connection {
-    ScopedFd fd;
-    std::thread thread;
-    std::atomic<bool> finished{false};
-    // accept(2) return time (tracer-epoch nanoseconds): the start of the
-    // first request's accept stage.
-    uint64_t accept_ns = 0;
-  };
+  // FrameHandler: one complete frame from an event loop, on that loop's
+  // thread.
+  bool OnFrame(const ConnRef& conn, std::string&& body,
+               const FrameMeta& meta) override;
 
-  void AcceptLoop();
-  void HandleConnection(Connection* conn);
   void DispatchLoop();
 
   // Runs one homogeneous sub-batch (all-distance or all-path) through
@@ -173,7 +188,17 @@ class QueryServer {
   // path on the per-worker kNN contexts.
   void RunKnnSubBatch(std::vector<Pending*>& reqs);
 
-  static void Complete(Pending* p, wire::Status status);
+  // Encodes the reply frame of whatever family/version `p` is (copies
+  // status/latency into the kNN reply struct first, hence non-const).
+  static std::string EncodeReply(Pending* p);
+
+  // Inline rejection on the loop thread (bad request, shedding): fills
+  // status/latency, writes the reply, finishes the trace.
+  void ReplyNow(Pending* p, wire::Status status);
+
+  // Dispatcher-side completion: fills status/latency, encodes the reply,
+  // and posts it to the owning loop for the actual write + trace finish.
+  void Complete(Pending* p, wire::Status status);
 
   const PathIndex& index_;
   const uint8_t technique_id_;
@@ -191,14 +216,20 @@ class QueryServer {
   std::vector<IerKnnIndex::Context> ier_ctxs_;
   std::vector<std::vector<KnnResult>> knn_scratch_;
 
-  ScopedFd listen_fd_;
   uint16_t port_ = 0;
-  std::thread accept_thread_;
+  std::unique_ptr<EventLoopPool> pool_;
+  // Tracer shard of each event loop (the loop thread is its shard's only
+  // producer); acquired in Start, released in Shutdown.
+  std::vector<int> loop_shards_;
   std::thread dispatch_thread_;
   bool started_ = false;
 
-  std::mutex conns_mu_;
-  std::list<Connection> conns_;
+  // Admitted requests not yet replied (Pending objects alive past
+  // OnFrame). Shutdown waits for this to hit zero before stopping the
+  // loops so every admitted request is answered.
+  std::atomic<uint64_t> in_flight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
 
   // Lifecycle. draining_ gates admission (connections and requests);
   // shutdown_cv_ wakes WaitForShutdownRequest().
@@ -208,7 +239,7 @@ class QueryServer {
   bool shutdown_requested_ = false;
   bool shutdown_done_ = false;
 
-  // Serving counters (atomics: bumped from handler threads) and
+  // Serving counters (atomics: bumped from loop threads) and
   // per-endpoint latency histograms (dispatcher-written, mutex-guarded
   // for STATS snapshots).
   std::atomic<uint64_t> served_{0};
@@ -216,10 +247,7 @@ class QueryServer {
   std::atomic<uint64_t> shed_deadline_{0};
   std::atomic<uint64_t> shed_draining_{0};
   std::atomic<uint64_t> bad_requests_{0};
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_rejected_{0};
-  // Live gauges for STATS v2 (instantaneous, not lifetime).
-  std::atomic<uint64_t> open_connections_{0};
+  // Live gauge for STATS v2 (instantaneous, not lifetime).
   std::atomic<uint64_t> in_flight_batches_{0};
   mutable std::mutex stats_mu_;
   Histogram distance_latency_;

@@ -137,6 +137,74 @@ std::optional<QueryResponse> DecodeQueryResponse(const std::string& body) {
   return resp;
 }
 
+std::string EncodeQueryRequestV2(const QueryRequest& req) {
+  std::string body;
+  body.reserve(1 + 8 + 1 + 1 + 4 + 4 + 8);
+  Append<uint8_t>(&body, kQueryV2);
+  Append<uint64_t>(&body, req.request_id);
+  Append<uint8_t>(&body, req.technique);
+  Append<uint8_t>(&body, static_cast<uint8_t>(req.kind));
+  Append<uint32_t>(&body, req.source);
+  Append<uint32_t>(&body, req.target);
+  Append<uint64_t>(&body, req.deadline_micros);
+  return body;
+}
+
+std::optional<QueryRequest> DecodeQueryRequestV2(const std::string& body) {
+  Reader r{body};
+  uint8_t type = 0, kind = 0;
+  QueryRequest req;
+  r.Take(&type);
+  r.Take(&req.request_id);
+  r.Take(&req.technique);
+  r.Take(&kind);
+  r.Take(&req.source);
+  r.Take(&req.target);
+  r.Take(&req.deadline_micros);
+  if (!r.Done() || type != kQueryV2 || kind > 1) return std::nullopt;
+  req.kind = static_cast<QueryKind>(kind);
+  return req;
+}
+
+std::string EncodeQueryResponseV2(const QueryResponse& resp) {
+  std::string body;
+  body.reserve(1 + 8 + 1 + 8 + 8 + 4 + resp.path.size() * sizeof(VertexId));
+  Append<uint8_t>(&body, kQueryReplyV2);
+  Append<uint64_t>(&body, resp.request_id);
+  Append<uint8_t>(&body, static_cast<uint8_t>(resp.status));
+  Append<uint64_t>(&body, resp.distance);
+  Append<uint64_t>(&body, resp.server_latency_ns);
+  Append<uint32_t>(&body, static_cast<uint32_t>(resp.path.size()));
+  for (VertexId v : resp.path) Append<uint32_t>(&body, v);
+  return body;
+}
+
+std::optional<QueryResponse> DecodeQueryResponseV2(const std::string& body) {
+  Reader r{body};
+  uint8_t type = 0, status = 0;
+  QueryResponse resp;
+  uint32_t path_len = 0;
+  r.Take(&type);
+  r.Take(&resp.request_id);
+  r.Take(&status);
+  r.Take(&resp.distance);
+  r.Take(&resp.server_latency_ns);
+  r.Take(&path_len);
+  if (!r.ok || type != kQueryReplyV2 ||
+      status > static_cast<uint8_t>(Status::kShuttingDown)) {
+    return std::nullopt;
+  }
+  // The remaining bytes must be exactly the declared path.
+  if (body.size() - r.pos != size_t{path_len} * sizeof(uint32_t)) {
+    return std::nullopt;
+  }
+  resp.status = static_cast<Status>(status);
+  resp.path.resize(path_len);
+  for (uint32_t i = 0; i < path_len; ++i) r.Take(&resp.path[i]);
+  if (!r.Done()) return std::nullopt;
+  return resp;
+}
+
 std::string EncodeStatsRequest() { return std::string(1, char(kStats)); }
 
 std::string EncodeStatsResponse(const StatsResponse& stats) {
@@ -163,6 +231,10 @@ std::string EncodeStatsResponse(const StatsResponse& stats) {
   Append<uint64_t>(&body, stats.traces_captured);
   Append<uint64_t>(&body, stats.traces_dropped);
   Append<uint64_t>(&body, stats.traces_slow);
+  Append<uint64_t>(&body, stats.write_queue_bytes);
+  Append<uint64_t>(&body, stats.idle_reaped);
+  Append<uint8_t>(&body, static_cast<uint8_t>(stats.loop_connections.size()));
+  for (uint64_t c : stats.loop_connections) Append<uint64_t>(&body, c);
   Append<uint8_t>(&body, static_cast<uint8_t>(stats.stages.size()));
   for (const StageStatWire& s : stats.stages) {
     Append<uint8_t>(&body, s.stage);
@@ -202,6 +274,15 @@ std::optional<StatsResponse> DecodeStatsResponse(const std::string& body) {
   r.Take(&s.traces_captured);
   r.Take(&s.traces_dropped);
   r.Take(&s.traces_slow);
+  r.Take(&s.write_queue_bytes);
+  r.Take(&s.idle_reaped);
+  uint8_t loop_count = 0;
+  r.Take(&loop_count);
+  for (uint8_t i = 0; i < loop_count && r.ok; ++i) {
+    uint64_t c = 0;
+    r.Take(&c);
+    s.loop_connections.push_back(c);
+  }
   uint8_t stage_count = 0;
   r.Take(&stage_count);
   for (uint8_t i = 0; i < stage_count && r.ok; ++i) {
@@ -377,7 +458,7 @@ std::optional<KnnResponse> DecodeKnnResponse(MessageType reply_type,
 std::optional<MessageType> PeekType(const std::string& body) {
   if (body.empty()) return std::nullopt;
   const uint8_t t = static_cast<uint8_t>(body[0]);
-  if (t < kQuery || t > kOneToManyReply) return std::nullopt;
+  if (t < kQuery || t > kQueryReplyV2) return std::nullopt;
   return static_cast<MessageType>(t);
 }
 

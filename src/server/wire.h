@@ -40,6 +40,11 @@ namespace wire {
 //                  (distance, vertex); count < k is an OK short answer
 //   ONE_TO_MANY_QUERY  u32 category, u32 source, u64 deadline_micros
 //   ONE_TO_MANY_REPLY  same layout as KNN_REPLY; every reachable POI
+//   QUERY2         u64 request_id, then the QUERY layout. The pipelined
+//                  frame version: a client may have many QUERY2 frames
+//                  outstanding on one connection; replies can complete
+//                  out of order and are matched by request_id.
+//   QUERY_REPLY2   u64 request_id (echoed), then the QUERY_REPLY layout
 //
 // Frame bodies are capped (kMaxFrameBytes) so a corrupt or hostile
 // length prefix cannot trigger an unbounded allocation.
@@ -57,6 +62,8 @@ enum MessageType : uint8_t {
   kKnnReply = 10,
   kOneToManyQuery = 11,
   kOneToManyReply = 12,
+  kQueryV2 = 13,
+  kQueryReplyV2 = 14,
 };
 
 enum class QueryKind : uint8_t {
@@ -94,6 +101,9 @@ struct QueryRequest {
   VertexId source = 0;
   VertexId target = 0;
   uint64_t deadline_micros = 0;
+  // Client-chosen correlation id; carried only by QUERY2 frames and
+  // echoed verbatim in the matching QUERY_REPLY2.
+  uint64_t request_id = 0;
 };
 
 struct QueryResponse {
@@ -102,6 +112,8 @@ struct QueryResponse {
   // Receipt-to-completion time on the server (includes queueing).
   uint64_t server_latency_ns = 0;
   std::vector<VertexId> path;  // filled for kPath queries that succeed
+  // Echo of QueryRequest::request_id; meaningful only in QUERY_REPLY2.
+  uint64_t request_id = 0;
 };
 
 // kNN technique ids carried in KNN_QUERY frames. Unlike point-to-point
@@ -141,10 +153,12 @@ struct KnnResponse {
 };
 
 // STATS_REPLY version byte. v2 added the live gauges, trace counters,
-// and the per-stage histogram table; v1 replies (no version byte) are
-// rejected by DecodeStatsResponse so a stale client fails loudly rather
-// than misreading shifted fields.
-inline constexpr uint8_t kStatsVersion = 2;
+// and the per-stage histogram table; v3 added the event-loop core's
+// gauges (per-loop connection counts, total write-queue bytes, idle
+// connections reaped). Other versions are rejected by
+// DecodeStatsResponse so a stale client fails loudly rather than
+// misreading shifted fields.
+inline constexpr uint8_t kStatsVersion = 3;
 
 // One row of the per-stage latency table in a STATS v2 reply: the
 // lifecycle stage id (obs/trace.h TraceStage) and its merged histogram
@@ -183,6 +197,12 @@ struct StatsResponse {
   uint64_t traces_captured = 0;
   uint64_t traces_dropped = 0;   // lost to a full trace ring
   uint64_t traces_slow = 0;      // exceeded the slow threshold
+  // --- v3 event-loop core ---
+  uint64_t write_queue_bytes = 0;  // gauge: queued reply bytes, all conns
+  uint64_t idle_reaped = 0;        // lifetime: idle connections closed
+  // Gauge: open connections owned by each event loop (sums to
+  // open_connections).
+  std::vector<uint64_t> loop_connections;
   // Per-stage latency table; empty until tracing has seen a request.
   std::vector<StageStatWire> stages;
 };
@@ -208,6 +228,9 @@ inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
 std::string EncodeQueryRequest(const QueryRequest& req);
 std::string EncodeQueryResponse(const QueryResponse& resp);
+// Pipelined frame version: same payloads prefixed with request_id.
+std::string EncodeQueryRequestV2(const QueryRequest& req);
+std::string EncodeQueryResponseV2(const QueryResponse& resp);
 std::string EncodeStatsRequest();
 std::string EncodeStatsResponse(const StatsResponse& stats);
 std::string EncodeShutdownRequest();
@@ -227,6 +250,8 @@ std::optional<MessageType> PeekType(const std::string& body);
 
 std::optional<QueryRequest> DecodeQueryRequest(const std::string& body);
 std::optional<QueryResponse> DecodeQueryResponse(const std::string& body);
+std::optional<QueryRequest> DecodeQueryRequestV2(const std::string& body);
+std::optional<QueryResponse> DecodeQueryResponseV2(const std::string& body);
 std::optional<StatsResponse> DecodeStatsResponse(const std::string& body);
 std::optional<TraceConfigRequest> DecodeTraceConfigRequest(
     const std::string& body);

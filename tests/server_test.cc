@@ -1,7 +1,13 @@
 #include "server/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -118,6 +124,75 @@ TEST(Wire, StatsResponseV2RoundTripsGaugesAndStages) {
         << "cut " << cut;
   }
   EXPECT_FALSE(wire::DecodeStatsResponse(body + "x").has_value());
+}
+
+TEST(Wire, QueryV2FramesRoundTripWithRequestId) {
+  wire::QueryRequest req;
+  req.request_id = 0xdeadbeefcafef00dull;
+  req.technique = wire::TechniqueId("ch");
+  req.kind = wire::QueryKind::kPath;
+  req.source = 111;
+  req.target = 222;
+  req.deadline_micros = 333;
+  const std::string body = wire::EncodeQueryRequestV2(req);
+  EXPECT_EQ(wire::PeekType(body), wire::kQueryV2);
+  const auto decoded = wire::DecodeQueryRequestV2(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->request_id, req.request_id);
+  EXPECT_EQ(decoded->technique, req.technique);
+  EXPECT_EQ(decoded->kind, req.kind);
+  EXPECT_EQ(decoded->source, req.source);
+  EXPECT_EQ(decoded->target, req.target);
+  EXPECT_EQ(decoded->deadline_micros, req.deadline_micros);
+  // The codecs are version-strict: a v1 frame is not a v2 frame and
+  // vice versa, even though both would have plausible lengths.
+  EXPECT_FALSE(wire::DecodeQueryRequestV2(
+                   wire::EncodeQueryRequest(req)).has_value());
+  EXPECT_FALSE(wire::DecodeQueryRequest(body).has_value());
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(wire::DecodeQueryRequestV2(body.substr(0, cut)).has_value())
+        << "cut " << cut;
+  }
+  EXPECT_FALSE(wire::DecodeQueryRequestV2(body + "x").has_value());
+
+  wire::QueryResponse resp;
+  resp.request_id = 42;
+  resp.status = wire::Status::kOk;
+  resp.distance = 777;
+  resp.server_latency_ns = 888;
+  resp.path = {1, 2, 3};
+  const std::string rbody = wire::EncodeQueryResponseV2(resp);
+  EXPECT_EQ(wire::PeekType(rbody), wire::kQueryReplyV2);
+  const auto rdec = wire::DecodeQueryResponseV2(rbody);
+  ASSERT_TRUE(rdec.has_value());
+  EXPECT_EQ(rdec->request_id, 42u);
+  EXPECT_EQ(rdec->distance, 777u);
+  EXPECT_EQ(rdec->path, resp.path);
+  EXPECT_FALSE(wire::DecodeQueryResponseV2(
+                   wire::EncodeQueryResponse(resp)).has_value());
+  EXPECT_FALSE(
+      wire::DecodeQueryResponseV2(rbody.substr(0, rbody.size() - 4))
+          .has_value());
+  EXPECT_FALSE(wire::DecodeQueryResponseV2(rbody + "zzzz").has_value());
+}
+
+TEST(Wire, StatsResponseV3GaugesRoundTrip) {
+  wire::StatsResponse stats;
+  stats.served = 7;
+  stats.write_queue_bytes = 123456;
+  stats.idle_reaped = 9;
+  stats.loop_connections = {3, 0, 5};
+  stats.open_connections = 8;
+  const std::string body = wire::EncodeStatsResponse(stats);
+  const auto decoded = wire::DecodeStatsResponse(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->write_queue_bytes, 123456u);
+  EXPECT_EQ(decoded->idle_reaped, 9u);
+  EXPECT_EQ(decoded->loop_connections, (std::vector<uint64_t>{3, 0, 5}));
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(wire::DecodeStatsResponse(body.substr(0, cut)).has_value())
+        << "cut " << cut;
+  }
 }
 
 TEST(Wire, TraceConfigRoundTripsPartialKnobs) {
@@ -859,6 +934,233 @@ TEST(QueryServer, KnnDisabledServerRejectsKnnFrames) {
   wire::QueryResponse qresp;
   ASSERT_TRUE(client->Query(q, &qresp, &error)) << error;
   EXPECT_NE(qresp.status, wire::Status::kBadRequest);
+  server.Shutdown();
+}
+
+// Connects with a pinned-small SO_RCVBUF (set before the handshake so
+// the advertised window stays small): keeps the kernel from absorbing
+// unread replies, which would hide the server's write queue.
+ScopedFd RawConnectSmallBuffers(uint16_t port, int rcvbuf) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return ScopedFd(fd);
+}
+
+TEST(QueryServer, PipelinedRequestsCompleteOutOfOrderAndMatchById) {
+  const Graph g = TestNetwork(300, 41);
+  // Every query sleeps 100ms: while request 0 occupies the engine, the
+  // rest of the burst lands in the queue and is popped as one batch.
+  SlowIndex slow(g, std::chrono::milliseconds(100));
+  ServerOptions options;
+  options.engine_threads = 1;
+  QueryServer server(slow, wire::kAnyTechnique, g.NumVertices(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  std::string perr;
+  auto pipe = PipelinedClient::Connect("127.0.0.1", server.Port(), &perr);
+  ASSERT_NE(pipe, nullptr) << perr;
+
+  // Send order: 0=path, then alternating path/distance. Requests 1..4
+  // share a dispatch batch, whose distance sub-batch runs before its
+  // path sub-batch — so replies 2 and 4 overtake 1 and 3.
+  const auto pairs = RandomPairs(g, 5, 43);
+  Dijkstra oracle(g);
+  std::vector<uint64_t> send_order;
+  for (uint64_t i = 0; i < pairs.size(); ++i) {
+    wire::QueryRequest req;
+    req.request_id = 1000 + i;
+    req.kind = i % 2 == 0 ? wire::QueryKind::kPath
+                          : wire::QueryKind::kDistance;
+    req.source = pairs[i].first;
+    req.target = pairs[i].second;
+    ASSERT_TRUE(pipe->Send(req, &perr)) << perr;
+    send_order.push_back(req.request_id);
+  }
+
+  // While the pipelined burst is in flight, an old-protocol client on a
+  // second connection is still served: the frame versions coexist.
+  {
+    auto v1 = MustConnect(server.Port());
+    ASSERT_NE(v1, nullptr);
+    wire::QueryRequest req;
+    req.source = pairs[0].first;
+    req.target = pairs[0].second;
+    wire::QueryResponse resp;
+    ASSERT_TRUE(v1->Query(req, &resp, &error)) << error;
+    EXPECT_NE(resp.status, wire::Status::kBadRequest);
+  }
+
+  std::vector<uint64_t> arrival_order;
+  std::map<uint64_t, wire::QueryResponse> by_id;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    wire::QueryResponse resp;
+    ASSERT_TRUE(pipe->Recv(&resp, &perr)) << perr;
+    arrival_order.push_back(resp.request_id);
+    by_id[resp.request_id] = std::move(resp);
+  }
+
+  // Every request answered exactly once, matched by id, correct result.
+  ASSERT_EQ(by_id.size(), pairs.size());
+  for (uint64_t i = 0; i < pairs.size(); ++i) {
+    const auto it = by_id.find(1000 + i);
+    ASSERT_NE(it, by_id.end()) << "request " << i << " unanswered";
+    const wire::QueryResponse& resp = it->second;
+    const Distance truth = oracle.Run(pairs[i].first, pairs[i].second);
+    if (truth == kInfDistance) {
+      EXPECT_EQ(resp.status, wire::Status::kUnreachable);
+    } else {
+      EXPECT_EQ(resp.status, wire::Status::kOk);
+      EXPECT_EQ(resp.distance, truth);
+      if (i % 2 == 0) {
+        ASSERT_FALSE(resp.path.empty());
+        EXPECT_EQ(PathWeight(g, resp.path), truth);
+      }
+    }
+  }
+  // The whole point of pipelining: completion order is not send order.
+  EXPECT_NE(arrival_order, send_order);
+
+  server.Shutdown();
+}
+
+TEST(QueryServer, WriteQueueHardCapShedsOverloaded) {
+  const Graph g = TestNetwork(400, 47);
+  ChIndex ch(g);
+  ServerOptions options;
+  options.queue_capacity = 4096;       // admission never the bottleneck
+  options.write_queue_soft_cap = 0;    // no read pause: force the hard cap
+  options.write_queue_hard_cap = 8192;
+  options.sndbuf_bytes = 4096;         // kernel can't hide the queue
+  QueryServer server(ch, wire::TechniqueId("ch"), g.NumVertices(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  ScopedFd conn = RawConnectSmallBuffers(server.Port(), 4096);
+  const auto pairs = RandomPairs(g, 64, 51);
+
+  // Waves of unread path queries: replies pile onto the connection's
+  // write queue (the client is not reading), and once it passes the
+  // hard cap the server starts shedding inline with OVERLOADED.
+  constexpr int kWaves = 60, kPerWave = 10;
+  for (int w = 0; w < kWaves; ++w) {
+    for (int i = 0; i < kPerWave; ++i) {
+      const auto& [s, t] = pairs[(w * kPerWave + i) % pairs.size()];
+      wire::QueryRequest req;
+      req.request_id = static_cast<uint64_t>(w * kPerWave + i);
+      req.kind = wire::QueryKind::kPath;
+      req.source = s;
+      req.target = t;
+      ASSERT_TRUE(WriteFrame(conn.get(), wire::EncodeQueryRequestV2(req)));
+    }
+    // Let the dispatcher catch up so replies actually accumulate
+    // between waves instead of all frames decoding in one burst.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  uint64_t ok = 0, overloaded = 0;
+  std::vector<bool> seen(kWaves * kPerWave, false);
+  for (int i = 0; i < kWaves * kPerWave; ++i) {
+    std::string body;
+    bool clean_eof = false;
+    ASSERT_TRUE(
+        ReadFrame(conn.get(), &body, wire::kMaxFrameBytes, &clean_eof))
+        << "reply " << i;
+    const auto resp = wire::DecodeQueryResponseV2(body);
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_LT(resp->request_id, seen.size());
+    EXPECT_FALSE(seen[resp->request_id]) << "duplicate reply";
+    seen[resp->request_id] = true;
+    if (resp->status == wire::Status::kOk) ok++;
+    if (resp->status == wire::Status::kOverloaded) overloaded++;
+  }
+  // Every request was answered — shed ones explicitly — and both
+  // outcomes actually occurred.
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(overloaded, 1u);
+  EXPECT_GE(server.Stats().shed_overloaded, overloaded);
+
+  server.Shutdown();
+}
+
+TEST(QueryServer, IdleConnectionsAreReapedAndCounted) {
+  const Graph g = TestNetwork(100, 53);
+  BidirectionalDijkstra index(g);
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  QueryServer server(index, wire::kAnyTechnique, g.NumVertices(), options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  auto idle = MustConnect(server.Port());
+  ASSERT_NE(idle, nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  // The reaped connection is dead: its next round trip fails.
+  wire::QueryRequest req;
+  wire::QueryResponse resp;
+  EXPECT_FALSE(idle->Query(req, &resp, &error));
+
+  // A fresh connection reads the v3 gauges over the wire.
+  auto fresh = MustConnect(server.Port());
+  ASSERT_NE(fresh, nullptr);
+  wire::StatsResponse stats;
+  ASSERT_TRUE(fresh->GetStats(&stats, &error)) << error;
+  EXPECT_GE(stats.idle_reaped, 1u);
+  ASSERT_FALSE(stats.loop_connections.empty());
+  uint64_t per_loop_sum = 0;
+  for (const uint64_t n : stats.loop_connections) per_loop_sum += n;
+  EXPECT_EQ(per_loop_sum, stats.open_connections);
+
+  server.Shutdown();
+}
+
+TEST(QueryServer, SurvivesPeerClosingMidReply) {
+  const Graph g = TestNetwork(300, 59);
+  ChIndex ch(g);
+  QueryServer server(ch, wire::TechniqueId("ch"), g.NumVertices(), {});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const auto pairs = RandomPairs(g, 20, 61);
+
+  // Abusive clients: send a path query and slam the connection shut
+  // (SO_LINGER 0 => RST) before reading the reply. The server's write
+  // lands on a dead socket; without MSG_NOSIGNAL that's a SIGPIPE and
+  // the whole process dies.
+  for (int i = 0; i < 20; ++i) {
+    ScopedFd conn = RawConnectSmallBuffers(server.Port(), 0);
+    wire::QueryRequest req;
+    req.request_id = static_cast<uint64_t>(i);
+    req.kind = wire::QueryKind::kPath;
+    req.source = pairs[i].first;
+    req.target = pairs[i].second;
+    ASSERT_TRUE(WriteFrame(conn.get(), wire::EncodeQueryRequestV2(req)));
+    const linger hard{1, 0};
+    ::setsockopt(conn.get(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    conn.Close();
+  }
+
+  // The server is still alive and still serves.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto client = MustConnect(server.Port());
+  ASSERT_NE(client, nullptr);
+  wire::QueryRequest req;
+  req.source = pairs[0].first;
+  req.target = pairs[0].second;
+  wire::QueryResponse resp;
+  ASSERT_TRUE(client->Query(req, &resp, &error)) << error;
+  EXPECT_NE(resp.status, wire::Status::kBadRequest);
+
   server.Shutdown();
 }
 

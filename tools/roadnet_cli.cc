@@ -87,7 +87,9 @@ int Usage() {
       "    --poi enables the kNN / one-to-many endpoints (bucket-CH and\n"
       "    IER backends built at startup from the POI container).\n"
       "             [--port P] [--port-file FILE] [--threads T]\n"
-      "             [--queue-cap N] [--max-conns N] [--metrics-out FILE]\n"
+      "             [--queue-cap N] [--max-conns N] [--loops L]\n"
+      "             [--idle-timeout-ms T] [--write-soft-cap B]\n"
+      "             [--write-hard-cap B] [--metrics-out FILE]\n"
       "             [--trace-out FILE] [--trace-sample N] [--slow-us T]\n"
       "             [--trace-seed S]\n"
       "    Runs the TCP query service until SIGINT or a SHUTDOWN frame,\n"
@@ -494,6 +496,19 @@ int Serve(const FlagMap& flags) {
   options.engine_threads = FlagOr(flags, "threads", 4);
   options.queue_capacity = FlagOr(flags, "queue-cap", 256);
   options.max_connections = FlagOr(flags, "max-conns", 64);
+  // Event-loop front end: --loops shards connections across that many
+  // epoll threads; --idle-timeout-ms reaps silent connections; the write
+  // caps bound per-connection reply queues (soft = pause reads, hard =
+  // shed with OVERLOADED).
+  options.num_loops = FlagOr(flags, "loops", options.num_loops);
+  options.max_dispatch_batch =
+      FlagOr(flags, "batch-cap", options.max_dispatch_batch);
+  options.idle_timeout_ms =
+      FlagOr(flags, "idle-timeout-ms", options.idle_timeout_ms);
+  options.write_queue_soft_cap =
+      FlagOr(flags, "write-soft-cap", options.write_queue_soft_cap);
+  options.write_queue_hard_cap =
+      FlagOr(flags, "write-hard-cap", options.write_queue_hard_cap);
   // Tracing: --trace-sample N captures every Nth request, --slow-us T
   // additionally captures anything slower than T microseconds (0 =
   // everything), --trace-out appends captured traces as JSONL.
@@ -509,9 +524,10 @@ int Serve(const FlagMap& flags) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  std::printf("serving:   port %u, %zu workers, queue %zu, max %zu conns\n",
-              server.Port(), options.engine_threads, options.queue_capacity,
-              options.max_connections);
+  std::printf("serving:   port %u, %zu loops, %zu workers, queue %zu,"
+              " max %zu conns\n",
+              server.Port(), options.num_loops, options.engine_threads,
+              options.queue_capacity, options.max_connections);
   std::fflush(stdout);
   if (auto it = flags.find("port-file"); it != flags.end()) {
     // Written after the bind succeeds: scripts poll this file to learn
@@ -548,6 +564,10 @@ int Serve(const FlagMap& flags) {
               stats.distance_p50_ns * 1e-3, stats.distance_p99_ns * 1e-3,
               stats.path_p50_ns * 1e-3, stats.path_p99_ns * 1e-3);
   const wire::StatsResponse v2 = server.StatsV2();
+  if (v2.idle_reaped > 0) {
+    std::printf("reaped:    %llu idle connections\n",
+                static_cast<unsigned long long>(v2.idle_reaped));
+  }
   if (v2.traces_finished > 0) {
     std::printf("traces:    %llu finished, %llu captured, %llu slow,"
                 " %llu dropped\n",
@@ -592,8 +612,9 @@ const std::map<std::string, FlagSpec>& CommandSpecs() {
         {"paths"}}},
       {"serve",
        {{"graph", "index", "poi", "technique", "port", "port-file", "threads",
-         "queue-cap", "max-conns", "metrics-out", "trace-out", "trace-sample",
-         "slow-us", "trace-seed"},
+         "queue-cap", "max-conns", "batch-cap", "loops", "idle-timeout-ms",
+         "write-soft-cap", "write-hard-cap", "metrics-out", "trace-out",
+         "trace-sample", "slow-us", "trace-seed"},
         {}}},
   };
   return specs;

@@ -7,6 +7,7 @@
 //                   [--deadline-us D] [--verify-every K]
 //                   [--technique any|bidi|ch|alt|hl] [--stats] [--shutdown]
 //                   [--trace-sample N] [--slow-us T]
+//                   [--rate R] [--arrival poisson|uniform] [--pipeline N]
 //
 // Opens N concurrent connections and drives them closed-loop (each
 // connection keeps exactly one request in flight), replaying either
@@ -16,6 +17,14 @@
 // must be real paths of the right weight. Reports achieved qps and
 // client-observed p50/p99, which include the server's queueing — the
 // end-to-end numbers a capacity plan is written against.
+//
+// --rate switches to OPEN-LOOP mode: requests are emitted on a fixed
+// arrival schedule (R requests/second total, Poisson or uniform gaps)
+// over pipelined QUERY2 connections, at most --pipeline outstanding per
+// connection, and latency is measured from the scheduled arrival — so
+// queueing delay under overload shows up instead of being coordinated
+// away by waiting clients. Open loop drives point queries on the random
+// workload only.
 //
 // --workload knn drives the kNN / one-to-many endpoints instead: it
 // cycles R-set-style buckets — every POI category (the density sweep)
@@ -47,6 +56,7 @@
 #include "routing/knn.h"
 #include "routing/path.h"
 #include "server/client.h"
+#include "server/openloop.h"
 #include "server/wire.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -66,7 +76,9 @@ int Usage() {
       "  [--poi pois.bin (required for --workload knn)]\n"
       "  [--deadline-us D] [--verify-every K (0=off)]\n"
       "  [--technique any|bidi|ch|alt|hl] [--stats] [--shutdown]\n"
-      "  [--trace-sample N (head-sample 1-in-N)] [--slow-us T (0=all)]\n");
+      "  [--trace-sample N (head-sample 1-in-N)] [--slow-us T (0=all)]\n"
+      "  [--rate R (req/s => open loop)] [--arrival poisson|uniform]\n"
+      "  [--pipeline N (max outstanding per connection, default 16)]\n");
   return 2;
 }
 
@@ -124,7 +136,7 @@ int main(int argc, char** argv) {
   const FlagSpec spec{{"host", "port", "graph", "connections", "queries",
                        "workload", "seed", "poi", "deadline-us",
                        "verify-every", "technique", "trace-sample",
-                       "slow-us"},
+                       "slow-us", "rate", "arrival", "pipeline"},
                       {"paths", "stats", "shutdown"}};
   std::string parse_error;
   const auto flags = ParseFlags(argc, argv, 1, spec, &parse_error);
@@ -150,6 +162,22 @@ int main(int argc, char** argv) {
   if (technique != "any" && wire::TechniqueId(technique) == 0) {
     std::fprintf(stderr, "unknown --technique %s\n", technique.c_str());
     return Usage();
+  }
+  const bool open_loop = flags->count("rate") > 0;
+  const std::string arrival = FlagOr(*flags, "arrival", "poisson");
+  const size_t pipeline = FlagOr(*flags, "pipeline", 16);
+  if (open_loop) {
+    if (workload != "random") {
+      std::fprintf(stderr,
+                   "--rate (open loop) drives point queries on the random"
+                   " workload only\n");
+      return Usage();
+    }
+    if (arrival != "poisson" && arrival != "uniform") {
+      std::fprintf(stderr, "unknown --arrival %s\n", arrival.c_str());
+      return Usage();
+    }
+    if (pipeline == 0 || std::stod(flags->at("rate")) <= 0) return Usage();
   }
 
   std::string error;
@@ -208,12 +236,15 @@ int main(int argc, char** argv) {
       knn_work.push_back(w);
     }
   } else if (workload == "random") {
-    Rng rng(seed);
-    queries.reserve(total_queries);
-    for (size_t i = 0; i < total_queries; ++i) {
-      queries.emplace_back(
-          static_cast<VertexId>(rng.NextBelow(g->NumVertices())),
-          static_cast<VertexId>(rng.NextBelow(g->NumVertices())));
+    // Open loop generates its own (seeded) stream inside RunOpenLoop.
+    if (!open_loop) {
+      Rng rng(seed);
+      queries.reserve(total_queries);
+      for (size_t i = 0; i < total_queries; ++i) {
+        queries.emplace_back(
+            static_cast<VertexId>(rng.NextBelow(g->NumVertices())),
+            static_cast<VertexId>(rng.NextBelow(g->NumVertices())));
+      }
     }
   } else {
     const auto sets = GenerateLInfQuerySets(*g, total_queries, seed);
@@ -264,6 +295,123 @@ int main(int argc, char** argv) {
             : "slow threshold " + std::to_string(effective.slow_micros) +
                   " us";
     std::printf("tracing:     %s, %s\n", sampling.c_str(), slow.c_str());
+  }
+
+  if (open_loop) {
+    OpenLoopOptions olo;
+    olo.host = host;
+    olo.port = port;
+    olo.connections = connections;
+    olo.pipeline = pipeline;
+    olo.rate = std::stod(flags->at("rate"));
+    olo.poisson = arrival == "poisson";
+    olo.total_requests = total_queries;
+    olo.seed = seed;
+    olo.num_vertices = g->NumVertices();
+    olo.technique = wire::TechniqueId(technique);
+    olo.kind = use_paths ? wire::QueryKind::kPath
+                         : wire::QueryKind::kDistance;
+    olo.deadline_micros = deadline_us;
+    olo.verify_every = verify_every;
+    const OpenLoopResult res = RunOpenLoop(olo);
+
+    // Oracle-check the recorded samples after the run: verification off
+    // the driver thread keeps the arrival schedule honest.
+    uint64_t verified = 0, mismatches = 0;
+    std::string first_problem = res.error;
+    if (verify_every > 0) {
+      Dijkstra oracle(*g);
+      for (const OpenLoopResult::VerifySample& sample : res.samples) {
+        const auto status = static_cast<wire::Status>(sample.status);
+        if (status != wire::Status::kOk &&
+            status != wire::Status::kUnreachable) {
+          continue;  // shed before execution: nothing to check
+        }
+        ++verified;
+        const Distance truth = oracle.Run(sample.source, sample.target);
+        const Distance got = status == wire::Status::kOk ? sample.distance
+                                                         : kInfDistance;
+        if (got != truth) {
+          ++mismatches;
+          if (first_problem.empty()) {
+            first_problem =
+                "oracle mismatch for " + std::to_string(sample.source) +
+                " -> " + std::to_string(sample.target) + ": server " +
+                std::to_string(got) + ", oracle " + std::to_string(truth);
+          }
+        }
+      }
+    }
+
+    auto count = [&res](wire::Status s) {
+      return res.status_counts[static_cast<uint8_t>(s)];
+    };
+    std::printf("open loop:   %.0f req/s offered (%s), %llu requests over"
+                " %zu connections, pipeline %zu, kind %s\n",
+                res.offered_qps, arrival.c_str(),
+                static_cast<unsigned long long>(res.sent), connections,
+                pipeline, use_paths ? "path" : "distance");
+    std::printf("completed:   %llu (%llu ok, %llu unreachable)\n",
+                static_cast<unsigned long long>(res.received),
+                static_cast<unsigned long long>(count(wire::Status::kOk)),
+                static_cast<unsigned long long>(
+                    count(wire::Status::kUnreachable)));
+    std::printf("shed:        %llu overloaded, %llu deadline, %llu draining,"
+                " %llu bad, %llu connection errors\n",
+                static_cast<unsigned long long>(
+                    count(wire::Status::kOverloaded)),
+                static_cast<unsigned long long>(
+                    count(wire::Status::kDeadlineExceeded)),
+                static_cast<unsigned long long>(
+                    count(wire::Status::kShuttingDown)),
+                static_cast<unsigned long long>(
+                    count(wire::Status::kBadRequest)),
+                static_cast<unsigned long long>(res.connection_errors));
+    std::printf("verified:    %llu against the Dijkstra oracle,"
+                " %llu mismatches\n",
+                static_cast<unsigned long long>(verified),
+                static_cast<unsigned long long>(mismatches));
+    std::printf("throughput:  %.0f achieved req/s (wall %.3f s)\n",
+                res.achieved_qps, res.elapsed_ns * 1e-9);
+    std::printf("latency:     from scheduled arrival p50 %.1f us,"
+                " p99 %.1f us, max %.1f us\n",
+                res.latency.ValueAtQuantile(0.50) * 1e-3,
+                res.latency.ValueAtQuantile(0.99) * 1e-3,
+                res.latency.Max() * 1e-3);
+    if (!first_problem.empty()) {
+      std::fprintf(stderr, "problem:     %s\n", first_problem.c_str());
+    }
+
+    if (flags->count("stats") > 0 || flags->count("shutdown") > 0) {
+      auto admin = BlockingClient::Connect(host, port, &error);
+      if (admin == nullptr) {
+        std::fprintf(stderr, "admin connect: %s\n", error.c_str());
+        return 1;
+      }
+      if (flags->count("stats") > 0) {
+        wire::StatsResponse s;
+        if (!admin->GetStats(&s, &error)) {
+          std::fprintf(stderr, "stats: %s\n", error.c_str());
+          return 1;
+        }
+        std::printf("server:      served %llu, shed %llu/%llu/%llu,"
+                    " reaped %llu idle, write queues %llu bytes\n",
+                    static_cast<unsigned long long>(s.served),
+                    static_cast<unsigned long long>(s.shed_overloaded),
+                    static_cast<unsigned long long>(s.shed_deadline),
+                    static_cast<unsigned long long>(s.shed_draining),
+                    static_cast<unsigned long long>(s.idle_reaped),
+                    static_cast<unsigned long long>(s.write_queue_bytes));
+      }
+      if (flags->count("shutdown") > 0) {
+        if (!admin->SendShutdown(&error)) {
+          std::fprintf(stderr, "shutdown: %s\n", error.c_str());
+          return 1;
+        }
+        std::printf("shutdown:    acknowledged, server draining\n");
+      }
+    }
+    return (!res.ok || mismatches > 0) ? 1 : 0;
   }
 
   std::vector<WorkerResult> results(connections);
