@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Full verification: release build + test suite, metrics/serving smokes,
 # the request-tracing smoke + overhead gate, the roadnet_lint +
-# clang-tidy static-analysis gate, an ASan+UBSan build running the
-# complete suite, and a ThreadSanitizer build exercising the concurrent
-# engine/server tests.
+# clang-tidy static-analysis gate, the Clang Thread Safety Analysis gate
+# (with a scripted delete-one-annotation negative test), the wire/frame
+# fuzz smoke, an ASan+UBSan build running the complete suite, and a
+# ThreadSanitizer build exercising the concurrent engine/server tests.
 #
 #   scripts/check.sh                 # everything
-#   scripts/check.sh <stage>         # one stage: build smoke trace knn async lint asan-ubsan tsan
+#   scripts/check.sh <stage>         # one stage: build smoke trace knn async lint tsa fuzz asan-ubsan tsan
 #   scripts/check.sh <ctest-filter>  # everything, regular ctest narrowed to -R filter
 #
 # Each sanitizer gets its own build directory (build-asan-ubsan/,
@@ -17,12 +18,17 @@ cd "$(dirname "$0")/.."
 
 SERVER_PID=""
 SMOKE=""
+TSA_MUTATED=""
 cleanup() {
   # Kill the smoke server if loadgen died before the SHUTDOWN frame —
   # otherwise `roadnet_cli serve` is orphaned holding the port.
   if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
     kill "$SERVER_PID" 2>/dev/null || true
     wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  # Restore any source the tsa negative test mutated, even on ^C.
+  if [[ -n "$TSA_MUTATED" ]] && [[ -f "$TSA_MUTATED.tsa-orig" ]]; then
+    mv "$TSA_MUTATED.tsa-orig" "$TSA_MUTATED"
   fi
   # No `[[ ]] &&` tail here: a false test as the trap's last command
   # would become the script's exit status and fail passing stages that
@@ -292,6 +298,110 @@ stage_lint() {
   fi
 }
 
+# One tsa build of the library stack under clang with every
+# thread-safety diagnostic promoted to an error.
+tsa_build() {
+  cmake -B build-tsa-clang -S . -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety-analysis -Werror=thread-safety-precise -Werror=thread-safety-reference" \
+    >/dev/null
+  cmake --build build-tsa-clang -j"$(nproc)" --target roadnet
+}
+
+# A deliberate unlocked write to a guarded field must FAIL to compile —
+# proof the flags and the ROADNET_ macros are armed (on a compiler
+# where they expand away, this canary would compile and we must not
+# claim the TSA gate ran).
+tsa_canary() {
+  local dir
+  dir="$(mktemp -d)"
+  cat > "$dir/canary.cc" <<'EOF'
+#include "util/mutex.h"
+struct Canary {
+  roadnet::Mutex mu;
+  int x ROADNET_GUARDED_BY(mu) = 0;
+  void Poke() { x = 1; }  // unlocked write: must be a TSA error
+};
+EOF
+  if clang++ -std=c++20 -Isrc -Wthread-safety \
+      -Werror=thread-safety-analysis -fsyntax-only "$dir/canary.cc" \
+      2>/dev/null; then
+    rm -rf "$dir"
+    echo "FAIL: the TSA canary (unlocked guarded write) compiled clean"
+    exit 1
+  fi
+  rm -rf "$dir"
+  echo "    canary rejected (unlocked guarded write is a build error)"
+}
+
+# Deletes the GUARDED_BY annotations naming one mutex in $1 and asserts
+# the gate now FAILS. TSA alone cannot see a deletion (its checks are
+# opt-in per declaration), so the catch is lint rule R10: the mutex is
+# left guarding no field, which is a finding — on every compiler,
+# clang or not. This is what makes the annotations load-bearing.
+tsa_negative_test() {
+  local victim="$1" mutex="$2"
+  echo "==> TSA negative test: strip GUARDED_BY($mutex) from $victim"
+  TSA_MUTATED="$victim"
+  cp "$victim" "$victim.tsa-orig"
+  sed -i "s/ ROADNET_GUARDED_BY(${mutex})//g" "$victim"
+  if build/tools/roadnet_lint --root . --rules R10 src >/dev/null 2>&1; then
+    echo "FAIL: R10 passed with GUARDED_BY($mutex) deleted from $victim"
+    mv "$victim.tsa-orig" "$victim"
+    TSA_MUTATED=""
+    exit 1
+  fi
+  mv "$victim.tsa-orig" "$victim"
+  TSA_MUTATED=""
+  echo "    gate failed as required"
+}
+
+stage_tsa() {
+  echo "==> Lock-discipline gate: Clang TSA build + R10 negative tests"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j"$(nproc)" --target roadnet_lint
+  if command -v clang++ >/dev/null 2>&1; then
+    tsa_build
+    echo "    clean under -Werror=thread-safety-*"
+    tsa_canary
+  else
+    echo "SKIP: clang++ not installed — the compile half of the TSA gate"
+    echo "      needs Clang (GCC expands the ROADNET_* annotations away)."
+    echo "      The annotation-deletion negative tests below still run."
+  fi
+  # The gate must be falsifiable everywhere: deleting the GUARDED_BY
+  # annotations tied to a QueryServer or EventLoop mutex has to fail
+  # the stage (via R10) even on hosts without clang.
+  tsa_negative_test src/server/server.h shutdown_mu_
+  tsa_negative_test src/server/event_loop.cc post_mu
+}
+
+stage_fuzz() {
+  echo "==> Fuzz harnesses: wire decode + frame assembler (ROADNET_FUZZ=ON)"
+  if command -v clang++ >/dev/null 2>&1; then
+    # Real libFuzzer: 30-second smoke per harness, seeded from the
+    # checked-in corpus, ASan underneath. Any crash/trap fails the stage.
+    cmake -B build-fuzz -S . -DCMAKE_BUILD_TYPE=Release -DROADNET_FUZZ=ON \
+      -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+    cmake --build build-fuzz -j"$(nproc)" --target \
+      fuzz_wire_decode fuzz_frame_assembler
+    build-fuzz/tests/fuzz/fuzz_wire_decode -max_total_time=30 \
+      -print_final_stats=1 tests/fuzz/corpus/wire
+    build-fuzz/tests/fuzz/fuzz_frame_assembler -max_total_time=30 \
+      -print_final_stats=1 tests/fuzz/corpus/frame
+  else
+    echo "SKIP: clang++ not installed — no libFuzzer; falling back to the"
+    echo "      deterministic corpus replay + mutation sweep (the property"
+    echo "      checks still run; coverage-guided exploration does not)."
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DROADNET_FUZZ=ON \
+      >/dev/null
+    cmake --build build -j"$(nproc)" --target \
+      fuzz_wire_decode fuzz_frame_assembler
+    build/tests/fuzz/fuzz_wire_decode --mutate 256 tests/fuzz/corpus/wire
+    build/tests/fuzz/fuzz_frame_assembler --mutate 256 tests/fuzz/corpus/frame
+  fi
+}
+
 stage_asan_ubsan() {
   echo "==> ASan+UBSan build + full test suite (build-asan-ubsan/)"
   # -fno-sanitize-recover: the first UB report aborts the test, so the
@@ -327,6 +437,8 @@ case "$ARG" in
   knn)        stage_knn ;;
   async)      stage_async ;;
   lint)       stage_lint ;;
+  tsa)        stage_tsa ;;
+  fuzz)       stage_fuzz ;;
   asan-ubsan) stage_asan_ubsan ;;
   tsan)       stage_tsan ;;
   ""|all)
@@ -336,6 +448,8 @@ case "$ARG" in
     stage_knn
     stage_async
     stage_lint
+    stage_tsa
+    stage_fuzz
     stage_asan_ubsan
     stage_tsan
     ;;
@@ -347,6 +461,8 @@ case "$ARG" in
     stage_knn
     stage_async
     stage_lint
+    stage_tsa
+    stage_fuzz
     stage_asan_ubsan
     stage_tsan
     ;;

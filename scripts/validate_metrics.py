@@ -14,7 +14,7 @@ with no other keys.
 Lint files (roadnet_lint --json) are detected by the "rule" key on the
 first record. Finding records are
 
-    {"rule": "R1".."R9"|"W1", "name": <str>, "file": <str>,
+    {"rule": "R1".."R12"|"W1", "name": <str>, "file": <str>,
      "line": <positive int>, "message": <non-empty str>,
      "waived": <bool>, "waiver_reason": <str, only when waived>}
 

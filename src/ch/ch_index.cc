@@ -119,7 +119,17 @@ constexpr uint32_t kChVersion = 3;
 ChIndex::ChIndex(const Graph& g, DeserializeTag) : graph_(g) {}
 
 std::unique_ptr<QueryContext> ChIndex::NewContext() const {
-  return std::make_unique<Context>(graph_.NumVertices());
+  auto ctx = std::make_unique<Context>(graph_.NumVertices());
+  // The settle loops append every freshly reached rank to `touched`.
+  // Reserving past any road-network CH search-space size here means a
+  // reused context's queries never grow the vectors mid-search (R11); a
+  // pathological search still grows them, but only once per context.
+  constexpr size_t kTouchedReserve = 4096;
+  ctx->forward.touched.reserve(std::min<size_t>(kTouchedReserve,
+                                                graph_.NumVertices()));
+  ctx->backward.touched.reserve(std::min<size_t>(kTouchedReserve,
+                                                 graph_.NumVertices()));
+  return ctx;
 }
 
 void ChIndex::Serialize(std::ostream& out) const {
@@ -438,6 +448,7 @@ void ChIndex::UpwardSearchSpace(
     const HeapEntry top = side.HeapPopMin();
     const uint32_t u = top.rank;
     const Distance du = top.key;
+    // roadnet-lint: allow(R11 caller-owned output; its final size is the settled count, unknowable before the search — callers reuse the vector across calls so growth amortizes to zero)
     out->emplace_back(order_[u], du);
     for (const HotArc& a : Arcs(u)) {
       const Distance cand = du + a.weight;

@@ -24,10 +24,10 @@ QueryEngine::QueryEngine(const PathIndex& index, size_t num_threads)
 
 QueryEngine::~QueryEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (Worker& w : workers_) w.thread.join();
 }
 
@@ -36,17 +36,16 @@ void QueryEngine::WorkerLoop(size_t worker_id) {
   while (true) {
     Batch* batch = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || epoch_ != seen_epoch; });
+      MutexLock lock(mu_);
+      while (!stop_ && epoch_ == seen_epoch) work_cv_.Wait(lock);
       if (stop_) return;
       seen_epoch = epoch_;
       batch = batch_;
     }
     DrainBatch(worker_id, batch);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_workers_ == 0) done_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--active_workers_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -188,15 +187,15 @@ BatchResult QueryEngine::RunInternal(
 
   Timer wall;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batch_ = &batch;
     active_workers_ = num_workers;
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    MutexLock lock(mu_);
+    while (active_workers_ != 0) done_cv_.Wait(lock);
     batch_ = nullptr;
   }
 

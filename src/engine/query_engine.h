@@ -3,12 +3,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
@@ -19,6 +17,8 @@
 #include "obs/query_counters.h"
 #include "routing/path.h"
 #include "routing/path_index.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace roadnet {
 
@@ -197,13 +197,14 @@ class QueryEngine {
   const PathIndex& index_;
   std::vector<Worker> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals a new batch epoch or stop
-  std::condition_variable done_cv_;   // signals workers finishing a batch
-  uint64_t epoch_ = 0;                // bumped once per Run()
-  size_t active_workers_ = 0;         // workers still draining the batch
-  Batch* batch_ = nullptr;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;   // signals a new batch epoch or stop
+  CondVar done_cv_;   // signals workers finishing a batch
+  uint64_t epoch_ ROADNET_GUARDED_BY(mu_) = 0;  // bumped once per Run()
+  // Workers still draining the batch.
+  size_t active_workers_ ROADNET_GUARDED_BY(mu_) = 0;
+  Batch* batch_ ROADNET_GUARDED_BY(mu_) = nullptr;
+  bool stop_ ROADNET_GUARDED_BY(mu_) = false;
   // Reentrancy guard for Run(); see the class comment.
   std::atomic<bool> run_active_{false};
 };

@@ -63,6 +63,7 @@ void IerKnnIndex::KnnQuery(Context* ctx, uint32_t category, VertexId s,
   grid.Begin(&ctx->cursor, graph_.Coord(s));
   std::vector<KnnResult>& results = ctx->results;
   results.clear();
+  results.reserve(k);  // bounded by k: the candidate loop never grows it
   auto heap_cmp = [](const KnnResult& a, const KnnResult& b) {
     return ResultLess(a, b);  // std heap: max-heap under this order
   };

@@ -57,6 +57,9 @@ KnnBucketIndex::Context KnnBucketIndex::NewContext() const {
   ctx.ch_ctx = ch_.NewContext();
   ctx.best.assign(max_category_size_, kInfDistance);
   ctx.heap_pos.assign(max_category_size_, Context::kNotInHeap);
+  // The exhaustive join appends every reached POI; sized to the worst
+  // case up front so the bucket-scan loop never allocates (R11).
+  ctx.touched.reserve(max_category_size_);
   return ctx;
 }
 

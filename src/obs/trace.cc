@@ -169,7 +169,7 @@ void Tracer::Configure(std::optional<uint64_t> sample_every,
 }
 
 int Tracer::AcquireShard() {
-  std::lock_guard<std::mutex> lock(shard_free_mu_);
+  MutexLock lock(shard_free_mu_);
   if (free_shards_.empty()) return -1;
   const int shard = free_shards_.back();
   free_shards_.pop_back();
@@ -178,7 +178,7 @@ int Tracer::AcquireShard() {
 
 void Tracer::ReleaseShard(int shard) {
   if (shard < 0) return;
-  std::lock_guard<std::mutex> lock(shard_free_mu_);
+  MutexLock lock(shard_free_mu_);
   free_shards_.push_back(shard);
 }
 
@@ -227,7 +227,7 @@ void Tracer::Finish(int shard, RequestTrace* trace) {
 
   Shard& s = *shards_[static_cast<size_t>(shard)];
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     ++s.finished;
     if (trace->head_sampled) ++s.head_sampled;
     if (trace->slow) ++s.slow;
@@ -241,7 +241,9 @@ void Tracer::Finish(int shard, RequestTrace* trace) {
     }
   }
   if (trace->head_sampled || trace->slow) {
-    exporter_cv_.notify_one();
+    // Lock-free notify: the exporter waits with a 20ms timeout, so a
+    // notify that races its drain window is only deferred, never lost.
+    exporter_cv_.NotifyOne();
   }
 }
 
@@ -255,43 +257,61 @@ bool Tracer::StartExporter(const std::string& path, std::string* error) {
     return false;
   }
   {
-    std::lock_guard<std::mutex> lock(exporter_mu_);
+    MutexLock lock(exporter_mu_);
     export_path_ = path;
     export_file_ = f;
     exporter_stop_ = false;
     exporter_running_ = true;
+    // Spawned while the lock is held, so a concurrent StopExporter
+    // cannot observe exporter_running_ true with a stale (unjoinable)
+    // thread handle: the new thread blocks on exporter_mu_ until the
+    // handle is fully assigned.
+    exporter_thread_ = std::thread([this] { ExporterLoop(); });
   }
-  exporter_thread_ = std::thread([this] { ExporterLoop(); });
   return true;
 }
 
 void Tracer::StopExporter() {
+  std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(exporter_mu_);
+    MutexLock lock(exporter_mu_);
     if (!exporter_running_) return;
+    // Claim shutdown under the lock: exporter_running_ flips false and
+    // the thread handle moves out *before* the join, so a concurrent
+    // StopExporter (an explicit stop racing the destructor) returns
+    // here instead of joining the same thread twice (which is
+    // std::terminate).
+    exporter_running_ = false;
     exporter_stop_ = true;
+    to_join = std::move(exporter_thread_);
   }
-  exporter_cv_.notify_all();
-  exporter_thread_.join();
+  exporter_cv_.NotifyAll();
+  to_join.join();
   // Final drain: everything Finish()ed before this call lands in the file.
   DrainAllToFile();
   {
-    std::lock_guard<std::mutex> lock(exporter_mu_);
-    fclose(export_file_);
-    export_file_ = nullptr;
-    exporter_running_ = false;
+    MutexLock lock(exporter_mu_);
+    if (export_file_ != nullptr && !exporter_running_) {
+      fclose(export_file_);
+      export_file_ = nullptr;
+    }
   }
 }
 
+bool Tracer::ExporterRunning() const {
+  MutexLock lock(exporter_mu_);
+  return exporter_running_;
+}
+
 void Tracer::ExporterLoop() {
-  std::unique_lock<std::mutex> lock(exporter_mu_);
+  MutexLock lock(exporter_mu_);
   while (!exporter_stop_) {
     // Wake on capture or every 20ms; the timeout bounds how stale the
     // file can be when producers never notify (all slow, ring full).
-    exporter_cv_.wait_for(lock, std::chrono::milliseconds(20));
-    lock.unlock();
+    exporter_cv_.WaitFor(lock, std::chrono::milliseconds(20));
+    lock.Unlock();
     DrainAllToFile();
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -306,14 +326,14 @@ size_t Tracer::DrainAllToFile() {
       line.clear();
       AppendTraceJson(t, status_name_, &line);
       line.push_back('\n');
-      std::lock_guard<std::mutex> lock(exporter_mu_);
+      MutexLock lock(exporter_mu_);
       if (export_file_ == nullptr) return written;
       fwrite(line.data(), 1, line.size(), export_file_);
       ++written;
     }
   }
   if (written > 0) {
-    std::lock_guard<std::mutex> lock(exporter_mu_);
+    MutexLock lock(exporter_mu_);
     if (export_file_ != nullptr) fflush(export_file_);
   }
   return written;
@@ -323,7 +343,7 @@ Tracer::Snapshot Tracer::GetSnapshot() const {
   Snapshot snap;
   Histogram merged[kNumTraceStages];
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     snap.finished += shard->finished;
     snap.captured += shard->captured;
     snap.head_sampled += shard->head_sampled;
@@ -352,7 +372,7 @@ void Tracer::ExportMetrics(
   Histogram total;
   uint64_t finished = 0, captured = 0, dropped = 0, head = 0, slow = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     finished += shard->finished;
     captured += shard->captured;
     head += shard->head_sampled;

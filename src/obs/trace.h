@@ -4,11 +4,9 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -17,6 +15,8 @@
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/query_counters.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace roadnet {
 
@@ -285,6 +285,11 @@ class Tracer {
   bool StartExporter(const std::string& path, std::string* error);
   void StopExporter();
 
+  // True while the exporter thread is live. Lets owners assert the
+  // exporter's lifecycle (e.g. that a failed server Start did not leak
+  // the thread).
+  bool ExporterRunning() const;
+
   // --- Live introspection (the STATS v2 payload) ---
 
   struct StageStat {
@@ -312,16 +317,18 @@ class Tracer {
  private:
   struct Shard {
     explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
+    // SPSC: the shard owner produces, the exporter consumes; the ring
+    // synchronizes itself with its cursors, so it is not under `mu`.
     TraceRing ring;
     // Owner-written stats; the mutex is effectively uncontended (the
     // owner plus an occasional snapshot/export reader).
-    mutable std::mutex mu;
-    Histogram stage_hist[kNumTraceStages];
-    Histogram total_hist;
-    uint64_t finished = 0;
-    uint64_t captured = 0;
-    uint64_t head_sampled = 0;
-    uint64_t slow = 0;
+    mutable Mutex mu;
+    Histogram stage_hist[kNumTraceStages] ROADNET_GUARDED_BY(mu);
+    Histogram total_hist ROADNET_GUARDED_BY(mu);
+    uint64_t finished ROADNET_GUARDED_BY(mu) = 0;
+    uint64_t captured ROADNET_GUARDED_BY(mu) = 0;
+    uint64_t head_sampled ROADNET_GUARDED_BY(mu) = 0;
+    uint64_t slow ROADNET_GUARDED_BY(mu) = 0;
   };
 
   void ExporterLoop();
@@ -336,16 +343,19 @@ class Tracer {
   std::atomic<uint64_t> seq_{0};
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::mutex shard_free_mu_;
-  std::vector<int> free_shards_;
+  Mutex shard_free_mu_;
+  std::vector<int> free_shards_ ROADNET_GUARDED_BY(shard_free_mu_);
 
-  std::mutex exporter_mu_;
-  std::condition_variable exporter_cv_;
-  std::thread exporter_thread_;
-  std::string export_path_;
-  FILE* export_file_ = nullptr;
-  bool exporter_stop_ = false;
-  bool exporter_running_ = false;
+  mutable Mutex exporter_mu_;
+  CondVar exporter_cv_;
+  // The thread handle is guarded too: StopExporter claims it (moves it
+  // out) under the lock, which is what makes concurrent stops safe —
+  // exactly one caller joins, the rest see exporter_running_ false.
+  std::thread exporter_thread_ ROADNET_GUARDED_BY(exporter_mu_);
+  std::string export_path_ ROADNET_GUARDED_BY(exporter_mu_);
+  FILE* export_file_ ROADNET_GUARDED_BY(exporter_mu_) = nullptr;
+  bool exporter_stop_ ROADNET_GUARDED_BY(exporter_mu_) = false;
+  bool exporter_running_ ROADNET_GUARDED_BY(exporter_mu_) = false;
 };
 
 // Serializes one completed trace as a single JSONL line (no trailing

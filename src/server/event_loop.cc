@@ -10,8 +10,10 @@
 
 #include <array>
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace roadnet {
 
@@ -97,8 +99,8 @@ struct EventLoopPool::Loop {
   // next iteration on, so stale events in this batch cannot reach a
   // recycled slot.
   std::vector<uint32_t> freed_pending;
-  std::mutex post_mu;
-  std::vector<std::function<void()>> posted;
+  Mutex post_mu;
+  std::vector<std::function<void()>> posted ROADNET_GUARDED_BY(post_mu);
   // Idle-reaping deadline wheel: (slot, generation) entries bucketed by
   // expiry tick. Entries are lazy — closed connections leave stale
   // entries behind that the generation check discards on drain.
@@ -192,7 +194,7 @@ void EventLoopPool::Post(uint32_t loop, std::function<void()> fn) {
   Loop* l = loops_[loop].get();
   bool wake = false;
   {
-    std::lock_guard<std::mutex> g(l->post_mu);
+    MutexLock g(l->post_mu);
     l->posted.push_back(std::move(fn));
     wake = l->posted.size() == 1;
   }
@@ -206,7 +208,7 @@ void EventLoopPool::Post(uint32_t loop, std::function<void()> fn) {
 void EventLoopPool::RunPosted(Loop* loop) {
   std::vector<std::function<void()>> batch;
   {
-    std::lock_guard<std::mutex> g(loop->post_mu);
+    MutexLock g(loop->post_mu);
     batch.swap(loop->posted);
   }
   for (auto& fn : batch) fn();
@@ -218,22 +220,27 @@ void EventLoopPool::StopAccepting() {
   // Deregister the listen fd from every loop before closing it; until
   // then a level-triggered pending backlog would spin the loops.
   struct Sync {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining;
+    Mutex mu;
+    CondVar cv;
+    size_t remaining ROADNET_GUARDED_BY(mu);
   };
   auto sync = std::make_shared<Sync>();
-  sync->remaining = loops_.size();
+  {
+    MutexLock g(sync->mu);
+    sync->remaining = loops_.size();
+  }
   for (auto& loop : loops_) {
     Loop* l = loop.get();
     Post(l->index, [this, l, sync] {
       ::epoll_ctl(l->epoll_fd.get(), EPOLL_CTL_DEL, listen_.get(), nullptr);
-      std::lock_guard<std::mutex> g(sync->mu);
-      if (--sync->remaining == 0) sync->cv.notify_all();
+      MutexLock g(sync->mu);
+      if (--sync->remaining == 0) sync->cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lk(sync->mu);
-  sync->cv.wait(lk, [&] { return sync->remaining == 0; });
+  {
+    MutexLock lk(sync->mu);
+    while (sync->remaining != 0) sync->cv.Wait(lk);
+  }
   listen_.Close();
 }
 

@@ -73,7 +73,10 @@ bool QueryServer::Start(std::string* error) {
     return false;
   }
   ScopedFd listen = ListenTcp(options_.port, &port_, error);
-  if (!listen.valid()) return false;
+  if (!listen.valid()) {
+    tracer_.StopExporter();  // same leak as the pool-start failure below
+    return false;
+  }
 
   EventLoopOptions lo;
   lo.num_loops = options_.num_loops == 0 ? 1 : options_.num_loops;
@@ -97,6 +100,10 @@ bool QueryServer::Start(std::string* error) {
     for (int shard : loop_shards_) tracer_.ReleaseShard(shard);
     loop_shards_.clear();
     pool_.reset();
+    // The exporter was started at the top of this function; a failed
+    // Start must not leak its thread (and must close the JSONL file so
+    // the caller can retry with the same path).
+    tracer_.StopExporter();
     return false;
   }
   started_ = true;
@@ -106,21 +113,24 @@ bool QueryServer::Start(std::string* error) {
 void QueryServer::RequestShutdown() {
   draining_.store(true);
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    MutexLock lock(shutdown_mu_);
     shutdown_requested_ = true;
   }
-  shutdown_cv_.notify_all();
+  shutdown_cv_.NotifyAll();
 }
 
 bool QueryServer::WaitForShutdownRequest(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(shutdown_mu_);
-  return shutdown_cv_.wait_for(lock, timeout,
-                               [&] { return shutdown_requested_; });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(shutdown_mu_);
+  while (!shutdown_requested_ &&
+         shutdown_cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+  }
+  return shutdown_requested_;
 }
 
 void QueryServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    MutexLock lock(shutdown_mu_);
     if (shutdown_done_) return;
     shutdown_done_ = true;
   }
@@ -140,10 +150,12 @@ void QueryServer::Shutdown() {
     // 3. Wait for the completion closures: once in_flight_ hits zero,
     // every admitted request has its reply on a connection write queue.
     {
-      std::unique_lock<std::mutex> lock(drain_mu_);
-      drain_cv_.wait_for(
-          lock, std::chrono::seconds(10),
-          [&] { return in_flight_.load(std::memory_order_acquire) == 0; });
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      MutexLock lock(drain_mu_);
+      while (in_flight_.load(std::memory_order_acquire) != 0 &&
+             drain_cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+      }
     }
 
     // 4. Flush replies to peers that are reading (bounded: a peer that
@@ -204,8 +216,11 @@ void QueryServer::Complete(Pending* p, wire::Status status) {
     if (shard >= 0) tracer_.Finish(shard, &trace);
     delete p;
     if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(drain_mu_);
-      drain_cv_.notify_all();
+      // Lock-then-notify: taking drain_mu_ orders this notify after the
+      // drain waiter is actually asleep (it held drain_mu_ from its
+      // predicate check into the wait), so the wakeup cannot be lost.
+      MutexLock lock(drain_mu_);
+      drain_cv_.NotifyAll();
     }
   });
 }
@@ -386,7 +401,7 @@ void QueryServer::RunSubBatch(std::vector<Pending*>& reqs, bool paths) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     Histogram& latency = paths ? path_latency_ : distance_latency_;
     for (size_t i = 0; i < reqs.size(); ++i) {
       Pending* p = reqs[i];
@@ -458,7 +473,7 @@ void QueryServer::RunKnnSubBatch(std::vector<Pending*>& reqs) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     for (const Pending* p : reqs) {
       Histogram& latency = p->family == Pending::Family::kOneToMany
                                ? one_to_many_latency_
@@ -531,7 +546,7 @@ wire::StatsResponse QueryServer::Stats() const {
     s.connections_accepted = ps.accepted;
     s.connections_rejected = ps.rejected;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   s.distance_count = distance_latency_.Count();
   s.distance_p50_ns = distance_latency_.ValueAtQuantile(0.50);
   s.distance_p99_ns = distance_latency_.ValueAtQuantile(0.99);
@@ -598,7 +613,7 @@ void QueryServer::ExportMetrics(MetricsRegistry* registry) const {
     registry->Add("loop_open_connections",
                   static_cast<double>(s.loop_connections[i]), l);
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   auto with_endpoint = [&labels](const char* endpoint) {
     auto l = labels;
     l.emplace_back("endpoint", endpoint);

@@ -3,10 +3,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +21,8 @@
 #include "server/event_loop.h"
 #include "server/socket.h"
 #include "server/wire.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace roadnet {
 
@@ -226,18 +226,23 @@ class QueryServer : private FrameHandler {
 
   // Admitted requests not yet replied (Pending objects alive past
   // OnFrame). Shutdown waits for this to hit zero before stopping the
-  // loops so every admitted request is answered.
+  // loops so every admitted request is answered. drain_mu_ guards no
+  // field — the wait predicate is the atomic itself; the mutex only
+  // serializes the sleep/notify handshake so the completion closure's
+  // notify cannot slip between the waiter's predicate check and its
+  // sleep.
   std::atomic<uint64_t> in_flight_{0};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  // roadnet-lint: allow(R10 drain_mu_ intentionally guards no field: the predicate is the atomic in_flight_ above; the mutex exists only to order the drain wait against the completion path's notify)
+  Mutex drain_mu_;
+  CondVar drain_cv_;
 
   // Lifecycle. draining_ gates admission (connections and requests);
   // shutdown_cv_ wakes WaitForShutdownRequest().
   std::atomic<bool> draining_{false};
-  std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;
-  bool shutdown_done_ = false;
+  Mutex shutdown_mu_;
+  CondVar shutdown_cv_;
+  bool shutdown_requested_ ROADNET_GUARDED_BY(shutdown_mu_) = false;
+  bool shutdown_done_ ROADNET_GUARDED_BY(shutdown_mu_) = false;
 
   // Serving counters (atomics: bumped from loop threads) and
   // per-endpoint latency histograms (dispatcher-written, mutex-guarded
@@ -249,12 +254,13 @@ class QueryServer : private FrameHandler {
   std::atomic<uint64_t> bad_requests_{0};
   // Live gauge for STATS v2 (instantaneous, not lifetime).
   std::atomic<uint64_t> in_flight_batches_{0};
-  mutable std::mutex stats_mu_;
-  Histogram distance_latency_;
-  Histogram path_latency_;
-  Histogram knn_latency_;
-  Histogram one_to_many_latency_;
-  QueryCounters counters_;  // summed over every served batch
+  mutable Mutex stats_mu_;
+  Histogram distance_latency_ ROADNET_GUARDED_BY(stats_mu_);
+  Histogram path_latency_ ROADNET_GUARDED_BY(stats_mu_);
+  Histogram knn_latency_ ROADNET_GUARDED_BY(stats_mu_);
+  Histogram one_to_many_latency_ ROADNET_GUARDED_BY(stats_mu_);
+  // Summed over every served batch.
+  QueryCounters counters_ ROADNET_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace roadnet

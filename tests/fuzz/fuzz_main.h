@@ -1,0 +1,145 @@
+#ifndef ROADNET_TESTS_FUZZ_FUZZ_MAIN_H_
+#define ROADNET_TESTS_FUZZ_FUZZ_MAIN_H_
+
+// Shared driver for the fuzz harnesses (see check.sh `fuzz` stage).
+//
+// Built with Clang's libFuzzer (-fsanitize=fuzzer defines
+// ROADNET_FUZZ_LIBFUZZER) the sanitizer runtime provides main() and
+// this header contributes only the declarations. Everywhere else — GCC
+// hosts have no libFuzzer — it provides a main() that
+//
+//   * replays every corpus input named on the command line (files, or
+//     directories scanned non-recursively) through
+//     LLVMFuzzerTestOneInput,
+//   * optionally runs a deterministic SplitMix64 mutation sweep over
+//     those inputs (--mutate N applies N mutants per input), and
+//   * regenerates the checked-in seed corpus (--write-corpus DIR).
+//
+// The harness logic is therefore exercised on every host; the 30-second
+// libFuzzer run is a strict superset available when clang is installed.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace roadnet::fuzz {
+// Implemented by each harness: writes its seed inputs (real encoded
+// frames, plus a few deliberately broken ones) into `dir`.
+void WriteSeedCorpus(const std::string& dir);
+}  // namespace roadnet::fuzz
+
+#ifndef ROADNET_FUZZ_LIBFUZZER
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace roadnet::fuzz {
+namespace {
+
+void RunOne(const std::string& bytes) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+}
+
+// One deterministic mutant: flip, truncate, extend, or overwrite a run.
+std::string Mutate(const std::string& input, Rng* rng) {
+  std::string m = input;
+  switch (rng->NextBelow(4)) {
+    case 0:  // bit flip
+      if (!m.empty()) {
+        m[rng->NextBelow(m.size())] ^=
+            static_cast<char>(1u << rng->NextBelow(8));
+      }
+      break;
+    case 1:  // truncate
+      m.resize(m.empty() ? 0 : rng->NextBelow(m.size()));
+      break;
+    case 2:  // extend with random bytes
+      for (uint64_t i = rng->NextBelow(16) + 1; i > 0; --i) {
+        m.push_back(static_cast<char>(rng->NextBelow(256)));
+      }
+      break;
+    default:  // overwrite a short run
+      if (!m.empty()) {
+        size_t at = rng->NextBelow(m.size());
+        for (size_t i = at; i < m.size() && i < at + 8; ++i) {
+          m[i] = static_cast<char>(rng->NextBelow(256));
+        }
+      }
+      break;
+  }
+  return m;
+}
+
+int FallbackMain(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  uint64_t mutate = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--write-corpus" && i + 1 < argc) {
+      const std::string dir = argv[++i];
+      std::filesystem::create_directories(dir);
+      WriteSeedCorpus(dir);
+      std::printf("seed corpus written to %s\n", dir.c_str());
+      return 0;
+    }
+    if (arg == "--mutate" && i + 1 < argc) {
+      mutate = std::strtoull(argv[++i], nullptr, 10);
+      continue;
+    }
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path().string());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--mutate N] [--write-corpus DIR] "
+                 "CORPUS_FILE_OR_DIR...\n",
+                 argv[0]);
+    return 2;
+  }
+  Rng rng(0x526f61644e6574ULL);  // fixed seed: replays are reproducible
+  size_t executed = 0;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    RunOne(bytes);
+    ++executed;
+    for (uint64_t i = 0; i < mutate; ++i) {
+      RunOne(Mutate(bytes, &rng));
+      ++executed;
+    }
+  }
+  std::printf("replayed %zu inputs (%zu corpus, %llu mutants each)\n",
+              executed, inputs.size(),
+              static_cast<unsigned long long>(mutate));
+  return 0;
+}
+
+}  // namespace
+}  // namespace roadnet::fuzz
+
+int main(int argc, char** argv) {
+  return roadnet::fuzz::FallbackMain(argc, argv);
+}
+
+#endif  // ROADNET_FUZZ_LIBFUZZER
+
+#endif  // ROADNET_TESTS_FUZZ_FUZZ_MAIN_H_

@@ -1,0 +1,29 @@
+// R11 bad fixture: a settle loop that touches the allocator three ways —
+// a per-vertex make_unique, a std::function built per iteration, and a
+// push_back on a vector this file never reserves.
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Heap {
+  bool Empty() const;
+  unsigned PopMin();
+};
+
+unsigned Run(Heap& heap, std::vector<unsigned>& order) {
+  unsigned sum = 0;
+  while (!heap.Empty()) {
+    const unsigned u = heap.PopMin();
+    auto box = std::make_unique<unsigned>(u);
+    std::function<unsigned(unsigned)> weigh = [u](unsigned w) {
+      return w + u;
+    };
+    sum += weigh(*box);
+    order.push_back(u);
+  }
+  return sum;
+}
+
+}  // namespace fixture

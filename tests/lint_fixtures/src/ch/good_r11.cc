@@ -1,0 +1,23 @@
+// R11 good fixture: the same settle loop with its capacity fixed before
+// the search — the loop body never touches the allocator.
+#include <vector>
+
+namespace fixture {
+
+struct Heap {
+  bool Empty() const;
+  unsigned PopMin();
+};
+
+unsigned Run(Heap& heap, std::vector<unsigned>& order, unsigned n) {
+  order.reserve(n);
+  unsigned sum = 0;
+  while (!heap.Empty()) {
+    const unsigned u = heap.PopMin();
+    sum += u;
+    order.push_back(u);
+  }
+  return sum;
+}
+
+}  // namespace fixture

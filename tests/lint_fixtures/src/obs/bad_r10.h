@@ -1,0 +1,28 @@
+// R10 bad fixture: three distinct lock-discipline breaks in one class —
+// a raw std::mutex member (invisible to Clang Thread Safety Analysis,
+// which only sees the annotated roadnet::Mutex wrapper), a GUARDED_BY
+// naming a mutex that does not exist in the class, and a Mutex member
+// that guards nothing.
+#ifndef ROADNET_LINT_FIXTURE_BAD_R10_H_
+#define ROADNET_LINT_FIXTURE_BAD_R10_H_
+
+#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class ShardRegistry {
+ public:
+  void Touch();
+
+ private:
+  std::mutex raw_mu_;
+  Mutex idle_mu_;
+  int hits_ ROADNET_GUARDED_BY(absent_mu_) = 0;
+};
+
+}  // namespace fixture
+
+#endif  // ROADNET_LINT_FIXTURE_BAD_R10_H_

@@ -1,0 +1,24 @@
+// R10 good fixture: wrapper types only, every annotation resolves to a
+// Mutex member of the same class, and every Mutex guards a field.
+#ifndef ROADNET_LINT_FIXTURE_GOOD_R10_H_
+#define ROADNET_LINT_FIXTURE_GOOD_R10_H_
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class ShardRegistry {
+ public:
+  void Touch();
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;
+  int hits_ ROADNET_GUARDED_BY(mu_) = 0;
+  int* slots_ ROADNET_PT_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace fixture
+
+#endif  // ROADNET_LINT_FIXTURE_GOOD_R10_H_

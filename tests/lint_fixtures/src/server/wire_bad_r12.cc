@@ -1,0 +1,19 @@
+// R12 bad fixture: wire-decode reads with no remaining-bytes check in
+// the enclosing function — a truncated frame reads out of bounds.
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace fixture {
+
+uint32_t DecodeCount(const std::string& body) {
+  uint32_t count = 0;
+  std::memcpy(&count, body.data() + 1, sizeof(count));
+  return count;
+}
+
+char DecodeTag(const std::string& body) {
+  return body[0];
+}
+
+}  // namespace fixture

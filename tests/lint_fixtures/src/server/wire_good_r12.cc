@@ -1,0 +1,22 @@
+// R12 good fixture: the same reads, each behind an explicit
+// remaining-bytes check in the same function.
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace fixture {
+
+bool DecodeCount(const std::string& body, uint32_t* count) {
+  const size_t pos = 1;
+  if (pos + sizeof(*count) > body.size()) return false;
+  std::memcpy(count, body.data() + pos, sizeof(*count));
+  return true;
+}
+
+bool DecodeTag(const std::string& body, char* tag) {
+  if (body.empty()) return false;
+  *tag = body[0];
+  return true;
+}
+
+}  // namespace fixture

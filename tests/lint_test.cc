@@ -1,4 +1,4 @@
-// Self-test of tools/roadnet_lint: every rule R1..R9 must flag its
+// Self-test of tools/roadnet_lint: every rule R1..R12 must flag its
 // known-bad fixture and stay silent on the known-good twin; the waiver
 // mechanism must suppress with a reason, fail without one (W1), and
 // ignore waivers naming the wrong rule. The binary is exercised too:
@@ -58,6 +58,9 @@ const RuleFixture kFixtures[] = {
     {"R7", "src/include/bad_r7.h", "src/include/good_r7.h"},
     {"R8", "src/obs/bad_r8.cc", "src/obs/good_r8.cc"},
     {"R9", "src/poi/bad_r9.cc", "src/poi/good_r9.cc"},
+    {"R10", "src/obs/bad_r10.h", "src/obs/good_r10.h"},
+    {"R11", "src/ch/bad_r11.cc", "src/ch/good_r11.cc"},
+    {"R12", "src/server/wire_bad_r12.cc", "src/server/wire_good_r12.cc"},
 };
 
 TEST(LintRules, EachBadFixtureIsFlaggedByItsRule) {
@@ -114,6 +117,27 @@ TEST(LintRules, BadR8FlagsEveryNonMonotonicClockKind) {
   EXPECT_GE(result.UnwaivedCount(), 3);
 }
 
+TEST(LintRules, BadR10FlagsEveryLockDisciplineBreak) {
+  LintResult result = LintFiles({"src/obs/bad_r10.h"});
+  // A raw std::mutex member, a GUARDED_BY naming a nonexistent mutex,
+  // and a Mutex member guarding no field are three distinct findings.
+  EXPECT_EQ(result.UnwaivedCount(), 3);
+}
+
+TEST(LintRules, BadR11FlagsEveryAllocationKind) {
+  LintResult result = LintFiles({"src/ch/bad_r11.cc"});
+  // make_unique, a per-iteration std::function, and an unreserved
+  // push_back are three distinct findings.
+  EXPECT_EQ(result.UnwaivedCount(), 3);
+}
+
+TEST(LintRules, BadR12FlagsEveryUncheckedReadKind) {
+  LintResult result = LintFiles({"src/server/wire_bad_r12.cc"});
+  // The unchecked memcpy, its .data() arithmetic, and the unchecked
+  // buffer subscript each produce a finding.
+  EXPECT_EQ(result.UnwaivedCount(), 3);
+}
+
 TEST(LintWaivers, ReasonedWaiverSuppressesAndIsCounted) {
   LintResult result = LintFiles({"waivers/waived.cc"});
   EXPECT_EQ(result.UnwaivedCount(), 0);
@@ -124,6 +148,19 @@ TEST(LintWaivers, ReasonedWaiverSuppressesAndIsCounted) {
             std::string::npos);
   EXPECT_EQ(result.waivers_used, 1);
   EXPECT_EQ(result.waivers_unused, 0);
+}
+
+TEST(LintWaivers, HandshakeMutexWaiverSuppressesR10) {
+  // The drain_mu_ pattern: a mutex that only orders a sleep/notify
+  // handshake around an atomic predicate carries a reasoned waiver.
+  LintResult result = LintFiles({"src/obs/waived_r10.h"});
+  EXPECT_EQ(result.UnwaivedCount(), 0);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_TRUE(result.findings[0].waived);
+  EXPECT_EQ(result.findings[0].rule_id, "R10");
+  EXPECT_NE(result.findings[0].waiver_reason.find("handshake-only"),
+            std::string::npos);
+  EXPECT_EQ(result.waivers_used, 1);
 }
 
 TEST(LintWaivers, WaiverWithoutReasonIsItselfAFinding) {
@@ -188,6 +225,22 @@ TEST(LintBinary, JsonFindingsAreWritten) {
   EXPECT_NE(content.find("\"rule\":\"R4\""), std::string::npos);
   EXPECT_NE(content.find("\"waived\":true"), std::string::npos);
   EXPECT_NE(content.find("\"rule\":\"summary\""), std::string::npos);
+}
+
+TEST(LintBinary, JsonRoundTripsThroughSchemaValidator) {
+  // Findings from the new-generation rules (R10..R12, waived and not)
+  // must satisfy the JSONL schema scripts/validate_metrics.py enforces.
+  const std::string json = ::testing::TempDir() + "/lint_r10_r12.jsonl";
+  EXPECT_EQ(RunBinary(std::string("--root ") + LINT_FIXTURE_DIR + " --json " +
+                      json +
+                      " src/obs/bad_r10.h src/ch/bad_r11.cc"
+                      " src/server/wire_bad_r12.cc src/obs/waived_r10.h"),
+            1);
+  const std::string cmd = std::string("python3 ") + ROADNET_REPO_ROOT +
+                          "/scripts/validate_metrics.py " + json +
+                          " > /dev/null 2>&1";
+  EXPECT_EQ(WEXITSTATUS(std::system(cmd.c_str())), 0)
+      << "lint JSONL failed schema validation";
 }
 
 }  // namespace

@@ -1181,5 +1181,28 @@ TEST(QueryServer, ShutdownIsIdempotentAndSafeWithoutStart) {
   }  // destructor runs Shutdown() again
 }
 
+TEST(QueryServer, FailedStartStopsTraceExporter) {
+  // Regression: Start() spawns the trace exporter before binding the
+  // port, and a bind failure used to return without stopping it — the
+  // exporter thread (and its open JSONL file) leaked until destruction.
+  const Graph g = TestNetwork(100, 19);
+  BidirectionalDijkstra index(g);
+
+  // Occupy a port with a healthy server.
+  QueryServer holder(index, wire::kAnyTechnique, g.NumVertices(), {});
+  std::string error;
+  ASSERT_TRUE(holder.Start(&error)) << error;
+
+  ServerOptions options;
+  options.port = holder.Port();  // guaranteed in use
+  options.trace_out = testing::TempDir() + "/failed_start_traces.jsonl";
+  QueryServer server(index, wire::kAnyTechnique, g.NumVertices(), options);
+  EXPECT_FALSE(server.Start(&error));
+  EXPECT_FALSE(server.tracer().ExporterRunning())
+      << "failed Start must stop the exporter it spawned";
+  holder.Shutdown();
+  std::remove(options.trace_out.c_str());
+}
+
 }  // namespace
 }  // namespace roadnet

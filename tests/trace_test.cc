@@ -372,6 +372,37 @@ TEST(TracerTest, EngineStampsPerQueryExecuteWindows) {
   EXPECT_TRUE(plain.query_counters.empty());
 }
 
+TEST(TracerTest, ConcurrentStopExporterJoinsExactlyOnce) {
+  if constexpr (!kTracingCompiledIn) GTEST_SKIP();
+  // Regression: StopExporter used to clear exporter_running_ only AFTER
+  // joining, so two concurrent stops (an explicit stop racing the
+  // destructor) both passed the running check and both joined the
+  // exporter thread — the second join is std::terminate. The fix claims
+  // the thread handle under exporter_mu_, so exactly one caller joins.
+  for (int round = 0; round < 20; ++round) {
+    TracerOptions options;
+    options.sample_every = 1;
+    options.shards = 1;
+    Tracer tracer(options);
+    const std::string path =
+        testing::TempDir() + "/trace_concurrent_stop.jsonl";
+    std::string error;
+    ASSERT_TRUE(tracer.StartExporter(path, &error)) << error;
+    ASSERT_TRUE(tracer.ExporterRunning());
+
+    constexpr size_t kStoppers = 4;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kStoppers; ++t) {
+      threads.emplace_back([&tracer] { tracer.StopExporter(); });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_FALSE(tracer.ExporterRunning());
+    // A fresh start after the pile-up must still work.
+    ASSERT_TRUE(tracer.StartExporter(path, &error)) << error;
+    tracer.StopExporter();
+  }
+}
+
 TEST(TraceDeathTest, FinishWithOpenSpanDies) {
   if constexpr (!kTracingCompiledIn) GTEST_SKIP();
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";

@@ -1,7 +1,9 @@
 #include <algorithm>
 #include <cctype>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "roadnet_lint/lint.h"
@@ -702,6 +704,451 @@ class PoiKnnSeededRandomRule : public DeterministicRandomRule {
   }
 };
 
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool ContainsAny(const std::string& haystack,
+                 std::initializer_list<const char*> needles) {
+  for (const char* n : needles) {
+    if (haystack.find(n) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// R10: the concurrency layer carries compiler-checked lock annotations.
+//
+// Grounding: the Clang Thread Safety Analysis gate (check.sh tsa) only
+// sees locks it knows about. A raw std::mutex member is invisible to
+// it — the roadnet::Mutex/CondVar wrappers (util/mutex.h) carry the
+// CAPABILITY attributes — and a ROADNET_GUARDED_BY naming a typo'd or
+// foreign mutex silently guards nothing. This rule runs on every host
+// (the tsa stage needs clang), so GCC-only machines still keep the
+// annotation surface intact. Three checks per class in the concurrency
+// directories: no raw standard-library lock types, every GUARDED_BY
+// argument resolves to a Mutex member of the same class, and every
+// Mutex member guards at least one field (a lock that protects nothing
+// either wants an annotation or a waiver explaining what it orders).
+class AnnotatedLockRule : public Rule {
+ public:
+  std::string Id() const override { return "R10"; }
+  std::string Name() const override { return "annotated-lock-discipline"; }
+  std::string Description() const override {
+    return "concurrency-layer classes (src/server, src/engine, src/obs) "
+           "use roadnet::Mutex/CondVar (never raw std::mutex), every "
+           "ROADNET_GUARDED_BY names a Mutex member of the same class, "
+           "and every Mutex member guards at least one field";
+  }
+  bool AppliesTo(const SourceFile& f) const override {
+    return PathStartsWith(f, "src/server/") ||
+           PathStartsWith(f, "src/engine/") || PathStartsWith(f, "src/obs/");
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    Text text(f.code);
+    const std::string& s = text.s;
+    for (size_t pos = 0; pos < s.size();) {
+      size_t cls = std::string::npos;
+      bool is_struct = false;
+      size_t c1 = s.find("class", pos);
+      size_t c2 = s.find("struct", pos);
+      if (c1 == std::string::npos && c2 == std::string::npos) break;
+      if (c2 < c1) {
+        cls = c2;
+        is_struct = true;
+      } else {
+        cls = c1;
+      }
+      size_t after = cls + (is_struct ? 6 : 5);
+      if (!IsWordAt(s, cls, after - cls)) {
+        pos = after;
+        continue;
+      }
+      size_t name_begin = SkipSpaces(s, after);
+      size_t name_end = name_begin;
+      while (name_end < s.size() && IsIdentChar(s[name_end])) ++name_end;
+      const std::string name = s.substr(name_begin, name_end - name_begin);
+      pos = name_end;
+      if (name.empty()) continue;
+      size_t brace = s.find('{', name_end);
+      size_t semi = s.find(';', name_end);
+      if (brace == std::string::npos ||
+          (semi != std::string::npos && semi < brace)) {
+        continue;  // forward declaration
+      }
+      ScanClassBody(text, name, brace, out);
+      // Resume inside the body so nested structs get their own pass.
+      pos = brace + 1;
+    }
+  }
+
+ private:
+  // One member-declaration statement of the class under scan.
+  struct Member {
+    std::string stmt;
+    size_t begin = 0;  // offset into Text::s
+  };
+
+  void ScanClassBody(const Text& text, const std::string& class_name,
+                     size_t open_brace, std::vector<Finding>* out) const {
+    const std::string& s = text.s;
+    std::vector<Member> members;
+    std::string stmt;
+    size_t stmt_begin = std::string::npos;
+    int paren_depth = 0;
+    size_t i = open_brace + 1;
+    auto flush = [&]() {
+      const std::string t = Trim(stmt);
+      if (!t.empty() && stmt_begin != std::string::npos) {
+        members.push_back({t, stmt_begin});
+      }
+      stmt.clear();
+      stmt_begin = std::string::npos;
+    };
+    while (i < s.size()) {
+      char c = s[i];
+      if (c == '(') ++paren_depth;
+      if (c == ')') --paren_depth;
+      if (paren_depth > 0) {
+        if (stmt_begin == std::string::npos &&
+            !std::isspace(static_cast<unsigned char>(c))) {
+          stmt_begin = i;
+        }
+        stmt += c;
+        ++i;
+        continue;
+      }
+      if (c == '}') break;  // end of class body
+      if (c == '{') {
+        // Method body or nested type: drop it. Nested structs are
+        // scanned independently by the outer class/struct walk.
+        flush();
+        size_t end = SkipBalanced(s, i, '{', '}');
+        if (end == std::string::npos) return;
+        i = end;
+        continue;
+      }
+      if (c == ';') {
+        flush();
+        ++i;
+        continue;
+      }
+      if (c == ':' && (i + 1 >= s.size() || s[i + 1] != ':')) {
+        const std::string t = Trim(stmt);
+        if (t == "public" || t == "protected" || t == "private") {
+          stmt.clear();
+          stmt_begin = std::string::npos;
+          ++i;
+          continue;
+        }
+      }
+      if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+        stmt += "::";
+        i += 2;
+        continue;
+      }
+      if (stmt_begin == std::string::npos &&
+          !std::isspace(static_cast<unsigned char>(c))) {
+        stmt_begin = i;
+      }
+      stmt += c;
+      ++i;
+    }
+    CheckMembers(text, class_name, members, out);
+  }
+
+  void CheckMembers(const Text& text, const std::string& class_name,
+                    const std::vector<Member>& members,
+                    std::vector<Finding>* out) const {
+    // Pass 1: the class's Mutex members, and raw standard lock types.
+    std::vector<std::pair<std::string, size_t>> mutexes;  // name, offset
+    for (const Member& m : members) {
+      for (const char* skip : {"using ", "friend ", "typedef ", "template",
+                               "static_assert", "struct ", "class ", "enum "}) {
+        if (m.stmt.rfind(skip, 0) == 0) goto next_member;
+      }
+      for (const char* raw :
+           {"std::mutex", "std::shared_mutex", "std::recursive_mutex",
+            "std::timed_mutex", "std::condition_variable"}) {
+        if (m.stmt.find(raw) != std::string::npos) {
+          out->push_back(MakeFinding(
+              text.LineOf(m.begin),
+              std::string(raw) + " in " + class_name +
+                  "; the concurrency layer uses roadnet::Mutex/CondVar "
+                  "(util/mutex.h) so Clang Thread Safety Analysis sees "
+                  "the capability"));
+        }
+      }
+      {
+        std::string decl = m.stmt;
+        if (decl.rfind("mutable ", 0) == 0) decl = Trim(decl.substr(8));
+        if (decl.rfind("Mutex", 0) == 0 && IsWordAt(decl, 0, 5)) {
+          size_t nb = SkipSpaces(decl, 5);
+          size_t ne = nb;
+          while (ne < decl.size() && IsIdentChar(decl[ne])) ++ne;
+          // A plain member only: `Mutex& Lock()` etc. never reaches here
+          // because '(' later in the stmt still yields a name; require
+          // the declarator to end the statement (no parameter list).
+          if (ne > nb && decl.find('(') == std::string::npos) {
+            mutexes.emplace_back(decl.substr(nb, ne - nb), m.begin);
+          }
+        }
+      }
+    next_member:;
+    }
+    // Pass 2: every GUARDED_BY argument resolves; every mutex guards.
+    std::set<std::string> guarding;
+    for (const Member& m : members) {
+      for (const char* macro :
+           {"ROADNET_GUARDED_BY", "ROADNET_PT_GUARDED_BY"}) {
+        size_t at = m.stmt.find(macro);
+        if (at == std::string::npos) continue;
+        size_t open = m.stmt.find('(', at);
+        if (open == std::string::npos) continue;
+        size_t close = SkipBalanced(m.stmt, open, '(', ')');
+        if (close == std::string::npos) continue;
+        const std::string arg =
+            Trim(m.stmt.substr(open + 1, close - open - 2));
+        bool resolved = false;
+        for (const auto& [mu, off] : mutexes) {
+          if (mu == arg) resolved = true;
+        }
+        if (resolved) {
+          guarding.insert(arg);
+        } else {
+          out->push_back(MakeFinding(
+              text.LineOf(m.begin),
+              std::string(macro) + "(" + arg + ") in " + class_name +
+                  " does not name a Mutex member of this class; the "
+                  "annotation guards nothing and the tsa gate cannot "
+                  "check it"));
+        }
+      }
+    }
+    for (const auto& [mu, off] : mutexes) {
+      if (guarding.count(mu)) continue;
+      out->push_back(MakeFinding(
+          text.LineOf(off),
+          "Mutex member " + class_name + "::" + mu +
+              " guards no field; add ROADNET_GUARDED_BY(" + mu +
+              ") to the data it protects, or waive with the reason the "
+              "lock exists (e.g. it only orders a sleep/notify handshake)"));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R11: settle loops do not allocate.
+//
+// Grounding: the query-path contract since PR 1 is "contexts allocate,
+// queries reuse" — every per-query vector lives in a reusable
+// QueryContext so the settle loop's dependency chain never stalls on
+// malloc (and never takes the allocator lock under the multi-threaded
+// engine). One push_back on an unreserved vector inside the CH settle
+// loop is invisible in unit tests (first query grows it, the rest ride
+// the capacity) but shows up as p99 jitter under the server. A settle
+// loop is recognized lexically: a while/for whose condition watches a
+// heap/queue/frontier, or whose body pops and settles one.
+class NoAllocInSettleLoopRule : public Rule {
+ public:
+  std::string Id() const override { return "R11"; }
+  std::string Name() const override { return "no-alloc-in-settle-loop"; }
+  std::string Description() const override {
+    return "query hot paths (src/ch, src/dijkstra, src/hl, src/knn) do "
+           "not allocate inside settle loops: no new/make_unique/"
+           "make_shared/std::function, and no push_back on a vector "
+           "this file never reserves";
+  }
+  bool AppliesTo(const SourceFile& f) const override {
+    if (!(PathStartsWith(f, "src/ch/") || PathStartsWith(f, "src/dijkstra/") ||
+          PathStartsWith(f, "src/hl/") || PathStartsWith(f, "src/knn/"))) {
+      return false;
+    }
+    // Build-time code (contraction, ordering) allocates freely; the
+    // rule polices the query path only.
+    return f.path.find("contraction") == std::string::npos &&
+           f.path.find("node_order") == std::string::npos;
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    Text text(f.code);
+    const std::string& s = text.s;
+    std::set<std::pair<int, std::string>> seen;  // nested loops rescan
+    for (const char* kw : {"while", "for"}) {
+      const size_t kwlen = std::string(kw).size();
+      size_t pos = 0;
+      while ((pos = s.find(kw, pos)) != std::string::npos) {
+        const size_t here = pos;
+        pos += kwlen;
+        if (!IsWordAt(s, here, kwlen)) continue;
+        size_t open = SkipSpaces(s, here + kwlen);
+        if (open >= s.size() || s[open] != '(') continue;
+        size_t close = SkipBalanced(s, open, '(', ')');
+        if (close == std::string::npos) continue;
+        size_t body_begin = SkipSpaces(s, close);
+        size_t body_end;
+        if (body_begin < s.size() && s[body_begin] == '{') {
+          body_end = SkipBalanced(s, body_begin, '{', '}');
+          if (body_end == std::string::npos) continue;
+        } else {
+          body_end = s.find(';', body_begin);
+          if (body_end == std::string::npos) continue;
+        }
+        const std::string cond = Lower(s.substr(open, close - open));
+        const std::string body =
+            Lower(s.substr(body_begin, body_end - body_begin));
+        const bool settles =
+            ContainsAny(cond, {"empty(", "heap", "queue", "minkey",
+                               ".next("}) ||
+            ContainsAny(body, {"popmin(", "pop_heap", ".settle(",
+                               "heappush(", "heap["});
+        if (!settles) continue;
+        ScanBody(text, body_begin, body_end, &seen, out);
+      }
+    }
+  }
+
+ private:
+  void ScanBody(const Text& text, size_t begin, size_t end,
+                std::set<std::pair<int, std::string>>* seen,
+                std::vector<Finding>* out) const {
+    const std::string& s = text.s;
+    auto emit = [&](size_t off, const std::string& msg) {
+      const int line = text.LineOf(off);
+      if (seen->insert({line, msg}).second) {
+        out->push_back(MakeFinding(line, msg));
+      }
+    };
+    for (const char* alloc : {"new", "make_unique", "make_shared"}) {
+      const size_t len = std::string(alloc).size();
+      size_t pos = begin;
+      while ((pos = s.find(alloc, pos)) != std::string::npos && pos < end) {
+        const size_t here = pos;
+        pos += len;
+        if (!IsWordAt(s, here, len)) continue;
+        emit(here, std::string(alloc) +
+                       " inside a settle loop; allocate in the "
+                       "QueryContext (NewContext/Reset) so the hot loop "
+                       "never touches the allocator");
+      }
+    }
+    {
+      size_t pos = begin;
+      while ((pos = s.find("std::function", pos)) != std::string::npos &&
+             pos < end) {
+        emit(pos,
+             "std::function constructed inside a settle loop; capturing "
+             "callables heap-allocate — hoist it out of the loop or use "
+             "a template parameter");
+        pos += 13;
+      }
+    }
+    for (const char* push : {"push_back", "emplace_back"}) {
+      const size_t len = std::string(push).size();
+      size_t pos = begin;
+      while ((pos = s.find(push, pos)) != std::string::npos && pos < end) {
+        const size_t here = pos;
+        pos += len;
+        if (!IsWordAt(s, here, len)) continue;
+        // Receiver: the identifier right before `.push_back` or
+        // `->push_back`.
+        size_t r = here;
+        if (r >= 1 && s[r - 1] == '.') {
+          r -= 1;
+        } else if (r >= 2 && s[r - 2] == '-' && s[r - 1] == '>') {
+          r -= 2;
+        } else {
+          continue;  // unqualified call — not a container member
+        }
+        size_t sym_end = r;
+        while (r > 0 && IsIdentChar(s[r - 1])) --r;
+        const std::string sym = s.substr(r, sym_end - r);
+        if (sym.empty()) continue;
+        if (s.find(sym + ".reserve(") != std::string::npos ||
+            s.find(sym + "->reserve(") != std::string::npos) {
+          continue;  // capacity is managed somewhere in this file
+        }
+        emit(here, std::string(push) + " on '" + sym +
+                       "' inside a settle loop with no " + sym +
+                       ".reserve( anywhere in this file; growth "
+                       "reallocates mid-search — reserve in the "
+                       "context/setup code");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R12: wire decoding never reads without a remaining-bytes check.
+//
+// Grounding: the server feeds DecodeXxx whatever bytes arrive on the
+// socket; every field read must be preceded by an explicit check that
+// the bytes exist (the Reader::Take cursor centralizes this — its one
+// memcpy sits right behind `pos + sizeof(T) > body.size()`). A raw
+// memcpy/subscript/.data()-arithmetic read added outside that pattern
+// is an out-of-bounds read on a truncated frame — exactly the class
+// the fuzz_wire_decode harness hunts, caught here without a fuzzer.
+class WireBoundsCheckRule : public Rule {
+ public:
+  std::string Id() const override { return "R12"; }
+  std::string Name() const override { return "wire-bounds-check"; }
+  std::string Description() const override {
+    return "raw byte reads in src/server/wire.* (memcpy, buffer "
+           "subscripts, .data() arithmetic) must follow a "
+           "remaining-bytes check in the same function";
+  }
+  bool AppliesTo(const SourceFile& f) const override {
+    return PathStartsWith(f, "src/server/wire");
+  }
+  void Scan(const SourceFile& f, std::vector<Finding>* out) const override {
+    Text text(f.code);
+    const std::string& s = text.s;
+    auto check = [&](size_t off, const char* what) {
+      // Enclosing-function window: back to the last line that closes a
+      // top-level block (column-0 '}'), i.e. the end of the previous
+      // function.
+      size_t start = 0;
+      for (size_t ls : text.line_start) {
+        if (ls >= off) break;
+        if (ls < s.size() && s[ls] == '}') start = ls;
+      }
+      const std::string window = s.substr(start, off - start);
+      if (ContainsAny(window,
+                      {".size()", ".empty(", "pos +", "remaining", "kMax"})) {
+        return;
+      }
+      out->push_back(MakeFinding(
+          text.LineOf(off),
+          std::string(what) +
+              " with no preceding remaining-bytes check in this "
+              "function; a truncated frame reads out of bounds — check "
+              "against .size()/.empty() first (or go through "
+              "Reader::Take)"));
+    };
+    ForEachWord(f.code, "memcpy", [&](size_t li, size_t col) {
+      check(text.line_start[li] + col, "memcpy");
+    });
+    size_t pos = 0;
+    while ((pos = s.find(".data()", pos)) != std::string::npos) {
+      size_t after = SkipSpaces(s, pos + 7);
+      if (after < s.size() && (s[after] == '+' || s[after] == '-')) {
+        check(pos, "pointer arithmetic on .data()");
+      }
+      pos += 7;
+    }
+    ForEachWord(f.code, "body", [&](size_t li, size_t col) {
+      const std::string& line = f.code[li];
+      size_t after = col + 4;
+      if (after < line.size() && line[after] == '[') {
+        check(text.line_start[li] + col, "buffer subscript");
+      }
+    });
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> BuildAllRules() {
@@ -715,6 +1162,9 @@ std::vector<std::unique_ptr<Rule>> BuildAllRules() {
   rules.push_back(std::make_unique<IncludeHygieneRule>());
   rules.push_back(std::make_unique<SteadyClockTimingRule>());
   rules.push_back(std::make_unique<PoiKnnSeededRandomRule>());
+  rules.push_back(std::make_unique<AnnotatedLockRule>());
+  rules.push_back(std::make_unique<NoAllocInSettleLoopRule>());
+  rules.push_back(std::make_unique<WireBoundsCheckRule>());
   return rules;
 }
 
